@@ -1,0 +1,72 @@
+"""Design-choice ablation: index tuning knobs (leaf size / fanout).
+
+Not a paper figure. Sweeps the R*-tree node capacity of I_R and the
+partition-leaf size of I_S, measuring query CPU and simulated I/O —
+the trade-off a deployment would tune (bigger pages mean fewer page
+accesses but weaker index-level pruning).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.core.algorithm import GPSSNQueryProcessor
+from repro.core.query import GPSSNQuery
+from repro.experiments.harness import (
+    build_dataset,
+    run_workload,
+    sample_query_users,
+)
+
+CAPACITY_SWEEP = (8, 16, 32)
+LEAF_SWEEP = (8, 16, 32)
+
+
+def test_index_tuning(benchmark):
+    network = build_dataset("UNI", BENCH_SCALE, seed=BENCH_SEED)
+    users = sample_query_users(network, 3, seed=BENCH_SEED)
+
+    rows = []
+    reference_value = None
+    for max_entries in CAPACITY_SWEEP:
+        for leaf_size in LEAF_SWEEP:
+            processor = GPSSNQueryProcessor(
+                network, seed=BENCH_SEED,
+                max_entries=max_entries, leaf_size=leaf_size,
+            )
+            result = run_workload(
+                processor, users, max_groups=BENCH_SCALE.max_groups
+            )
+            # Tuning must never change answers, only cost: check one query.
+            answer, _ = processor.answer(
+                GPSSNQuery(query_user=users[0]),
+                max_groups=BENCH_SCALE.max_groups,
+            )
+            value = answer.max_distance if answer.found else None
+            if reference_value is None:
+                reference_value = value
+            else:
+                assert (value is None) == (reference_value is None)
+                if value is not None:
+                    assert abs(value - reference_value) < 1e-9
+            rows.append([
+                max_entries, leaf_size,
+                round(result.mean_cpu, 5), round(result.mean_io, 1),
+                processor.road_index.num_pages
+                + processor.social_index.num_pages,
+            ])
+    write_result(
+        "ablation_index_tuning",
+        ["R* capacity", "I_S leaf size", "CPU (s)", "I/O", "total pages"],
+        rows,
+        "Index tuning ablation (UNI, defaults)",
+    )
+
+    # Bigger nodes -> fewer pages overall.
+    smallest = next(r for r in rows if r[0] == 8 and r[1] == 8)
+    largest = next(r for r in rows if r[0] == 32 and r[1] == 32)
+    assert largest[4] < smallest[4]
+
+    processor = GPSSNQueryProcessor(network, seed=BENCH_SEED)
+    query = GPSSNQuery(query_user=users[0])
+    benchmark.pedantic(
+        lambda: processor.answer(query, max_groups=BENCH_SCALE.max_groups),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,27 @@
+"""Design-choice ablation: contribution of each pruning family.
+
+Not a paper figure; quantifies the rules DESIGN.md calls out. Each
+variant disables one family. Answers are invariant (asserted in the
+test suite); candidate sets must strictly grow when the matching or
+interest family is disabled.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import ablation_pruning
+
+
+def test_ablation(benchmark, uni_processor):
+    headers, rows = benchmark.pedantic(
+        lambda: ablation_pruning(BENCH_SCALE, num_queries=2, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result("ablation_pruning", headers, rows, "Pruning-rule ablation")
+
+    by_variant = {row[0]: row for row in rows}
+    full = by_variant["all rules"]
+    no_interest = by_variant["no interest pruning"]
+    no_road = by_variant["no road distance"]
+    # Disabling interest pruning must inflate the candidate user set.
+    assert no_interest[3] > full[3]
+    # Disabling road-distance pruning must inflate the candidate POI set.
+    assert no_road[4] >= full[4]

@@ -1,0 +1,72 @@
+"""Extension bench: subset-sampling refinement quality vs cost.
+
+The paper defers "subset sampling by randomly expanding the subgraph
+starting from the query vertex" to future work; this bench quantifies
+the trade-off: approximation ratio (sampled objective / exact
+objective) against the number of sampled groups, with the exact
+refinement as the reference.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.core.query import GPSSNQuery
+from repro.experiments.harness import (
+    build_dataset,
+    make_processor,
+    sample_query_users,
+)
+
+SAMPLE_SWEEP = (5, 20, 80, 320)
+
+
+def test_sampling_quality(benchmark):
+    network = build_dataset("UNI", BENCH_SCALE, seed=BENCH_SEED)
+    processor = make_processor(network, seed=BENCH_SEED)
+    issuers = sample_query_users(network, 3, seed=BENCH_SEED)
+
+    rows = []
+    for num_samples in SAMPLE_SWEEP:
+        ratios = []
+        cpu = 0.0
+        hits = 0
+        for issuer in issuers:
+            query = GPSSNQuery(
+                query_user=issuer, tau=4, gamma=0.35, theta=0.35
+            )
+            exact, _ = processor.answer(
+                query, max_groups=BENCH_SCALE.max_groups
+            )
+            approx, stats = processor.answer_sampled(
+                query, num_samples=num_samples, seed=BENCH_SEED
+            )
+            cpu += stats.cpu_time_sec
+            if exact.found and approx.found:
+                hits += 1
+                ratios.append(approx.max_distance / exact.max_distance)
+                # Sampling can never beat the exact optimum.
+                assert approx.max_distance >= exact.max_distance - 1e-9
+        mean_ratio = sum(ratios) / len(ratios) if ratios else float("nan")
+        rows.append([
+            num_samples, f"{hits}/{len(issuers)}",
+            round(mean_ratio, 4), round(cpu / len(issuers), 5),
+        ])
+    write_result(
+        "ablation_sampling",
+        ["samples", "found", "mean approx ratio", "CPU (s)"],
+        rows,
+        "Subset-sampling refinement quality (UNI, tau=4)",
+    )
+
+    # More samples must not worsen the mean ratio (same seed nests the
+    # sampled group sets).
+    ratios_by_row = [
+        row[2] for row in rows if isinstance(row[2], float)
+    ]
+    if len(ratios_by_row) >= 2:
+        assert ratios_by_row[-1] <= ratios_by_row[0] + 1e-9
+
+    issuer = issuers[0]
+    query = GPSSNQuery(query_user=issuer, tau=4, gamma=0.35, theta=0.35)
+    benchmark.pedantic(
+        lambda: processor.answer_sampled(query, num_samples=40, seed=1),
+        rounds=2, iterations=1,
+    )

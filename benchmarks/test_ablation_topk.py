@@ -1,0 +1,51 @@
+"""Extension bench: top-k GP-SSN cost vs k.
+
+Not a paper figure. Top-k suspends the best-so-far distance pruning
+(the bound only witnesses the top-1), so cost grows with k; the bench
+records the curve and checks the answers stay sorted and distinct.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.core.query import GPSSNQuery
+from repro.experiments.harness import (
+    build_dataset,
+    make_processor,
+    sample_query_users,
+)
+
+K_SWEEP = (1, 2, 5, 10)
+
+
+def test_topk_scaling(benchmark):
+    network = build_dataset("ZIPF", BENCH_SCALE, seed=BENCH_SEED)
+    processor = make_processor(network, seed=BENCH_SEED)
+    issuer = sample_query_users(network, 1, seed=BENCH_SEED)[0]
+    query = GPSSNQuery(query_user=issuer, tau=3, gamma=0.35, theta=0.35)
+
+    rows = []
+    for k in K_SWEEP:
+        answers, stats = processor.answer_topk(
+            query, k, max_groups=BENCH_SCALE.max_groups
+        )
+        values = [a.max_distance for a in answers]
+        assert values == sorted(values)
+        assert len({(a.users, a.pois) for a in answers}) == len(answers)
+        rows.append([
+            k, len(answers),
+            round(stats.cpu_time_sec, 5), stats.page_accesses,
+            round(values[0], 3) if values else "-",
+            round(values[-1], 3) if values else "-",
+        ])
+    write_result(
+        "ablation_topk",
+        ["k", "answers", "CPU (s)", "I/O", "best", "k-th"],
+        rows,
+        "Top-k scaling (ZIPF, tau=3)",
+    )
+
+    benchmark.pedantic(
+        lambda: processor.answer_topk(
+            query, 5, max_groups=BENCH_SCALE.max_groups
+        ),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,25 @@
+"""Appendix P: GP-SSN cost vs the interest threshold gamma.
+
+Paper sweep: gamma in {0.2, 0.3, 0.5, 0.7, 0.9}. Expected shape: larger
+gamma prunes more users, so refinement work (and CPU time) falls as
+gamma rises; I/O stays bounded.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import GAMMA_SWEEP, appendix_gamma
+
+
+def test_appendix_gamma(benchmark, uni_processor):
+    headers, rows = benchmark.pedantic(
+        lambda: appendix_gamma(BENCH_SCALE, num_queries=3, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result("appendix_gamma", headers, rows, "Appendix P (gamma sweep)")
+
+    assert len(rows) == 2 * len(GAMMA_SWEEP)
+    for dataset in ("UNI", "ZIPF"):
+        series = [row for row in rows if row[0] == dataset]
+        cpus = [row[2] for row in series]
+        # The strictest gamma is at most as expensive as the loosest.
+        assert cpus[-1] <= cpus[0] + 0.5, dataset
+        assert max(cpus) < 15.0, dataset

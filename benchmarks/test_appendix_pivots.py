@@ -1,0 +1,25 @@
+"""Appendix P: GP-SSN cost vs the number of pivots l = h.
+
+Paper sweep: {2, 3, 5, 7, 10}. Expected shape: more pivots tighten the
+triangle-inequality bounds (cheaper queries) at higher index cost; the
+query cost curve stays flat-to-decreasing and bounded.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import PIVOT_SWEEP, appendix_pivots
+
+
+def test_appendix_pivots(benchmark, uni_processor):
+    headers, rows = benchmark.pedantic(
+        lambda: appendix_pivots(BENCH_SCALE, num_queries=2, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result("appendix_pivots", headers, rows, "Appendix P (pivot sweep)")
+
+    assert len(rows) == 2 * len(PIVOT_SWEEP)
+    for dataset in ("UNI", "ZIPF"):
+        series = [row for row in rows if row[0] == dataset]
+        cpus = [row[2] for row in series]
+        assert max(cpus) < 15.0, dataset
+        ios = [row[3] for row in series]
+        assert max(ios) < 1000, dataset

@@ -1,0 +1,29 @@
+"""Appendix P: GP-SSN cost vs the spatial radius r.
+
+Paper sweep: r in {0.5, 1, 2, 3, 4}. Expected shape: larger radii grow
+the candidate regions (more POIs per region, weaker distance pruning),
+so cost rises gently with r while staying bounded.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import RADIUS_SWEEP, appendix_radius
+
+
+def test_appendix_radius(benchmark, uni_processor):
+    headers, rows = benchmark.pedantic(
+        lambda: appendix_radius(BENCH_SCALE, num_queries=3, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result("appendix_radius", headers, rows, "Appendix P (r sweep)")
+
+    assert len(rows) == 2 * len(RADIUS_SWEEP)
+    for dataset in ("UNI", "ZIPF"):
+        series = [row for row in rows if row[0] == dataset]
+        cpus = [row[2] for row in series]
+        assert max(cpus) < 15.0, dataset
+        found = [row[4] for row in series]
+        # Larger radii can only make queries *more* satisfiable: the
+        # largest radius finds at least as many answers as the smallest.
+        first = int(found[0].split("/")[0])
+        last = int(found[-1].split("/")[0])
+        assert last >= first, dataset

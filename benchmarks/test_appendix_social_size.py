@@ -1,0 +1,28 @@
+"""Appendix: GP-SSN cost vs social-network size |V(G_s)|.
+
+Sweep mirrors Table 3's 10K-50K range as fractions of the scaled
+default. Expected shape: cost grows gently with the user population
+(more candidates survive to refinement) while staying interactive.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import GRAPH_FRACTIONS, appendix_social_size
+
+
+def test_appendix_social_size(benchmark, uni_processor):
+    headers, rows = benchmark.pedantic(
+        lambda: appendix_social_size(BENCH_SCALE, num_queries=3, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result(
+        "appendix_social_size", headers, rows, "Appendix (|V(G_s)| sweep)"
+    )
+
+    assert len(rows) == 2 * len(GRAPH_FRACTIONS)
+    for dataset in ("UNI", "ZIPF"):
+        series = [row for row in rows if row[0] == dataset]
+        cpus = [row[2] for row in series]
+        assert max(cpus) < 20.0, dataset
+        ios = [row[3] for row in series]
+        # A larger user population touches at least as many index pages.
+        assert ios[-1] >= ios[0] * 0.8, dataset

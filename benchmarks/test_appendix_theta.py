@@ -1,0 +1,26 @@
+"""Appendix P: GP-SSN cost vs the matching threshold theta.
+
+Paper sweep: theta in {0.2, 0.3, 0.5, 0.7, 0.9}. Expected shape: larger
+theta strengthens matching-score pruning of POIs, so cost does not grow
+with theta; the query stays interactive across the sweep.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import THETA_SWEEP, appendix_theta
+
+
+def test_appendix_theta(benchmark, uni_processor):
+    headers, rows = benchmark.pedantic(
+        lambda: appendix_theta(BENCH_SCALE, num_queries=3, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result("appendix_theta", headers, rows, "Appendix P (theta sweep)")
+
+    assert len(rows) == 2 * len(THETA_SWEEP)
+    for dataset in ("UNI", "ZIPF"):
+        series = [row for row in rows if row[0] == dataset]
+        cpus = [row[2] for row in series]
+        assert cpus[-1] <= cpus[0] + 0.5, dataset
+        assert max(cpus) < 15.0, dataset
+        ios = [row[3] for row in series]
+        assert max(ios) < 1000, dataset

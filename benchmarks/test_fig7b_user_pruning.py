@@ -1,0 +1,34 @@
+"""Figure 7(b): user pruning power by rule.
+
+Paper shape: social-network distance pruning achieves 24-30%, interest
+score pruning 65-75% — interest pruning dominates, both contribute.
+"""
+
+from benchmarks.conftest import (
+    BENCH_QUERIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    write_result,
+)
+from repro.experiments.figures import fig7b_user_pruning
+from repro.experiments.harness import DATASET_NAMES
+
+
+def test_fig7b(benchmark, pruning_workloads):
+    headers, rows = benchmark.pedantic(
+        lambda: fig7b_user_pruning(
+            BENCH_SCALE, BENCH_QUERIES, BENCH_SEED, pruning_workloads
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result("fig7b_user_pruning", headers, rows, "Figure 7(b)")
+
+    assert len(rows) == len(DATASET_NAMES)
+    for name, distance, interest in rows:
+        # Both rules fire on every dataset.
+        assert distance > 0.03, name
+        assert interest > 0.3, name
+        # Interest pruning dominates distance pruning, as in the paper.
+        assert interest > distance, name
+        # Combined they stay a valid fraction of the user population.
+        assert distance + interest <= 1.0 + 1e-9, name

@@ -1,0 +1,29 @@
+"""Figure 7(d): overall user-POI group-pair pruning power.
+
+Paper shape: 99.9993% - 99.9999% of all candidate (S, R) pairs are
+never examined. The same extreme ratio must hold here: the refinement
+touches a vanishing fraction of the combinatorial pair space.
+"""
+
+from benchmarks.conftest import (
+    BENCH_QUERIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    write_result,
+)
+from repro.experiments.figures import fig7d_pair_pruning
+from repro.experiments.harness import DATASET_NAMES
+
+
+def test_fig7d(benchmark, pruning_workloads):
+    headers, rows = benchmark.pedantic(
+        lambda: fig7d_pair_pruning(
+            BENCH_SCALE, BENCH_QUERIES, BENCH_SEED, pruning_workloads
+        ),
+        rounds=1, iterations=1,
+    )
+    write_result("fig7d_pair_pruning", headers, rows, "Figure 7(d)")
+
+    assert len(rows) == len(DATASET_NAMES)
+    for name, power in rows:
+        assert float(power) > 0.9999, name

@@ -1,0 +1,31 @@
+"""Figure 8: GP-SSN vs the exhaustive Baseline (CPU time and I/O).
+
+Paper shape: GP-SSN answers in 0.017-0.035 s with 201-303 page accesses
+while the extrapolated Baseline needs years (~1.9e13 days at paper
+scale) — orders of magnitude apart. The bench asserts the speedup
+exceeds 10^3 on every dataset (it is typically >10^6 even at 1% scale)
+and times the indexed query itself.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import fig8_vs_baseline
+
+
+def test_fig8(benchmark, uni_processor):
+    headers, rows = fig8_vs_baseline(BENCH_SCALE, num_queries=3, seed=BENCH_SEED)
+    write_result("fig8_vs_baseline", headers, rows, "Figure 8")
+
+    for row in rows:
+        name = row[0]
+        gp_cpu, gp_io = row[1], row[2]
+        base_cpu, base_io = row[3], row[4]
+        speedup = row[5]
+        assert gp_cpu < 5.0, name            # indexed queries stay fast
+        assert gp_io < 1000, name
+        assert base_cpu > gp_cpu * 1e3, name  # baseline is astronomically slower
+        assert base_io > gp_io * 1e3, name
+        assert speedup > 1e3, name
+
+    # Timed operation: one indexed GP-SSN query at default parameters.
+    network, processor, query = uni_processor
+    benchmark(lambda: processor.answer(query, max_groups=BENCH_SCALE.max_groups))

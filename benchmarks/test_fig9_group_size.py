@@ -1,0 +1,40 @@
+"""Figure 9: GP-SSN cost vs the user group size tau in {2,3,5,7,10}.
+
+Paper shape: CPU time and I/O increase smoothly with tau (0.01-0.022 s,
+170-235 I/Os at paper scale) and stay low throughout. The bench asserts
+monotone-ish growth (largest tau costs at least as much as smallest)
+and bounded absolute cost.
+"""
+
+import statistics
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.core.query import GPSSNQuery
+from repro.experiments.figures import TAU_SWEEP, fig9_group_size
+
+
+def test_fig9(benchmark, uni_processor):
+    headers, rows = fig9_group_size(BENCH_SCALE, num_queries=3, seed=BENCH_SEED)
+    write_result("fig9_group_size", headers, rows, "Figure 9 (tau sweep)")
+
+    assert len(rows) == 2 * len(TAU_SWEEP)
+    for dataset in ("UNI", "ZIPF"):
+        series = [row for row in rows if row[0] == dataset]
+        cpus = [row[2] for row in series]
+        # Larger groups cost at least as much as the smallest group.
+        assert cpus[-1] >= cpus[0], dataset
+        # Costs stay bounded (queries remain interactive).
+        assert max(cpus) < 10.0, dataset
+        ios = [row[3] for row in series]
+        assert max(ios) < 1000, dataset
+
+    # Timed operation: the tau=10 worst case on UNI.
+    network, processor, query = uni_processor
+    big = GPSSNQuery(
+        query_user=query.query_user, tau=10,
+        gamma=query.gamma, theta=query.theta, radius=query.radius,
+    )
+    benchmark.pedantic(
+        lambda: processor.answer(big, max_groups=BENCH_SCALE.max_groups),
+        rounds=2, iterations=1,
+    )

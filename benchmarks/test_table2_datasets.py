@@ -1,0 +1,34 @@
+"""Table 2: statistics of the (simulated) real datasets.
+
+Paper: Brightkite 40K users / deg 10.3 over California 21K vertices /
+deg 2.1; Gowalla 40K users / deg 32.1 over Colorado 30K vertices /
+deg 2.4. The simulacra keep the degrees and shrink the counts by the
+benchmark scale; this bench regenerates the table and asserts the
+degree calibration.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
+from repro.experiments.figures import table2_datasets
+from repro.experiments.harness import build_dataset
+
+
+def test_table2(benchmark):
+    headers, rows = table2_datasets(BENCH_SCALE, seed=BENCH_SEED)
+    write_result("table2_datasets", headers, rows, "Table 2 (scaled)")
+
+    by_name = {row[0]: row for row in rows}
+    bri, gow = by_name["Bri+Cal"], by_name["Gow+Col"]
+    # Social degree calibration: Brightkite ~10.3, Gowalla ~32.1.
+    assert 7.0 <= bri[2] <= 13.0
+    assert 22.0 <= gow[2] <= 38.0
+    # Road degree calibration: California ~2.1, Colorado ~2.4.
+    assert 1.7 <= bri[4] <= 2.5
+    assert 2.0 <= gow[4] <= 2.8
+    # Road-vertex ratio follows Table 2 (21K vs 30K).
+    assert gow[3] > bri[3]
+
+    # Timed operation: constructing the Bri+Cal simulacrum.
+    benchmark.pedantic(
+        lambda: build_dataset("Bri+Cal", BENCH_SCALE, seed=BENCH_SEED),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Inspect the pruning pipeline on one query (Section 6.2's metrics).
+
+Runs the same GP-SSN query with every pruning rule enabled, then with
+each rule disabled in turn, and prints how the candidate sets, CPU time,
+and simulated I/O respond — the ablation view of the paper's
+effectiveness study.
+
+Run:
+    python examples/pruning_analysis.py
+"""
+
+from repro import GPSSNQuery, GPSSNQueryProcessor, zipf_dataset
+from repro.core.algorithm import PruningToggles
+from repro.experiments.harness import sample_query_users
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    network = zipf_dataset(seed=9)
+    print(f"Dataset: {network}\n")
+    issuer = sample_query_users(network, 1, seed=4)[0]
+    query = GPSSNQuery(query_user=issuer, tau=4, gamma=0.4, theta=0.4, radius=2.0)
+
+    variants = [
+        ("all pruning on", PruningToggles()),
+        ("no interest pruning (Lemmas 3/8, Cor. 1-2)", PruningToggles(interest=False)),
+        ("no social-distance pruning (Lemmas 4/9)", PruningToggles(social_distance=False)),
+        ("no matching pruning (Lemmas 1/6)", PruningToggles(matching=False)),
+        ("no road-distance pruning (Lemmas 5/7)", PruningToggles(road_distance=False)),
+    ]
+
+    rows = []
+    reference = None
+    for label, toggles in variants:
+        processor = GPSSNQueryProcessor(network, seed=9, toggles=toggles)
+        answer, stats = processor.answer(query, max_groups=3000)
+        if reference is None:
+            reference = answer
+        # Pruning is *safe*: every variant returns the same answer.
+        assert answer.found == reference.found
+        if answer.found:
+            assert abs(answer.max_distance - reference.max_distance) < 1e-9
+        rows.append([
+            label,
+            round(stats.cpu_time_sec * 1000, 2),
+            stats.page_accesses,
+            stats.candidate_users,
+            stats.candidate_pois,
+            stats.groups_refined,
+        ])
+
+    print(format_table(
+        ["variant", "CPU (ms)", "I/O", "cand users", "cand POIs", "groups"],
+        rows,
+        title=f"Ablation on query (issuer u{issuer}, tau={query.tau})",
+    ))
+    print("\nEvery variant returned the identical answer "
+          f"(found={reference.found}"
+          + (f", maxdist={reference.max_distance:.3f})" if reference.found else ")"))
+
+    processor = GPSSNQueryProcessor(network, seed=9)
+    answer, stats = processor.answer(query, max_groups=3000)
+    p = stats.pruning
+    print("\nPer-rule pruning tallies with everything enabled:")
+    print(f"  social: {p.social_pruned_by_distance} by hop distance, "
+          f"{p.social_pruned_by_interest} by interest score "
+          f"(of {p.total_users} users)")
+    print(f"  road  : {p.road_pruned_by_distance} by network distance, "
+          f"{p.road_pruned_by_matching} by matching score "
+          f"(of {p.total_pois} POIs)")
+    print(f"  user-POI pair pruning power: {p.pair_pruning_power():.7%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Destination planning for a group of friends (the paper's Example 1).
+
+Hand-builds a miniature spatial-social network shaped like Figure 1 of
+the paper — five users u1..u5 whose interest vectors follow Table 1
+(restaurant / shopping mall / cafe), living on a six-vertex road network
+dotted with POIs — and plans a visit for a group of three friends.
+
+Run:
+    python examples/trip_planning.py
+"""
+
+import numpy as np
+
+from repro import (
+    GPSSNQuery,
+    GPSSNQueryProcessor,
+    NetworkPosition,
+    POI,
+    RoadNetwork,
+    SocialNetwork,
+    SpatialSocialNetwork,
+    User,
+)
+from repro.geometry import Point
+
+TOPICS = ("restaurant", "shopping mall", "cafe")
+
+#: Table 1 of the paper: interest keyword vectors of u1..u5.
+TABLE_1 = {
+    1: (0.7, 0.3, 0.7),
+    2: (0.2, 0.9, 0.3),
+    3: (0.4, 0.8, 0.8),
+    4: (0.9, 0.7, 0.7),
+    5: (0.1, 0.8, 0.5),
+}
+
+#: Figure 1's friendships: u1-u2, u1-u3, u2-u3, u3-u4, u4-u5.
+FRIENDSHIPS = [(1, 2), (1, 3), (2, 3), (3, 4), (4, 5)]
+
+
+def build_road_network() -> RoadNetwork:
+    """Six intersections v1..v6 in a ring with two chords (Figure 1)."""
+    road = RoadNetwork()
+    coords = {
+        1: (0.0, 0.0), 2: (4.0, 0.0), 3: (8.0, 1.0),
+        4: (7.0, 5.0), 5: (3.0, 6.0), 6: (0.0, 4.0),
+    }
+    for vid, (x, y) in coords.items():
+        road.add_vertex(vid, x, y)
+    ring = [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 1)]
+    chords = [(2, 5), (3, 5)]
+    for u, v in ring + chords:
+        road.add_edge(u, v)
+    return road
+
+
+def build_pois(road: RoadNetwork) -> list:
+    """POIs on the road segments: restaurants, malls, and cafes."""
+    # (edge, offset fraction, keyword ids)
+    placements = [
+        ((1, 2), 0.5, {0}),        # restaurant on the southern road
+        ((2, 3), 0.3, {0, 2}),     # bistro with a cafe corner
+        ((2, 5), 0.5, {1}),        # mall on the central chord
+        ((3, 4), 0.6, {1}),        # outlet mall in the east
+        ((4, 5), 0.4, {2}),        # cafe on the northern road
+        ((5, 6), 0.5, {0, 1}),     # food court inside a mall
+        ((6, 1), 0.5, {2}),        # corner coffee bar
+    ]
+    pois = []
+    for poi_id, ((u, v), frac, keywords) in enumerate(placements):
+        length = road.edge_length(u, v)
+        position = NetworkPosition(u, v, frac * length)
+        pois.append(
+            POI(
+                poi_id=poi_id,
+                location=road.position_coords(position),
+                position=position,
+                keywords=frozenset(keywords),
+            )
+        )
+    return pois
+
+
+def build_social(road: RoadNetwork) -> SocialNetwork:
+    """Users u1..u5 with Table-1 interests, homes on road edges."""
+    homes = {
+        1: NetworkPosition(1, 2, 1.0),
+        2: NetworkPosition(2, 3, 1.5),
+        3: NetworkPosition(2, 5, 2.0),
+        4: NetworkPosition(3, 4, 1.0),
+        5: NetworkPosition(4, 5, 2.0),
+    }
+    social = SocialNetwork()
+    for uid, weights in TABLE_1.items():
+        social.add_user(
+            User(
+                user_id=uid,
+                interests=np.asarray(weights, dtype=float),
+                home=homes[uid],
+            )
+        )
+    for a, b in FRIENDSHIPS:
+        social.add_friendship(a, b)
+    return social
+
+
+def main() -> None:
+    road = build_road_network()
+    pois = build_pois(road)
+    social = build_social(road)
+    network = SpatialSocialNetwork(road, social, pois, num_keywords=3)
+    print(f"Built the Figure-1 network: {network}")
+
+    processor = GPSSNQueryProcessor(
+        network, num_road_pivots=2, num_social_pivots=2,
+        r_min=0.5, r_max=6.0, seed=1,
+    )
+
+    # u3 plans an outing with two friends; all pairs must share interests
+    # (gamma = 0.8 on Table-1's unnormalized vectors) and the POIs must
+    # cover most of each member's interest mass (theta = 0.7).
+    query = GPSSNQuery(query_user=3, tau=3, gamma=0.8, theta=0.7, radius=4.0)
+    answer, stats = processor.answer(query)
+
+    print(f"\nu3 invites 2 friends (tau={query.tau}, gamma={query.gamma}, "
+          f"theta={query.theta}, r={query.radius})")
+    if not answer.found:
+        print("No feasible plan under these thresholds.")
+        return
+    names = {0: "restaurant", 1: "mall", 2: "cafe"}
+    print(f"Group S: {sorted('u%d' % u for u in answer.users)}")
+    for pid in sorted(answer.pois):
+        poi = network.poi(pid)
+        kinds = "+".join(names[k] for k in sorted(poi.keywords))
+        print(f"  POI o{pid} ({kinds}) at {poi.location.as_tuple()}")
+    print(f"Max travel distance: {answer.max_distance:.2f}")
+    print(f"(answered in {stats.cpu_time_sec * 1000:.1f} ms, "
+          f"{stats.page_accesses} page accesses)")
+
+    # Tighter interest threshold: the group shrinks to the most aligned
+    # pair or becomes infeasible — the knob the paper's Section 2
+    # discusses.
+    strict = GPSSNQuery(query_user=3, tau=3, gamma=1.5, theta=0.7, radius=4.0)
+    strict_answer, _ = processor.answer(strict)
+    print(f"\nWith gamma={strict.gamma}: "
+          + ("group " + str(sorted(strict_answer.users))
+             if strict_answer.found else "no feasible group — "
+             "pairwise interest scores cannot reach the threshold"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Regenerate every paper table/figure in one run.
+
+Runs all experiment drivers at the benchmark scale, writes each table to
+``benchmarks/results/``, and prints a combined report — the one-command
+reproduction entry point (the pytest benchmarks assert the same shapes
+with per-figure granularity).
+
+Usage:
+    python scripts/reproduce_all.py [--scale-users N] [--queries Q]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import figures  # noqa: E402
+from repro.experiments.harness import ExperimentScale  # noqa: E402
+from repro.experiments.reporting import format_table  # noqa: E402
+
+RESULTS = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale-users", type=int, default=300)
+    parser.add_argument("--scale-pois", type=int, default=100)
+    parser.add_argument("--scale-road", type=int, default=300)
+    parser.add_argument("--queries", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    scale = ExperimentScale(
+        road_vertices=args.scale_road,
+        num_pois=args.scale_pois,
+        num_users=args.scale_users,
+        max_groups=1500,
+    )
+    RESULTS.mkdir(exist_ok=True)
+
+    started = time.time()
+    print(f"# GP-SSN full reproduction (scale: {scale})\n")
+
+    def emit(name: str, title: str, table) -> None:
+        headers, rows = table
+        text = format_table(headers, rows, title=title)
+        (RESULTS / f"{name}.txt").write_text(text + "\n")
+        print(text)
+        print()
+
+    emit("table2_datasets", "Table 2",
+         figures.table2_datasets(scale, seed=args.seed))
+
+    fig7 = figures.fig7_all(scale, num_queries=args.queries, seed=args.seed)
+    emit("fig7a_index_object_pruning", "Figure 7(a)", fig7["7a"])
+    emit("fig7b_user_pruning", "Figure 7(b)", fig7["7b"])
+    emit("fig7c_poi_pruning", "Figure 7(c)", fig7["7c"])
+    emit("fig7d_pair_pruning", "Figure 7(d)", fig7["7d"])
+
+    emit("fig8_vs_baseline", "Figure 8",
+         figures.fig8_vs_baseline(scale, num_queries=args.queries, seed=args.seed))
+    emit("fig9_group_size", "Figure 9 (tau)",
+         figures.fig9_group_size(scale, num_queries=args.queries, seed=args.seed))
+    emit("fig10_num_pois", "Figure 10 (n)",
+         figures.fig10_num_pois(scale, num_queries=args.queries, seed=args.seed))
+    emit("fig11_road_size", "Figure 11 (|V(G_r)|)",
+         figures.fig11_road_size(scale, num_queries=args.queries, seed=args.seed))
+    emit("appendix_gamma", "Appendix P (gamma)",
+         figures.appendix_gamma(scale, num_queries=args.queries, seed=args.seed))
+    emit("appendix_theta", "Appendix P (theta)",
+         figures.appendix_theta(scale, num_queries=args.queries, seed=args.seed))
+    emit("appendix_radius", "Appendix P (r)",
+         figures.appendix_radius(scale, num_queries=args.queries, seed=args.seed))
+    emit("appendix_pivots", "Appendix P (pivots)",
+         figures.appendix_pivots(scale, num_queries=2, seed=args.seed))
+    emit("appendix_social_size", "Appendix (|V(G_s)|)",
+         figures.appendix_social_size(scale, num_queries=args.queries, seed=args.seed))
+    emit("ablation_pruning", "Pruning ablation",
+         figures.ablation_pruning(scale, num_queries=2, seed=args.seed))
+
+    print(f"# done in {time.time() - started:.1f}s; tables in {RESULTS}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""GP-SSN: Group Planning Queries over Spatial-Social Networks.
+
+A complete reproduction of "Efficient Processing of Group Planning
+Queries Over Spatial-Social Networks" (Al-Baghdadi, Sharma, Lian; ICDE
+2023): the spatial-social network data model, the pruning lemmas, the
+road/social indexes with pivot-based distance bounds, the GP-SSN query
+answering algorithm (Algorithm 2), the exhaustive baseline, the data
+generators, and the full experiment harness.
+
+Quickstart::
+
+    from repro import uni_dataset, GPSSNQuery, GPSSNQueryProcessor
+
+    network = uni_dataset()
+    processor = GPSSNQueryProcessor(network)
+    answer = processor.answer(GPSSNQuery(query_user=0, tau=3))
+    print(answer.users, answer.pois, answer.max_distance)
+"""
+
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .core.algorithm import GPSSNQueryProcessor, PruningToggles
+from .core.baseline import BaselineProcessor
+from .core.metrics import InterestMetric, MetricScorer
+from .core.query import GPSSNAnswer, GPSSNQuery
+from .io.bundle import load_network, save_network
+from .datagen.realworld import brightkite_california, gowalla_colorado
+from .datagen.synthetic import (
+    generate_spatial_social_network,
+    uni_dataset,
+    zipf_dataset,
+)
+from .exceptions import (
+    GPSSNError,
+    GraphConstructionError,
+    IndexStateError,
+    InfeasibleQueryError,
+    InvalidParameterError,
+    UnknownEntityError,
+)
+from .network import SpatialSocialNetwork
+from .roadnet import POI, NetworkPosition, RoadNetwork
+from .socialnet import SocialNetwork, User
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPSSNQuery",
+    "GPSSNAnswer",
+    "GPSSNQueryProcessor",
+    "PruningToggles",
+    "BaselineProcessor",
+    "InterestMetric",
+    "MetricScorer",
+    "save_network",
+    "load_network",
+    "SpatialSocialNetwork",
+    "RoadNetwork",
+    "SocialNetwork",
+    "NetworkPosition",
+    "POI",
+    "User",
+    "ExperimentConfig",
+    "DEFAULT_CONFIG",
+    "uni_dataset",
+    "zipf_dataset",
+    "generate_spatial_social_network",
+    "brightkite_california",
+    "gowalla_colorado",
+    "GPSSNError",
+    "GraphConstructionError",
+    "InvalidParameterError",
+    "UnknownEntityError",
+    "InfeasibleQueryError",
+    "IndexStateError",
+    "__version__",
+]

@@ -1,0 +1,236 @@
+"""Command-line interface.
+
+Six subcommands cover the everyday workflow:
+
+* ``gpssn generate`` — build a synthetic or simulated-real spatial-social
+  network and save it as a JSON bundle;
+* ``gpssn stats`` — print Table-2-style statistics of a bundle;
+* ``gpssn query`` — answer a GP-SSN query (optionally top-k or sampled)
+  against a bundle;
+* ``gpssn calibrate`` — selectivity diagnostics of a bundle;
+* ``gpssn tune`` — suggest (gamma, theta, r) from the data
+  distributions (the paper's Section-2.2 percentile rule);
+* ``gpssn figure`` — regenerate one of the paper's figures/tables at a
+  chosen scale and print the rows.
+
+Usable as ``python -m repro.cli`` or via the ``gpssn`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.algorithm import GPSSNQueryProcessor
+from .core.metrics import InterestMetric
+from .core.query import GPSSNQuery
+from .core.tuning import suggest_parameters
+from .experiments.calibration import calibrate, calibration_rows
+from .datagen.realworld import dataset_stats
+from .experiments import figures as figure_drivers
+from .experiments.harness import DATASET_NAMES, ExperimentScale, build_dataset
+from .experiments.reporting import format_table
+from .io.bundle import load_network, save_network
+
+FIGURE_DRIVERS = {
+    "table2": figure_drivers.table2_datasets,
+    "fig7a": figure_drivers.fig7a_index_object_pruning,
+    "fig7b": figure_drivers.fig7b_user_pruning,
+    "fig7c": figure_drivers.fig7c_poi_pruning,
+    "fig7d": figure_drivers.fig7d_pair_pruning,
+    "fig8": figure_drivers.fig8_vs_baseline,
+    "fig9": figure_drivers.fig9_group_size,
+    "fig10": figure_drivers.fig10_num_pois,
+    "fig11": figure_drivers.fig11_road_size,
+    "gamma": figure_drivers.appendix_gamma,
+    "theta": figure_drivers.appendix_theta,
+    "radius": figure_drivers.appendix_radius,
+    "pivots": figure_drivers.appendix_pivots,
+    "social-size": figure_drivers.appendix_social_size,
+    "ablation": figure_drivers.ablation_pruning,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpssn",
+        description="Group planning queries over spatial-social networks "
+        "(GP-SSN, ICDE 2023 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a dataset bundle")
+    gen.add_argument("--dataset", choices=DATASET_NAMES, default="UNI")
+    gen.add_argument("--users", type=int, default=300)
+    gen.add_argument("--pois", type=int, default=100)
+    gen.add_argument("--road-vertices", type=int, default=300)
+    gen.add_argument("--keywords", type=int, default=5)
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument("--output", required=True, help="bundle path (.json)")
+
+    stats = sub.add_parser("stats", help="print bundle statistics")
+    stats.add_argument("--input", required=True)
+
+    query = sub.add_parser("query", help="answer a GP-SSN query")
+    query.add_argument("--input", required=True)
+    query.add_argument("--user", type=int, required=True)
+    query.add_argument("--tau", type=int, default=5)
+    query.add_argument("--gamma", type=float, default=0.5)
+    query.add_argument("--theta", type=float, default=0.5)
+    query.add_argument("--radius", type=float, default=2.0)
+    query.add_argument(
+        "--metric", choices=[m.value for m in InterestMetric], default="dot"
+    )
+    query.add_argument("--topk", type=int, default=1)
+    query.add_argument("--max-groups", type=int, default=None)
+    query.add_argument(
+        "--sampled", type=int, default=None, metavar="N",
+        help="use subset-sampling refinement with N sampled groups",
+    )
+    query.add_argument("--seed", type=int, default=7)
+
+    calib = sub.add_parser(
+        "calibrate", help="print selectivity diagnostics of a bundle"
+    )
+    calib.add_argument("--input", required=True)
+    calib.add_argument("--samples", type=int, default=300)
+    calib.add_argument("--seed", type=int, default=0)
+
+    tune = sub.add_parser(
+        "tune", help="suggest (gamma, theta, r) from the data distributions"
+    )
+    tune.add_argument("--input", required=True)
+    tune.add_argument("--percentile", type=float, default=75.0)
+    tune.add_argument("--seed", type=int, default=0)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    fig.add_argument("--name", choices=sorted(FIGURE_DRIVERS), required=True)
+    fig.add_argument("--users", type=int, default=300)
+    fig.add_argument("--pois", type=int, default=100)
+    fig.add_argument("--road-vertices", type=int, default=300)
+    fig.add_argument("--queries", type=int, default=3)
+    fig.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(
+        road_vertices=args.road_vertices,
+        num_pois=args.pois,
+        num_users=args.users,
+        num_keywords=args.keywords,
+    )
+    network = build_dataset(args.dataset, scale, seed=args.seed)
+    save_network(args.output, network)
+    print(f"wrote {args.dataset} bundle to {args.output}: {network}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    stats = dataset_stats(args.input, network)
+    print(format_table(
+        ["|V(G_s)|", "deg(G_s)", "|V(G_r)|", "deg(G_r)", "POIs", "d"],
+        [[
+            stats.social_users, round(stats.social_avg_degree, 2),
+            stats.road_vertices, round(stats.road_avg_degree, 2),
+            network.num_pois, network.num_keywords,
+        ]],
+        title=f"Statistics of {args.input}",
+    ))
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    processor = GPSSNQueryProcessor(network, seed=args.seed)
+    query = GPSSNQuery(
+        query_user=args.user, tau=args.tau, gamma=args.gamma,
+        theta=args.theta, radius=args.radius,
+        metric=InterestMetric(args.metric),
+    )
+    if args.sampled is not None:
+        answer, stats = processor.answer_sampled(
+            query, num_samples=args.sampled, seed=args.seed
+        )
+        answers = [answer] if answer.found else []
+    elif args.topk > 1:
+        answers, stats = processor.answer_topk(
+            query, args.topk, max_groups=args.max_groups
+        )
+    else:
+        answer, stats = processor.answer(query, max_groups=args.max_groups)
+        answers = [answer] if answer.found else []
+
+    if not answers:
+        print("no (S, R) pair satisfies the GP-SSN predicates")
+    for rank, answer in enumerate(answers, start=1):
+        print(
+            f"#{rank}: S={sorted(answer.users)} R={sorted(answer.pois)} "
+            f"maxdist={answer.max_distance:.4f}"
+        )
+    print(
+        f"[cpu {stats.cpu_time_sec * 1000:.1f} ms, "
+        f"{stats.page_accesses} page accesses, "
+        f"{stats.groups_refined} groups refined]"
+    )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(
+        road_vertices=args.road_vertices,
+        num_pois=args.pois,
+        num_users=args.users,
+    )
+    driver = FIGURE_DRIVERS[args.name]
+    if args.name == "table2":
+        headers, rows = driver(scale, seed=args.seed)
+    else:
+        headers, rows = driver(scale, num_queries=args.queries, seed=args.seed)
+    print(format_table(headers, rows, title=args.name))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    report = calibrate(network, num_samples=args.samples, seed=args.seed)
+    headers, rows = calibration_rows(report)
+    print(format_table(headers, rows, title=f"Calibration of {args.input}"))
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    suggestion = suggest_parameters(
+        network, percentile=args.percentile, seed=args.seed
+    )
+    print(format_table(
+        ["parameter", "suggestion", "distribution quartiles (25/50/75)"],
+        [
+            ["gamma", suggestion.gamma, suggestion.interest_quartiles],
+            ["theta", suggestion.theta, suggestion.matching_quartiles],
+            ["r", suggestion.radius, suggestion.poi_distance_quartiles],
+        ],
+        title=f"Suggested parameters ({args.percentile}th percentile)",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "stats": cmd_stats,
+        "query": cmd_query,
+        "figure": cmd_figure,
+        "calibrate": cmd_calibrate,
+        "tune": cmd_tune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

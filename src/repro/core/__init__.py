@@ -1,0 +1,35 @@
+"""Core GP-SSN query machinery: scores, pruning, Algorithm 2, baseline.
+
+Layout mirrors the paper:
+
+* :mod:`~repro.core.scores` -- Eqs. 1-2 and the bound variants;
+* :mod:`~repro.core.pruning` -- object-level pruning (Section 3);
+* :mod:`~repro.core.index_pruning` -- index-level pruning (Section 4.2);
+* :mod:`~repro.core.query` -- query/answer/statistics types;
+* :mod:`~repro.core.refinement` -- group enumeration and region building;
+* :mod:`~repro.core.algorithm` -- the dual-index traversal (Section 5);
+* :mod:`~repro.core.baseline` -- the exhaustive competitor (Section 6.1).
+"""
+
+from .algorithm import GPSSNQueryProcessor, PruningToggles
+from .baseline import BaselineCostEstimate, BaselineProcessor
+from .metrics import InterestMetric, MetricScorer
+from .scan import ScanProcessor
+from .tuning import SuggestedParameters, suggest_parameters
+from .query import GPSSNAnswer, GPSSNQuery, PruningCounters, QueryStatistics
+
+__all__ = [
+    "GPSSNQuery",
+    "GPSSNAnswer",
+    "QueryStatistics",
+    "PruningCounters",
+    "GPSSNQueryProcessor",
+    "PruningToggles",
+    "BaselineProcessor",
+    "BaselineCostEstimate",
+    "InterestMetric",
+    "MetricScorer",
+    "ScanProcessor",
+    "SuggestedParameters",
+    "suggest_parameters",
+]

@@ -1,0 +1,812 @@
+"""GP-SSN query answering via dual index traversal (Algorithm 2, Section 5).
+
+:class:`GPSSNQueryProcessor` owns the two indexes (I_R over POIs, I_S
+over users, plus the pivot tables both rely on) and answers queries by
+the paper's parallel top-down traversal:
+
+1. descend I_S level by level, applying the user pruning (interest
+   region, Lemma 8; hop distance, Lemma 9; and their object-level
+   counterparts, Lemmas 3-4) to keep a shrinking candidate set
+   ``S_cand``;
+2. in lockstep, sweep a min-heap over I_R ordered by the pivot-based
+   distance lower bound (Eq. 17), applying matching-score pruning
+   (Lemma 6 / Lemma 1) and distance pruning against the best-so-far
+   upper bound ``delta`` (Eqs. 16 / 5);
+3. drain the remaining I_R levels once I_S bottoms out (lines 27-28);
+4. refine: Corollary-2 user pruning, exact hop/interest checks, then
+   enumerate connected ``tau``-groups and evaluate candidate seeds in
+   ascending distance order with early termination (lines 29-31).
+
+The processor also records every measurement the experiments need: CPU
+time, simulated page accesses, and per-rule pruning tallies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from math import comb
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import (
+    IndexStateError,
+    InfeasibleQueryError,
+    InvalidParameterError,
+    UnknownEntityError,
+)
+from ..index.pivots import (
+    RoadPivotIndex,
+    SocialPivotIndex,
+    pivot_lower_bound,
+    select_pivots_road,
+    select_pivots_social,
+)
+from ..index.road_index import AugmentedPOI, RoadIndex, RoadIndexNode
+from ..index.social_index import AugmentedUser, SocialIndex, SocialIndexNode
+from ..network import SpatialSocialNetwork
+from ..roadnet.shortest_path import position_distance_from_map
+from .metrics import MetricScorer
+from .index_pruning import (
+    lb_dist_sn_social_node,
+    lb_maxdist_road_node,
+    road_node_matching_prunable,
+    social_node_distance_prunable,
+    ub_match_score_poi,
+    ub_maxdist_road_node,
+)
+from .pruning import matching_score_prunable, social_distance_prunable
+from .query import GPSSNAnswer, GPSSNQuery, PruningCounters, QueryStatistics
+from .refinement import (
+    best_region_for_seed,
+    enumerate_connected_groups,
+    group_distance_maps,
+    sample_connected_groups,
+)
+from .scores import interest_score, match_score
+
+SCandidate = Union[SocialIndexNode, AugmentedUser]
+
+
+class PruningToggles:
+    """Enable/disable individual pruning rules (for ablation studies).
+
+    All rules default to on; the ablation benchmark switches them off one
+    at a time to measure each rule's contribution. Disabling a rule never
+    changes answers (pruning is only ever safe discarding), only cost.
+    """
+
+    __slots__ = ("interest", "social_distance", "matching", "road_distance")
+
+    def __init__(
+        self,
+        interest: bool = True,
+        social_distance: bool = True,
+        matching: bool = True,
+        road_distance: bool = True,
+    ) -> None:
+        self.interest = interest
+        self.social_distance = social_distance
+        self.matching = matching
+        self.road_distance = road_distance
+
+
+class GPSSNQueryProcessor:
+    """Index-backed GP-SSN query processor (the paper's main algorithm).
+
+    Builds both indexes once; :meth:`answer` serves any number of queries
+    against them.
+    """
+
+    def __init__(
+        self,
+        network: SpatialSocialNetwork,
+        num_road_pivots: int = 5,
+        num_social_pivots: int = 5,
+        r_min: float = 0.5,
+        r_max: float = 4.0,
+        max_entries: int = 16,
+        leaf_size: int = 16,
+        seed: int = 7,
+        road_pivots: Optional[RoadPivotIndex] = None,
+        social_pivots: Optional[SocialPivotIndex] = None,
+        toggles: Optional[PruningToggles] = None,
+    ) -> None:
+        self.toggles = toggles or PruningToggles()
+        self.network = network
+        rng = np.random.default_rng(seed)
+        self.road_pivots = road_pivots or select_pivots_road(
+            network.road, num_road_pivots, rng
+        )
+        self.social_pivots = social_pivots or select_pivots_social(
+            network.social, num_social_pivots, rng
+        )
+        self.road_index = RoadIndex(
+            network, self.road_pivots,
+            r_min=r_min, r_max=r_max, max_entries=max_entries,
+        )
+        self.social_index = SocialIndex(
+            network, self.social_pivots, self.road_pivots, leaf_size=leaf_size
+        )
+        self.r_min = r_min
+        self.r_max = r_max
+        self._built_version = network.version
+        self._build_args = dict(
+            num_road_pivots=num_road_pivots,
+            num_social_pivots=num_social_pivots,
+            r_min=r_min, r_max=r_max,
+            max_entries=max_entries, leaf_size=leaf_size, seed=seed,
+        )
+
+    def rebuild(self) -> None:
+        """Rebuild pivots and both indexes against the current network.
+
+        Required after mutating the network (adding/removing POIs or
+        users): the frozen indexes capture the network version at build
+        time and :meth:`answer` refuses to serve stale structures.
+        """
+        fresh = GPSSNQueryProcessor(
+            self.network, toggles=self.toggles, **self._build_args
+        )
+        self.road_pivots = fresh.road_pivots
+        self.social_pivots = fresh.social_pivots
+        self.road_index = fresh.road_index
+        self.social_index = fresh.social_index
+        self._built_version = self.network.version
+
+    def _check_fresh(self) -> None:
+        if self.network.version != self._built_version:
+            raise IndexStateError(
+                "the network changed after the indexes were built; call "
+                "rebuild() before answering further queries"
+            )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def answer(
+        self,
+        query: GPSSNQuery,
+        max_groups: Optional[int] = None,
+    ) -> Tuple[GPSSNAnswer, QueryStatistics]:
+        """Answer one GP-SSN query.
+
+        Args:
+            query: the query (issuer, tau, gamma, theta, radius).
+            max_groups: optional cap on the number of user groups
+                enumerated during refinement (the paper's subset-sampling
+                escape hatch for extreme candidate sets); ``None`` means
+                exhaustive refinement.
+
+        Returns:
+            ``(answer, statistics)``. The answer is
+            :meth:`GPSSNAnswer.empty` when no pair satisfies all six
+            predicates of Definition 5.
+        """
+        self._check_fresh()
+        if not (self.r_min <= query.radius <= self.r_max):
+            raise InvalidParameterError(
+                f"query radius {query.radius} outside the index's "
+                f"[{self.r_min}, {self.r_max}] envelope"
+            )
+        if not self.network.social.has_user(query.query_user):
+            raise UnknownEntityError(f"unknown query user {query.query_user}")
+
+        stats = QueryStatistics()
+        stats.pruning.total_users = self.network.social.num_users
+        stats.pruning.total_pois = self.network.num_pois
+        self.road_index.counter.reset()
+        self.social_index.counter.reset()
+        started = time.perf_counter()
+
+        scorer = MetricScorer(query.metric)
+        s_cand, r_cand, delta = self._traverse(query, stats.pruning, scorer)
+        stats.candidate_users = len(s_cand)
+        stats.candidate_pois = len(r_cand)
+
+        answers = self._refine(
+            query, s_cand, r_cand, stats, max_groups, scorer
+        )
+        answer = answers[0] if answers else GPSSNAnswer.empty()
+
+        stats.cpu_time_sec = time.perf_counter() - started
+        stats.page_accesses = (
+            self.road_index.counter.snapshot()
+            + self.social_index.counter.snapshot()
+        )
+        m = self.network.social.num_users
+        n = self.network.num_pois
+        stats.pruning.total_possible_pairs = float(
+            comb(max(m - 1, 0), min(query.tau - 1, max(m - 1, 0))) * n
+        )
+        return answer, stats
+
+    def answer_topk(
+        self,
+        query: GPSSNQuery,
+        k: int,
+        max_groups: Optional[int] = None,
+    ) -> Tuple[List[GPSSNAnswer], QueryStatistics]:
+        """The ``k`` best distinct ``(S, R)`` pairs, ascending by value.
+
+        A natural extension of Definition 5: instead of the single
+        minimizing pair, return the ``k`` feasible pairs with the
+        smallest maximum distances (fewer when fewer exist). The
+        traversal suspends the best-so-far distance pruning (it only
+        witnesses the top-1) and the refinement prunes against the
+        running k-th best instead.
+        """
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        self._check_fresh()
+        if not (self.r_min <= query.radius <= self.r_max):
+            raise InvalidParameterError(
+                f"query radius {query.radius} outside the index's "
+                f"[{self.r_min}, {self.r_max}] envelope"
+            )
+        if not self.network.social.has_user(query.query_user):
+            raise UnknownEntityError(f"unknown query user {query.query_user}")
+
+        stats = QueryStatistics()
+        stats.pruning.total_users = self.network.social.num_users
+        stats.pruning.total_pois = self.network.num_pois
+        self.road_index.counter.reset()
+        self.social_index.counter.reset()
+        started = time.perf_counter()
+
+        scorer = MetricScorer(query.metric)
+        s_cand, r_cand, _delta = self._traverse(
+            query, stats.pruning, scorer,
+            allow_delta_pruning=(k == 1),
+        )
+        stats.candidate_users = len(s_cand)
+        stats.candidate_pois = len(r_cand)
+        answers = self._refine(
+            query, s_cand, r_cand, stats, max_groups, scorer, k=k
+        )
+
+        stats.cpu_time_sec = time.perf_counter() - started
+        stats.page_accesses = (
+            self.road_index.counter.snapshot()
+            + self.social_index.counter.snapshot()
+        )
+        m = self.network.social.num_users
+        n = self.network.num_pois
+        stats.pruning.total_possible_pairs = float(
+            comb(max(m - 1, 0), min(query.tau - 1, max(m - 1, 0))) * n
+        )
+        return answers, stats
+
+    def answer_sampled(
+        self,
+        query: GPSSNQuery,
+        num_samples: int = 100,
+        seed: int = 0,
+    ) -> Tuple[GPSSNAnswer, QueryStatistics]:
+        """Approximate answering via subset sampling (paper future work).
+
+        Instead of enumerating every connected ``tau``-group in the
+        candidate set, randomly expand ``num_samples`` groups from the
+        query vertex (Section 5's "subset sampling by randomly expanding
+        the subgraph starting from the query vertex") and refine only
+        those. The returned answer always satisfies all six predicates
+        of Definition 5 but its objective may exceed the true optimum.
+        """
+        if num_samples < 1:
+            raise InvalidParameterError(
+                f"num_samples must be >= 1, got {num_samples}"
+            )
+        self._check_fresh()
+        if not (self.r_min <= query.radius <= self.r_max):
+            raise InvalidParameterError(
+                f"query radius {query.radius} outside the index's "
+                f"[{self.r_min}, {self.r_max}] envelope"
+            )
+        if not self.network.social.has_user(query.query_user):
+            raise UnknownEntityError(f"unknown query user {query.query_user}")
+
+        stats = QueryStatistics()
+        stats.pruning.total_users = self.network.social.num_users
+        stats.pruning.total_pois = self.network.num_pois
+        self.road_index.counter.reset()
+        self.social_index.counter.reset()
+        started = time.perf_counter()
+
+        scorer = MetricScorer(query.metric)
+        s_cand, r_cand, _delta = self._traverse(query, stats.pruning, scorer)
+        stats.candidate_users = len(s_cand)
+        stats.candidate_pois = len(r_cand)
+
+        network = self.network
+        social = network.social
+        uq_id = query.query_user
+        allowed = {au.user_id for au in s_cand} | {uq_id}
+        rng = np.random.default_rng(seed)
+        groups = sample_connected_groups(
+            network, uq_id, query.tau, query.gamma, rng, num_samples,
+            allowed=allowed, score_fn=scorer.score,
+        )
+
+        uq_user = social.user(uq_id)
+        uq_map = network.distances.distances_from(("user", uq_id), uq_user.home)
+        seed_dist = {
+            ap.poi_id: position_distance_from_map(
+                network.road, uq_map, ap.poi.position, uq_user.home
+            )
+            for ap in r_cand
+        }
+        seeds = sorted(seed_dist, key=seed_dist.get)
+
+        best_value = math.inf
+        best_pair = None
+        for group in groups:
+            stats.groups_refined += 1
+            dist_maps = group_distance_maps(network, group)
+            group_interests = [social.user(uid).interests for uid in group]
+            for poi_seed in seeds:
+                if seed_dist[poi_seed] >= best_value:
+                    break
+                stats.pruning.candidate_pairs_examined += 1
+                region_ids = self.road_index.region(poi_seed, query.radius)
+                result = best_region_for_seed(
+                    network, group_interests, dist_maps,
+                    poi_seed, region_ids, query.theta,
+                )
+                if result is None:
+                    continue
+                pois, value = result
+                if value < best_value:
+                    best_value = value
+                    best_pair = (frozenset(group), pois)
+
+        stats.cpu_time_sec = time.perf_counter() - started
+        stats.page_accesses = (
+            self.road_index.counter.snapshot()
+            + self.social_index.counter.snapshot()
+        )
+        if best_pair is None:
+            return GPSSNAnswer.empty(), stats
+        return (
+            GPSSNAnswer(
+                users=best_pair[0], pois=best_pair[1],
+                max_distance=best_value,
+            ),
+            stats,
+        )
+
+    # ------------------------------------------------------------------
+    # phase 1: dual index traversal (Algorithm 2 lines 1-28)
+    # ------------------------------------------------------------------
+
+    def _traverse(
+        self,
+        query: GPSSNQuery,
+        counters: PruningCounters,
+        scorer: Optional[MetricScorer] = None,
+        allow_delta_pruning: bool = True,
+    ) -> Tuple[List[AugmentedUser], List[AugmentedPOI], float]:
+        scorer = scorer or MetricScorer(query.metric)
+        # Top-k queries must keep every candidate whose region could be
+        # among the k best; the best-so-far bound delta only witnesses
+        # the single best pair, so delta-based pruning is suspended.
+        use_delta = self.toggles.road_distance and allow_delta_pruning
+        social = self.network.social
+        uq = social.user(query.query_user)
+        uq_social_pivot = self.social_pivots.distances(query.query_user)
+        uq_road_pivot = self.road_pivots.distances(uq.home)
+
+        # line 1: S_cand starts at the I_S root, delta at +inf
+        s_cand: List[SCandidate] = [self.social_index.root]
+        delta = math.inf
+        # lines 2-3: heap over I_R seeded with the root at key 0
+        tick = 0  # heap tiebreaker
+        heap: List[Tuple[float, int, RoadIndexNode]] = [(0.0, tick, self.road_index.root)]
+        r_cand: List[AugmentedPOI] = []
+
+        def s_side_pivot_ubs() -> List[float]:
+            """Per-pivot ``max_{u in S} dist_RN(u, rp_k)`` upper bounds."""
+            ubs = []
+            for k in range(self.road_pivots.num_pivots):
+                worst = 0.0
+                for entry in s_cand:
+                    if isinstance(entry, SocialIndexNode):
+                        val = entry.ub_road_pivot[k]
+                    else:
+                        val = entry.road_pivot_dists[k]
+                    if val > worst:
+                        worst = val
+                ubs.append(worst)
+            return ubs
+
+        def s_side_floor_vectors() -> List[np.ndarray]:
+            """One per-entry interest floor for every S_cand element.
+
+            For an index node the floor is the node's per-topic lower
+            bound (``e_S.lb_w``, Eq. 9), which under-estimates the
+            matching score of every user beneath it; for a user it is the
+            exact interest vector. Feeding the Eq. 18 gate per entry
+            (instead of one global elementwise min) keeps the bound tight
+            once the traversal reaches user level.
+            """
+            vectors: List[np.ndarray] = []
+            for entry in s_cand:
+                if isinstance(entry, SocialIndexNode):
+                    vectors.append(np.asarray(entry.interest_mbr.low))
+                else:
+                    vectors.append(entry.user.interests)
+            return vectors
+
+        def witness_feasible(
+            ap: AugmentedPOI, floor_vectors: List[np.ndarray]
+        ) -> bool:
+            """Eq. 18 gate: could ``ball(ap, r)`` theta-match every user
+            that may remain in S? Checked on the seed's *subset* keywords
+            (a valid lower bound of the region's coverage) against every
+            surviving S_cand entry's interest floor."""
+            if not floor_vectors:
+                return False
+            return all(
+                match_score(vec, ap.sub_keywords) >= query.theta
+                for vec in floor_vectors
+            )
+
+        def process_road_entry(
+            node: RoadIndexNode,
+            out_heap: Optional[List[Tuple[float, int, RoadIndexNode]]],
+            s_ubs: Sequence[float],
+            floor_vectors: List[np.ndarray],
+        ) -> None:
+            """Lines 15-25: expand one popped I_R node."""
+            nonlocal delta, tick
+            self.road_index.visit(node)
+            if node.is_leaf:
+                for ap in node.pois:
+                    # line 17: matching score pruning w.r.t. u_q (Lemma 1)
+                    if self.toggles.matching and matching_score_prunable(
+                        ub_match_score_poi(uq.interests, ap), query.theta
+                    ):
+                        counters.road_object_pruned += 1
+                        counters.road_pruned_by_matching += 1
+                        continue
+                    # line 18: distance pruning w.r.t. S_cand (Lemma 5)
+                    lb = lb_maxdist_road_node(
+                        uq_road_pivot, ap.pivot_dists, ap.pivot_dists
+                    )
+                    if use_delta and lb > delta:
+                        counters.road_object_pruned += 1
+                        counters.road_pruned_by_distance += 1
+                        continue
+                    # lines 19-20: keep the POI, tighten delta
+                    r_cand.append(ap)
+                    if witness_feasible(ap, floor_vectors):
+                        ub = ub_maxdist_road_node(
+                            s_ubs, ap.pivot_dists, query.radius
+                        )
+                        if ub < delta:
+                            delta = ub
+            else:
+                for child in node.children:
+                    # line 23: matching score pruning (Lemma 6)
+                    if self.toggles.matching and road_node_matching_prunable(
+                        uq.interests, child, query.theta
+                    ):
+                        counters.road_index_pruned += child.num_pois
+                        counters.road_pruned_by_matching += child.num_pois
+                        continue
+                    # line 24: distance pruning (Lemma 7 via Eq. 17 and delta)
+                    lb = lb_maxdist_road_node(
+                        uq_road_pivot, child.lb_pivot_dists, child.ub_pivot_dists
+                    )
+                    if use_delta and lb > delta:
+                        counters.road_index_pruned += child.num_pois
+                        counters.road_pruned_by_distance += child.num_pois
+                        continue
+                    # line 25: defer to the next level's heap
+                    tick += 1
+                    target = out_heap if out_heap is not None else heap
+                    heapq.heappush(target, (lb, tick, child))
+
+        # lines 4-26: level-synchronised descent of I_S and I_R
+        for _level in range(self.social_index.height):
+            next_s: List[SCandidate] = []
+            for entry in s_cand:
+                if isinstance(entry, AugmentedUser):
+                    next_s.append(entry)  # already at object level
+                    continue
+                self.social_index.visit(entry)
+                if entry.is_leaf:
+                    for au in entry.users:
+                        if au.user_id == query.query_user:
+                            next_s.append(au)  # u_q is never pruned
+                            continue
+                        # Lemma 4: pivot-based hop lower bound (checked
+                        # first — it is the cheaper predicate)
+                        lb_hops = pivot_lower_bound(
+                            au.social_pivot_dists, uq_social_pivot
+                        )
+                        if self.toggles.social_distance and social_distance_prunable(
+                            lb_hops, query.tau
+                        ):
+                            counters.social_object_pruned += 1
+                            counters.social_pruned_by_distance += 1
+                            continue
+                        # Lemma 3: object-level interest pruning (under
+                        # the query's interest metric)
+                        if self.toggles.interest and scorer.score(
+                            uq.interests, au.user.interests
+                        ) < query.gamma:
+                            counters.social_object_pruned += 1
+                            counters.social_pruned_by_interest += 1
+                            continue
+                        next_s.append(au)
+                else:
+                    for child in entry.children:
+                        if self._node_holds_query_user(child, query.query_user):
+                            next_s.append(child)  # u_q's subtree survives
+                            continue
+                        # Lemma 9: hop-distance pruning (cheaper, first)
+                        lb_hops = lb_dist_sn_social_node(uq_social_pivot, child)
+                        if self.toggles.social_distance and social_node_distance_prunable(
+                            lb_hops, query.tau
+                        ):
+                            counters.social_index_pruned += child.num_users
+                            counters.social_pruned_by_distance += child.num_users
+                            continue
+                        # Lemma 8: interest-region pruning (metric-aware
+                        # upper bound over the node's interest MBR)
+                        if self.toggles.interest and scorer.node_prunable(
+                            child.interest_mbr, uq.interests, query.gamma
+                        ):
+                            counters.social_index_pruned += child.num_users
+                            counters.social_pruned_by_interest += child.num_users
+                            continue
+                        next_s.append(child)
+            s_cand = next_s
+
+            # lines 11-26: one level of I_R under the refreshed S_cand bounds
+            s_ubs = s_side_pivot_ubs()
+            floor = s_side_floor_vectors()
+            next_heap: List[Tuple[float, int, RoadIndexNode]] = []
+            while heap:
+                key, _t, node = heapq.heappop(heap)
+                if use_delta and key > delta:  # line 14: dominated
+                    counters.road_index_pruned += sum(
+                        h[2].num_pois for h in heap
+                    ) + node.num_pois
+                    counters.road_pruned_by_distance += sum(
+                        h[2].num_pois for h in heap
+                    ) + node.num_pois
+                    heap.clear()
+                    break
+                process_road_entry(node, next_heap, s_ubs, floor)
+            heap = next_heap  # line 26
+
+        # lines 27-28: I_R may be deeper than I_S; drain it best-first
+        s_ubs = s_side_pivot_ubs()
+        floor = s_side_floor_vectors()
+        while heap:
+            key, _t, node = heapq.heappop(heap)
+            if use_delta and key > delta:
+                counters.road_index_pruned += sum(
+                    h[2].num_pois for h in heap
+                ) + node.num_pois
+                counters.road_pruned_by_distance += sum(
+                    h[2].num_pois for h in heap
+                ) + node.num_pois
+                heap.clear()
+                break
+            process_road_entry(node, None, s_ubs, floor)
+
+        users = [e for e in s_cand if isinstance(e, AugmentedUser)]
+
+        # Line 30 (distance half): with S_cand fully at user level the
+        # bounds are at their tightest. Pick the best witness by its
+        # pivot upper bound, evaluate Eq. 5 for it *exactly* (one
+        # Dijkstra from the witness covers every candidate user), and
+        # discard candidate POIs whose exact distance to u_q — a valid
+        # lower bound of maxdist, since the seed belongs to its region —
+        # exceeds the witness bound.
+        if use_delta and users and r_cand:
+            s_ubs = s_side_pivot_ubs()
+            floor = s_side_floor_vectors()
+            network = self.network
+            witness = None
+            witness_key = math.inf
+            for ap in r_cand:
+                if witness_feasible(ap, floor):
+                    ub = ub_maxdist_road_node(
+                        s_ubs, ap.pivot_dists, query.radius
+                    )
+                    if ub < witness_key:
+                        witness_key = ub
+                        witness = ap
+            best_ub = delta
+            if witness is not None:
+                w_map = network.distances.distances_from(
+                    ("poi", witness.poi_id), witness.poi.position
+                )
+                exact_user_max = max(
+                    position_distance_from_map(
+                        network.road, w_map, au.user.home, witness.poi.position
+                    )
+                    for au in users
+                )
+                # Eq. 5: the second term max dist(o_i, o_j) over the
+                # witness region is at most the region radius r.
+                best_ub = min(best_ub, exact_user_max + query.radius)
+            if not math.isinf(best_ub):
+                uq_map = network.distances.distances_from(
+                    ("user", query.query_user), uq.home
+                )
+                kept = []
+                for ap in r_cand:
+                    d_uq = position_distance_from_map(
+                        network.road, uq_map, ap.poi.position, uq.home
+                    )
+                    if d_uq > best_ub:
+                        counters.road_object_pruned += 1
+                        counters.road_pruned_by_distance += 1
+                    else:
+                        kept.append(ap)
+                r_cand = kept
+        return users, r_cand, delta
+
+    def _node_holds_query_user(
+        self, node: SocialIndexNode, query_user: int
+    ) -> bool:
+        if node.is_leaf:
+            return any(au.user_id == query_user for au in node.users)
+        return any(
+            self._node_holds_query_user(child, query_user)
+            for child in node.children
+        )
+
+    # ------------------------------------------------------------------
+    # phase 2: refinement (Algorithm 2 lines 29-31)
+    # ------------------------------------------------------------------
+
+    def _refine(
+        self,
+        query: GPSSNQuery,
+        s_cand: List[AugmentedUser],
+        r_cand: List[AugmentedPOI],
+        stats: QueryStatistics,
+        max_groups: Optional[int],
+        scorer: Optional[MetricScorer] = None,
+        k: int = 1,
+    ) -> List[GPSSNAnswer]:
+        scorer = scorer or MetricScorer(query.metric)
+        network = self.network
+        social = network.social
+        uq_id = query.query_user
+
+        # line 29: Corollary-2 user pruning, iterated to a fixpoint, on
+        # top of an exact hop filter (tau-1 ball around u_q).
+        reachable = social.hop_distances_from(uq_id, max_hops=query.tau - 1)
+        survivors: List[AugmentedUser] = []
+        for au in s_cand:
+            if au.user_id == uq_id:
+                survivors.append(au)
+            elif au.user_id in reachable:
+                survivors.append(au)
+            else:
+                stats.pruning.social_object_pruned += 1
+                stats.pruning.social_pruned_by_distance += 1
+        survivors = self._corollary2_fixpoint(query, survivors, stats, scorer)
+
+        allowed = {au.user_id for au in survivors}
+        if uq_id not in allowed:
+            allowed.add(uq_id)
+        if len(allowed) < query.tau:
+            return []
+
+        # line 30: exact matching/distance re-check of candidate POIs.
+        uq_user = social.user(uq_id)
+        uq_map = network.distances.distances_from(("user", uq_id), uq_user.home)
+        seed_dist: Dict[int, float] = {}
+        for ap in r_cand:
+            d = position_distance_from_map(
+                network.road, uq_map, ap.poi.position, uq_user.home
+            )
+            # Exact Lemma-1 check on the seed's true superset keywords.
+            if match_score(uq_user.interests, ap.sup_keywords) < query.theta:
+                stats.pruning.road_object_pruned += 1
+                stats.pruning.road_pruned_by_matching += 1
+                continue
+            seed_dist[ap.poi_id] = d
+        seeds = sorted(seed_dist, key=seed_dist.get)
+
+        # line 31: enumerate groups, evaluate seeds with early termination.
+        # `best` holds the running top-k distinct (S, R) pairs sorted by
+        # value; the k-th value is the pruning threshold (any region of a
+        # seed farther from u_q than it cannot enter the top-k, because
+        # the seed belongs to its region).
+        best: List[Tuple[float, frozenset, frozenset]] = []
+        seen_pairs: Set[Tuple[frozenset, frozenset]] = set()
+
+        def kth_value() -> float:
+            return best[-1][0] if len(best) >= k else math.inf
+
+        groups = enumerate_connected_groups(
+            network, uq_id, query.tau, query.gamma,
+            allowed=allowed, limit=max_groups, score_fn=scorer.score,
+        )
+        for group in groups:
+            stats.groups_refined += 1
+            dist_maps = group_distance_maps(network, group)
+            group_interests = [social.user(uid).interests for uid in group]
+            frozen_group = frozenset(group)
+            for seed in seeds:
+                if seed_dist[seed] >= kth_value():
+                    break
+                stats.pruning.candidate_pairs_examined += 1
+                region_ids = self.road_index.region(seed, query.radius)
+                result = best_region_for_seed(
+                    network, group_interests, dist_maps,
+                    seed, region_ids, query.theta,
+                )
+                if result is None:
+                    continue
+                pois, value = result
+                pair_key = (frozen_group, pois)
+                if pair_key in seen_pairs or value >= kth_value():
+                    continue
+                seen_pairs.add(pair_key)
+                best.append((value, frozen_group, pois))
+                best.sort(key=lambda item: (item[0], sorted(item[1]), sorted(item[2])))
+                if len(best) > k:
+                    dropped = best.pop()
+                    seen_pairs.discard((dropped[1], dropped[2]))
+
+        return [
+            GPSSNAnswer(users=users, pois=pois, max_distance=value)
+            for value, users, pois in best
+        ]
+
+    def _corollary2_fixpoint(
+        self,
+        query: GPSSNQuery,
+        candidates: List[AugmentedUser],
+        stats: QueryStatistics,
+        scorer: Optional[MetricScorer] = None,
+    ) -> List[AugmentedUser]:
+        """Corollary 2 applied until no more users fall out.
+
+        A user incompatible (interest score below gamma) with at least
+        ``|S'| - tau + 1`` members of the candidate superset cannot find
+        ``tau - 1`` compatible companions, so it can be discarded; each
+        removal shrinks ``|S'|`` and may expose further removals.
+        """
+        if not self.toggles.interest:
+            return list(candidates)
+        scorer = scorer or MetricScorer(query.metric)
+        current = list(candidates)
+        while True:
+            size = len(current)
+            if size < query.tau:
+                return current
+            # Vectorized pairwise scores: entry (i, j) of W @ W.T is
+            # Interest_Score(u_i, u_j); hostile counts are row sums of
+            # the sub-threshold mask (diagonal excluded).
+            matrix = np.stack([au.user.interests for au in current])
+            scores = scorer.pairwise_matrix(matrix)
+            hostile_mask = scores < query.gamma
+            np.fill_diagonal(hostile_mask, False)
+            hostile = hostile_mask.sum(axis=1)
+            threshold = size - query.tau + 1
+            removed_idx = [
+                i for i in range(size)
+                if current[i].user_id != query.query_user
+                and hostile[i] >= threshold
+            ]
+            if not removed_idx:
+                return current
+            removed_set = set(removed_idx)
+            stats.pruning.social_object_pruned += len(removed_idx)
+            stats.pruning.social_pruned_by_interest += len(removed_idx)
+            current = [
+                au for i, au in enumerate(current) if i not in removed_set
+            ]

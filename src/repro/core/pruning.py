@@ -1,0 +1,217 @@
+"""Object-level pruning strategies (Section 3).
+
+This module implements the paper's three pruning families exactly as
+stated:
+
+* **Matching score pruning** (Lemma 1, via the Lemma 2 monotonicity):
+  a POI region is discarded when even the matching score of its keyword
+  *superset* misses the threshold ``theta``.
+* **User pruning** (Lemmas 3-4, Corollaries 1-2): users failing the
+  pairwise interest threshold ``gamma`` — tested either directly or via
+  the geometric halfplane :class:`PruningRegion` — and users more than
+  ``tau - 1`` hops from the query user.
+* **Road-network distance pruning** (Lemma 5 with Eqs. 5-6): candidate
+  pairs whose distance *lower* bound already exceeds another pair's
+  *upper* bound.
+
+Every predicate here answers "can this candidate be *safely* discarded";
+soundness of each is exercised against brute force in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..geometry import MBR, euclidean
+from .scores import interest_score
+
+# ---------------------------------------------------------------------------
+# Matching score pruning (Section 3.1)
+# ---------------------------------------------------------------------------
+
+
+def matching_score_prunable(ub_match_score: float, theta: float) -> bool:
+    """Lemma 1: prune the POI set when ``ub_Match_Score < theta``."""
+    return ub_match_score < theta
+
+
+# ---------------------------------------------------------------------------
+# Interest-score user pruning (Section 3.2)
+# ---------------------------------------------------------------------------
+
+
+def interest_score_prunable(
+    w_j: np.ndarray, w_k: np.ndarray, gamma: float
+) -> bool:
+    """Lemma 3: prune ``u_k`` when ``Interest_Score(u_j, u_k) < gamma``."""
+    return interest_score(w_j, w_k) < gamma
+
+
+class PruningRegion:
+    """The halfplane pruning region ``PR(u_j)`` of Section 3.2.
+
+    Geometry: let ``B = u_j.w``. The hyperplane ``{x : x · B = gamma}``
+    splits the interest space; the halfplane containing the origin is the
+    pruning region (every vector there has ``Interest_Score < gamma``).
+    The paper materializes the test with the reflection point
+    ``B' = B * (2*gamma - ||B||^2) / ||B||^2`` and distance comparisons
+    against ``B`` and ``B'``:
+
+    * Case 1 (``||B||^2 >= gamma``): prune ``x`` iff
+      ``dist(x, B') < dist(x, B)``;
+    * Case 2 (``||B||^2 < gamma``): prune ``x`` iff
+      ``dist(x, B') > dist(x, B)``.
+
+    For an index node's interest MBR the same comparison runs on
+    ``maxdist``/``mindist`` (Lemma 8) and is conservative: it prunes only
+    when *every* point of the box lies in the region.
+    """
+
+    def __init__(self, anchor: np.ndarray, gamma: float) -> None:
+        anchor = np.asarray(anchor, dtype=float)
+        if anchor.ndim != 1:
+            raise InvalidParameterError("anchor interest vector must be 1-D")
+        if gamma < 0:
+            raise InvalidParameterError(f"gamma must be >= 0, got {gamma}")
+        self.anchor = anchor
+        self.gamma = float(gamma)
+        self._norm_sq = float(np.dot(anchor, anchor))
+        if self._norm_sq == 0.0:
+            # A zero anchor vector scores 0 with everyone: if gamma > 0 the
+            # whole space is prunable, if gamma == 0 nothing is.
+            self.b_point = anchor
+            self.b_prime = anchor
+            self.case1 = True
+            self._degenerate = True
+        else:
+            self.b_point = anchor
+            scale = (2.0 * self.gamma - self._norm_sq) / self._norm_sq
+            self.b_prime = anchor * scale
+            self.case1 = self._norm_sq >= self.gamma
+            self._degenerate = False
+
+    # -- point test (Corollary 1) ---------------------------------------------
+
+    def contains_vector(self, w: Sequence[float]) -> bool:
+        """True when interest vector ``w`` falls in the pruning region."""
+        w = np.asarray(w, dtype=float)
+        if self._degenerate:
+            return self.gamma > 0.0
+        d_b = euclidean(w, self.b_point)
+        d_bp = euclidean(w, self.b_prime)
+        if self.case1:
+            return d_bp < d_b
+        return d_bp > d_b
+
+    # -- MBR test (Lemma 8) ------------------------------------------------------
+
+    def contains_mbr(self, box: MBR) -> bool:
+        """True when the *entire* interest box lies in the pruning region.
+
+        The region is the halfplane ``{x : x · B < gamma}`` and interest
+        probabilities are non-negative, so the box maximum of the linear
+        form ``x · B`` is attained at the upper corner: the box is fully
+        inside iff ``high · B < gamma``. This is the exact form of the
+        paper's Lemma-8 check (the distance comparison against ``B`` and
+        ``B'`` decides the same halfplane, conservatively; see
+        :meth:`contains_mbr_geometric`).
+        """
+        if self._degenerate:
+            return self.gamma > 0.0
+        upper = sum(h * b for h, b in zip(box.high, self.b_point))
+        return upper < self.gamma
+
+    def contains_mbr_geometric(self, box: MBR) -> bool:
+        """The paper's literal B/B' distance comparison on MBRs.
+
+        Case 1 requires ``maxdist(box, B') < mindist(box, B)``; Case 2
+        requires ``maxdist(box, B) < mindist(box, B')``. Conservative: it
+        may return False for a box that :meth:`contains_mbr` (the exact
+        test) accepts, but it never accepts a box that straddles the
+        hyperplane. Retained for fidelity and cross-checked in tests.
+        """
+        if self._degenerate:
+            return self.gamma > 0.0
+        if self.case1:
+            return box.maxdist_point(self.b_prime) < box.mindist_point(self.b_point)
+        return box.maxdist_point(self.b_point) < box.mindist_point(self.b_prime)
+
+
+def corollary2_prunable(
+    candidate: int,
+    region_membership: Dict[int, Iterable[int]],
+    superset_size: int,
+    tau: int,
+) -> bool:
+    """Corollary 2: prune ``candidate`` when it lies in the pruning
+    regions of at least ``superset_size - tau + 1`` members of ``S'``.
+
+    Args:
+        candidate: the user id under test (``u_k``).
+        region_membership: ``u_k -> iterable of user ids u_j whose
+            PR(u_j) contains u_k``.
+        superset_size: ``|S'|``, the candidate-superset size.
+        tau: the requested group size.
+    """
+    if tau < 1:
+        raise InvalidParameterError("tau must be >= 1")
+    hostile = region_membership.get(candidate, ())
+    return sum(1 for _ in hostile) >= superset_size - tau + 1
+
+
+# ---------------------------------------------------------------------------
+# Social-network distance pruning (Lemma 4)
+# ---------------------------------------------------------------------------
+
+
+def social_distance_prunable(lb_hops: float, tau: int) -> bool:
+    """Lemma 4: prune when the hop lower bound reaches ``tau``.
+
+    A connected group of ``tau`` users spans at most ``tau - 1`` hops, so
+    a user provably ``>= tau`` hops from ``u_q`` can never join it.
+    """
+    if tau < 1:
+        raise InvalidParameterError("tau must be >= 1")
+    return lb_hops >= tau
+
+
+# ---------------------------------------------------------------------------
+# Road-network distance pruning (Lemma 5, Eqs. 5-6)
+# ---------------------------------------------------------------------------
+
+
+def distance_pair_prunable(ub_first: float, lb_second: float) -> bool:
+    """Lemma 5: the second pair is prunable when ``ub(S',R') <= lb(S'',R'')``.
+
+    The paper keeps pairs whose bound intervals may still overlap; only a
+    strictly dominated pair is discarded, so ties survive.
+    """
+    return lb_second > ub_first
+
+
+def ub_maxdist_via_center(
+    user_center_dists: Sequence[float],
+    center_poi_dists: Sequence[float],
+) -> float:
+    """Eq. 5: ``max_j dist(u_j, o_i) + max_o dist(o_i, o)``.
+
+    ``o_i`` is the center POI of the candidate region ``R'``; the first
+    term ranges over users of ``S'`` and the second over POIs of ``R'``.
+    An empty POI list contributes 0 (the region is just the center).
+    """
+    if not user_center_dists:
+        return 0.0
+    user_term = max(user_center_dists)
+    poi_term = max(center_poi_dists) if center_poi_dists else 0.0
+    return user_term + poi_term
+
+
+def lb_maxdist_via_query_user(query_poi_dists: Sequence[float]) -> float:
+    """Eq. 6: ``max_{o in R''} dist(u_q, o)`` (``u_q`` belongs to S'')."""
+    if not query_poi_dists:
+        return 0.0
+    return max(query_poi_dists)

@@ -1,0 +1,155 @@
+"""Query and answer types for GP-SSN (Definition 5).
+
+A :class:`GPSSNQuery` bundles the query issuer with the five tunable
+parameters; a :class:`GPSSNAnswer` is the returned ``(S, R)`` pair with
+its objective value; :class:`QueryStatistics` carries the measurement
+counters (CPU time, simulated page accesses, and the per-rule pruning
+tallies behind Figures 7(a)-7(d)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from ..exceptions import InvalidParameterError
+from .metrics import InterestMetric
+
+
+@dataclass(frozen=True)
+class GPSSNQuery:
+    """A GP-SSN query (Definition 5).
+
+    Attributes:
+        query_user: the issuer ``u_q``; always a member of the answer set S.
+        tau: the group size ``|S|`` (user-specified).
+        gamma: pairwise common-interest threshold in the group.
+        theta: user-to-POI-set matching threshold.
+        radius: the spatial radius ``r``; any two POIs of R are within
+            road distance ``2r``.
+        metric: the interest-similarity metric for the gamma predicate
+            (Eq. 1's dot product by default; cosine/Jaccard/Hamming are
+            the paper's future-work extension).
+    """
+
+    query_user: int
+    tau: int = 5
+    gamma: float = 0.5
+    theta: float = 0.5
+    radius: float = 2.0
+    metric: InterestMetric = InterestMetric.DOT
+
+    def __post_init__(self) -> None:
+        if self.tau < 1:
+            raise InvalidParameterError(f"tau must be >= 1, got {self.tau}")
+        if self.gamma < 0:
+            raise InvalidParameterError(f"gamma must be >= 0, got {self.gamma}")
+        if self.theta < 0:
+            raise InvalidParameterError(f"theta must be >= 0, got {self.theta}")
+        if self.radius <= 0:
+            raise InvalidParameterError(
+                f"radius must be > 0, got {self.radius}"
+            )
+        if not isinstance(self.metric, InterestMetric):
+            raise InvalidParameterError(
+                f"metric must be an InterestMetric, got {self.metric!r}"
+            )
+
+
+@dataclass
+class PruningCounters:
+    """Per-rule pruning tallies (the effectiveness metrics of Section 6.2).
+
+    Index-level counters count the *objects under pruned nodes* (that is
+    how the paper reports index-level pruning power); object-level
+    counters count objects pruned individually after surviving the index
+    level.
+    """
+
+    # social side
+    social_index_pruned: int = 0
+    social_object_pruned: int = 0
+    social_pruned_by_distance: int = 0
+    social_pruned_by_interest: int = 0
+    # road side
+    road_index_pruned: int = 0
+    road_object_pruned: int = 0
+    road_pruned_by_distance: int = 0
+    road_pruned_by_matching: int = 0
+    # totals for normalization
+    total_users: int = 0
+    total_pois: int = 0
+    # pair level (Figure 7(d))
+    candidate_pairs_examined: int = 0
+    total_possible_pairs: float = 0.0
+
+    def social_index_power(self) -> float:
+        """Fraction of users ruled out at the index level."""
+        if self.total_users == 0:
+            return 0.0
+        return self.social_index_pruned / self.total_users
+
+    def social_object_power(self) -> float:
+        """Fraction of index-surviving users ruled out at the object level."""
+        remaining = self.total_users - self.social_index_pruned
+        if remaining <= 0:
+            return 0.0
+        return self.social_object_pruned / remaining
+
+    def road_index_power(self) -> float:
+        if self.total_pois == 0:
+            return 0.0
+        return self.road_index_pruned / self.total_pois
+
+    def road_object_power(self) -> float:
+        remaining = self.total_pois - self.road_index_pruned
+        if remaining <= 0:
+            return 0.0
+        return self.road_object_pruned / remaining
+
+    def pair_pruning_power(self) -> float:
+        """Figure 7(d): fraction of user-POI group pairs never examined."""
+        if self.total_possible_pairs <= 0:
+            return 0.0
+        return 1.0 - self.candidate_pairs_examined / self.total_possible_pairs
+
+
+@dataclass
+class QueryStatistics:
+    """Measurements of one GP-SSN query execution."""
+
+    cpu_time_sec: float = 0.0
+    page_accesses: int = 0
+    pruning: PruningCounters = field(default_factory=PruningCounters)
+    #: candidate set sizes after the index traversal, before refinement
+    candidate_users: int = 0
+    candidate_pois: int = 0
+    #: user groups actually enumerated during refinement
+    groups_refined: int = 0
+
+
+@dataclass(frozen=True)
+class GPSSNAnswer:
+    """A GP-SSN answer pair ``(S, R)``.
+
+    ``users`` includes the query issuer; ``max_distance`` is the
+    minimized objective ``maxdist_RN(S, R)``. ``found`` distinguishes an
+    empty result ("no pair satisfies the predicates") from a real answer.
+    """
+
+    users: FrozenSet[int]
+    pois: FrozenSet[int]
+    max_distance: float
+    found: bool = True
+
+    @classmethod
+    def empty(cls) -> "GPSSNAnswer":
+        return cls(
+            users=frozenset(), pois=frozenset(),
+            max_distance=math.inf, found=False,
+        )
+
+    def __post_init__(self) -> None:
+        if self.found and not self.users:
+            raise InvalidParameterError("a found answer must contain users")

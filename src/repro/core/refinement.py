@@ -1,0 +1,333 @@
+"""Candidate refinement: group enumeration and POI-region construction.
+
+The index traversal of Algorithm 2 ends with candidate users ``S_cand``
+and candidate POIs ``R_cand``; this module turns them into the final
+``(S, R)`` answer:
+
+* :func:`enumerate_connected_groups` — all connected ``tau``-subsets of
+  the candidate users that contain the query user and satisfy the
+  pairwise interest threshold ``gamma`` (the refinement of Section 5);
+* :func:`best_region_for_seed` — for a group ``S`` and a seed POI
+  ``o_i``, the subset of ``ball(o_i, r)`` minimizing
+  ``maxdist_RN(S, R)`` subject to the matching threshold.
+
+Canonical candidate-region space
+--------------------------------
+Definition 5 constrains ``R`` by *pairwise* road distance ``<= 2r``. As
+in the paper (Section 3.1), we materialize candidate regions as balls of
+radius ``r`` centered at POIs: ``R ⊆ ball(o_i, r)`` with ``o_i ∈ R``.
+Any such set is pairwise-feasible by the triangle inequality, and every
+ball of radius ``r`` around an arbitrary center that contains some POI
+``o_i`` is covered by ``ball(o_i, 2r) ⊇ ball(center, r)`` — the paper's
+superset argument. Both the indexed algorithm and the exhaustive
+baseline search exactly this space, so their answers are comparable.
+
+Within a seed's ball the optimal subset is found *exactly*: matching
+scores are monotone in ``R`` (Lemma 2) and the objective is the max of
+per-POI distances, so the optimum is the shortest feasible prefix of
+POIs ordered by ``max_{u in S} dist_RN(u, o)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..exceptions import UnknownEntityError
+from ..network import SpatialSocialNetwork
+from ..roadnet.shortest_path import position_distance_from_map
+from .scores import interest_score, match_score
+
+
+def enumerate_connected_groups(
+    network: SpatialSocialNetwork,
+    query_user: int,
+    tau: int,
+    gamma: float,
+    allowed: Optional[Set[int]] = None,
+    limit: Optional[int] = None,
+    score_fn=None,
+) -> Iterator[FrozenSet[int]]:
+    """Yield connected ``tau``-groups containing ``query_user``.
+
+    Groups satisfy all three social predicates of Definition 5: they
+    contain the issuer, they induce a connected subgraph of ``G_s``, and
+    every *pair* of members has ``Interest_Score >= gamma`` (checked
+    incrementally, so incompatible branches die early).
+
+    Args:
+        network: the spatial-social network.
+        query_user: the issuer ``u_q``.
+        tau: group size.
+        gamma: pairwise interest threshold.
+        allowed: optional candidate-user whitelist (``S_cand``); the
+            issuer is always treated as allowed.
+        limit: optional cap on the number of yielded groups.
+        score_fn: pairwise interest score; defaults to the paper's dot
+            product (Eq. 1). Pass a :class:`~repro.core.metrics.MetricScorer`
+            bound method for the alternative metrics.
+
+    Yields:
+        ``frozenset`` groups of exactly ``tau`` user ids.
+    """
+    social = network.social
+    if not social.has_user(query_user):
+        raise UnknownEntityError(f"unknown query user {query_user}")
+    if score_fn is None:
+        score_fn = interest_score
+
+    if tau == 1:
+        yield frozenset((query_user,))
+        return
+
+    def permitted(uid: int) -> bool:
+        return allowed is None or uid in allowed or uid == query_user
+
+    interests = {query_user: social.user(query_user).interests}
+
+    def compatible(uid: int, group: Tuple[int, ...]) -> bool:
+        if uid not in interests:
+            interests[uid] = social.user(uid).interests
+        w = interests[uid]
+        return all(
+            score_fn(w, interests[member]) >= gamma for member in group
+        )
+
+    # Connected-subgraph enumeration with a canonical extension order:
+    # each group is generated once by only ever adding neighbours whose
+    # id is allowed to extend the current frontier set ("extension set"
+    # technique). `banned` carries vertices already considered at an
+    # ancestor, preventing duplicates.
+    yielded = 0
+
+    def extend(
+        group: Tuple[int, ...],
+        frontier: List[int],
+        banned: Set[int],
+    ) -> Iterator[FrozenSet[int]]:
+        nonlocal yielded
+        if limit is not None and yielded >= limit:
+            return
+        if len(group) == tau:
+            yielded += 1
+            yield frozenset(group)
+            return
+        local_banned = set(banned)
+        for idx, candidate in enumerate(frontier):
+            if limit is not None and yielded >= limit:
+                return
+            if not compatible(candidate, group):
+                # A pairwise-incompatible candidate stays incompatible in
+                # every supergroup: ban it for deeper levels of this branch.
+                local_banned.add(candidate)
+                continue
+            new_group = group + (candidate,)
+            new_banned = local_banned | {candidate}
+            new_frontier = [c for c in frontier[idx + 1:] if c not in new_banned]
+            for nbr in social.friends(candidate):
+                if (
+                    nbr not in new_banned
+                    and nbr not in new_group
+                    and permitted(nbr)
+                    and nbr not in new_frontier
+                ):
+                    new_frontier.append(nbr)
+            yield from extend(new_group, new_frontier, new_banned)
+            local_banned.add(candidate)
+
+    initial_frontier = [
+        nbr for nbr in sorted(social.friends(query_user)) if permitted(nbr)
+    ]
+    yield from extend((query_user,), initial_frontier, {query_user})
+
+
+def group_distance_maps(
+    network: SpatialSocialNetwork, group: Iterable[int]
+) -> Dict[int, Dict[int, float]]:
+    """One Dijkstra vertex-distance map per group member (oracle-cached)."""
+    maps = {}
+    for uid in group:
+        user = network.social.user(uid)
+        maps[uid] = network.distances.distances_from(("user", uid), user.home)
+    return maps
+
+
+def max_group_distance_to_poi(
+    network: SpatialSocialNetwork,
+    dist_maps: Dict[int, Dict[int, float]],
+    poi_id: int,
+) -> float:
+    """``max_{u in S} dist_RN(u, o_i)`` from pre-built distance maps."""
+    poi = network.poi(poi_id)
+    return max(
+        position_distance_from_map(
+            network.road, dist_map, poi.position,
+            network.social.user(uid).home,
+        )
+        for uid, dist_map in dist_maps.items()
+    )
+
+
+def best_region_for_seed(
+    network: SpatialSocialNetwork,
+    group_interests: Sequence[np.ndarray],
+    dist_maps: Dict[int, Dict[int, float]],
+    seed_poi: int,
+    region_poi_ids: Sequence[int],
+    theta: float,
+) -> Optional[Tuple[FrozenSet[int], float]]:
+    """The optimal feasible region for one (group, seed) pair.
+
+    Args:
+        network: the spatial-social network.
+        group_interests: interest vectors of the group's members.
+        dist_maps: per-member Dijkstra maps (:func:`group_distance_maps`).
+        seed_poi: the center POI ``o_i`` (always included in ``R``).
+        region_poi_ids: POIs within road distance ``r`` of the seed
+            (must include the seed itself).
+        theta: the matching threshold.
+
+    Returns:
+        ``(R, maxdist_RN(S, R))`` for the feasible subset minimizing the
+        max distance, or ``None`` when even the full ball fails the
+        matching threshold for some member.
+    """
+    # Distance of every region POI to the group.
+    dmax = {
+        pid: max_group_distance_to_poi(network, dist_maps, pid)
+        for pid in region_poi_ids
+    }
+    if seed_poi not in dmax:
+        dmax[seed_poi] = max_group_distance_to_poi(network, dist_maps, seed_poi)
+
+    ordered = sorted(dmax, key=dmax.get)
+    covered: Set[int] = set(network.poi(seed_poi).keywords)
+    chosen: Set[int] = {seed_poi}
+
+    # Incremental matching: track each member's current score and bump
+    # it only for newly covered topics, so the scan costs O(new topics)
+    # per added POI instead of re-scoring every member from scratch.
+    scores = [match_score(w, covered) for w in group_interests]
+    unmatched = sum(1 for s in scores if s < theta)
+    if unmatched == 0:
+        return frozenset(chosen), dmax[seed_poi]
+    for pid in ordered:
+        if pid in chosen:
+            continue
+        chosen.add(pid)
+        fresh = network.poi(pid).keywords - covered
+        if not fresh:
+            continue
+        covered |= fresh
+        for idx, w in enumerate(group_interests):
+            gained = sum(float(w[f]) for f in fresh)
+            if scores[idx] < theta and scores[idx] + gained >= theta:
+                unmatched -= 1
+            scores[idx] += gained
+        if unmatched == 0:
+            max_distance = max(dmax[p] for p in chosen)
+            return frozenset(chosen), max_distance
+    return None
+
+
+def exact_maxdist(
+    network: SpatialSocialNetwork,
+    group: Iterable[int],
+    pois: Iterable[int],
+) -> float:
+    """``maxdist_RN(S, R)`` evaluated exactly (Definition 5)."""
+    dist_maps = group_distance_maps(network, group)
+    pois = list(pois)
+    if not pois:
+        return 0.0
+    return max(
+        max_group_distance_to_poi(network, dist_maps, pid) for pid in pois
+    )
+
+
+def sample_connected_groups(
+    network: SpatialSocialNetwork,
+    query_user: int,
+    tau: int,
+    gamma: float,
+    rng,
+    num_samples: int,
+    allowed: Optional[Set[int]] = None,
+    score_fn=None,
+    max_attempts_factor: int = 25,
+) -> List[FrozenSet[int]]:
+    """Random connected expansions from the query vertex.
+
+    The paper's future-work refinement strategy: "apply subset sampling
+    by randomly expanding the subgraph starting from the query vertex
+    u_q". Each attempt grows a group greedily — start at ``u_q``, keep a
+    frontier of neighbouring candidates, and repeatedly absorb a random
+    frontier member that is pairwise-compatible (score >= gamma) with
+    everyone already in the group — until the group reaches ``tau`` or
+    the frontier runs dry.
+
+    Args:
+        network: the spatial-social network.
+        query_user: the issuer ``u_q``.
+        tau: group size.
+        gamma: pairwise interest threshold.
+        rng: a ``numpy.random.Generator``.
+        num_samples: number of *distinct* groups to aim for.
+        allowed: optional candidate whitelist (``S_cand``).
+        score_fn: pairwise score (defaults to Eq. 1's dot product).
+        max_attempts_factor: give up after
+            ``max_attempts_factor * num_samples`` failed expansions.
+
+    Returns:
+        Up to ``num_samples`` distinct valid groups (fewer when the
+        neighbourhood is too sparse). Deterministic for a given ``rng``
+        state.
+    """
+    social = network.social
+    if not social.has_user(query_user):
+        raise UnknownEntityError(f"unknown query user {query_user}")
+    if score_fn is None:
+        score_fn = interest_score
+    if tau == 1:
+        return [frozenset((query_user,))]
+
+    def permitted(uid: int) -> bool:
+        return allowed is None or uid in allowed or uid == query_user
+
+    interests: Dict[int, np.ndarray] = {}
+
+    def vector(uid: int) -> np.ndarray:
+        if uid not in interests:
+            interests[uid] = social.user(uid).interests
+        return interests[uid]
+
+    found: Set[FrozenSet[int]] = set()
+    attempts = 0
+    max_attempts = max_attempts_factor * max(num_samples, 1)
+    while len(found) < num_samples and attempts < max_attempts:
+        attempts += 1
+        group = [query_user]
+        member_set = {query_user}
+        frontier = [
+            nbr for nbr in social.friends(query_user) if permitted(nbr)
+        ]
+        while len(group) < tau and frontier:
+            idx = int(rng.integers(len(frontier)))
+            candidate = frontier.pop(idx)
+            if candidate in member_set:
+                continue
+            if any(
+                score_fn(vector(candidate), vector(member)) < gamma
+                for member in group
+            ):
+                continue
+            group.append(candidate)
+            member_set.add(candidate)
+            for nbr in social.friends(candidate):
+                if nbr not in member_set and permitted(nbr):
+                    frontier.append(nbr)
+        if len(group) == tau:
+            found.add(frozenset(group))
+    return sorted(found, key=sorted)

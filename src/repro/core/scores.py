@@ -1,0 +1,72 @@
+"""Interest and matching scores with their bounds (Eqs. 1-2, 15, 18).
+
+* ``Interest_Score(u_j, u_k)`` — dot product of interest vectors (Eq. 1).
+* ``Match_Score(u_j, R)`` — the total interest mass of ``u_j`` on topics
+  covered by the POI set ``R`` (Eq. 2): ``sum_f w_f * chi(f in ∪ o.K)``.
+* ``ub_Match_Score(u_j, e_R)`` — the same sum over the keyword *superset*
+  of an index entry (Eq. 15); supersets only add indicator terms, so the
+  result upper-bounds the true score (Lemma 2's monotonicity).
+* ``lb_Match_Score(S, e_R)`` — the max over sample objects of the min
+  over users of the score against the sample's keyword *subset* (Eq. 18).
+
+Bit-vector variants evaluate the indicator on hashed vectors; hash
+collisions only turn 0-indicators into 1s, so the bit-vector score is
+itself an upper bound of the exact-set score — safe wherever an upper
+bound is required.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Sequence
+
+import numpy as np
+
+from ..index.bitvector import KeywordBitVector
+from ..socialnet.interests import interest_score
+
+__all__ = [
+    "interest_score",
+    "match_score",
+    "match_score_bitvector",
+    "min_match_over_users",
+]
+
+
+def match_score(interests: np.ndarray, keywords: AbstractSet[int]) -> float:
+    """``Match_Score`` of one user against a keyword set (Eq. 2).
+
+    Args:
+        interests: the user's ``d``-dimensional interest vector.
+        keywords: keyword/topic ids covered by the POI set (``∪ o.K``).
+    """
+    total = 0.0
+    for f, weight in enumerate(interests):
+        if f in keywords:
+            total += float(weight)
+    return total
+
+
+def match_score_bitvector(
+    interests: np.ndarray, vector: KeywordBitVector
+) -> float:
+    """Matching score evaluated on a hashed keyword bit vector.
+
+    Because ``might_contain`` has no false negatives, this value is an
+    upper bound of :func:`match_score` against the underlying exact set,
+    which is what the index-level pruning (Lemma 6) requires.
+    """
+    total = 0.0
+    for f, weight in enumerate(interests):
+        if vector.might_contain(f):
+            total += float(weight)
+    return total
+
+
+def min_match_over_users(
+    user_interest_vectors: Sequence[np.ndarray],
+    keywords: AbstractSet[int],
+) -> float:
+    """``min_{u_j in S} Match_Score(u_j, ·)`` — the inner term of Eq. 18."""
+    if not user_interest_vectors:
+        return 0.0
+    return min(match_score(w, keywords) for w in user_interest_vectors)

@@ -1,0 +1,140 @@
+"""Data-driven parameter suggestion (Section 2.2's tuning discussion).
+
+The paper describes γ, θ, and r as *system* parameters "tuned from
+historical query logs or data distributions of users/POIs":
+
+* γ — "the x-th percentile over the distribution of common interest
+  scores for pairwise users in social networks";
+* θ — "the average (or x-percentile) of the matching scores between
+  users and POI groups";
+* 2r — "the maximum road-network distance that a user (or user group)
+  may travel between any two POIs, based on the query history".
+
+:func:`suggest_parameters` implements exactly that: it samples the three
+distributions from the network (standing in for a query log) and returns
+the requested percentiles, clipped to the index's radius envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..network import SpatialSocialNetwork
+from .scores import interest_score, match_score
+
+
+@dataclass(frozen=True)
+class SuggestedParameters:
+    """Suggested (γ, θ, r) with the empirical distributions' quartiles."""
+
+    gamma: float
+    theta: float
+    radius: float
+    interest_quartiles: tuple
+    matching_quartiles: tuple
+    poi_distance_quartiles: tuple
+
+
+def suggest_parameters(
+    network: SpatialSocialNetwork,
+    percentile: float = 75.0,
+    num_samples: int = 300,
+    r_min: float = 0.5,
+    r_max: float = 4.0,
+    seed: int = 0,
+) -> SuggestedParameters:
+    """Suggest (γ, θ, r) from the network's data distributions.
+
+    Args:
+        network: the spatial-social network (proxy for a query log).
+        percentile: the "x" in the paper's x-th-percentile rule; higher
+            values yield stricter thresholds and a tighter radius.
+        num_samples: sample size per distribution.
+        r_min / r_max: the radius envelope the suggestion is clipped to
+            (must match the index's envelope to be usable directly).
+        seed: randomness for the sampling.
+
+    Returns:
+        The suggested parameters plus the quartiles of each sampled
+        distribution (for reporting).
+    """
+    if not 0.0 < percentile < 100.0:
+        raise InvalidParameterError(
+            f"percentile must be in (0, 100), got {percentile}"
+        )
+    if num_samples < 10:
+        raise InvalidParameterError("num_samples must be >= 10")
+    rng = np.random.default_rng(seed)
+    social = network.social
+    users = list(social.user_ids())
+    pois = network.poi_ids()
+    if not users or not pois:
+        raise InvalidParameterError("network needs users and POIs to tune")
+
+    # --- gamma: pairwise interest scores of befriended users ------------
+    # Friend pairs stand in for "user groups selected in the query log":
+    # groups are always drawn from friends, so their score distribution
+    # is the relevant one.
+    interest_scores = []
+    befriended = [u for u in users if social.friends(u)]
+    for _ in range(num_samples):
+        a = befriended[int(rng.integers(len(befriended)))]
+        friends = sorted(social.friends(a))
+        b = friends[int(rng.integers(len(friends)))]
+        interest_scores.append(
+            interest_score(social.user(a).interests, social.user(b).interests)
+        )
+    interest_arr = np.asarray(interest_scores)
+    gamma = float(np.percentile(interest_arr, percentile))
+
+    # --- radius: road distances between nearby POI pairs -----------------
+    # "the maximum distance a group travels between two POIs": sample a
+    # POI and its nearest neighbours' distances.
+    poi_distances = []
+    for _ in range(max(num_samples // 10, 10)):
+        center = pois[int(rng.integers(len(pois)))]
+        region = network.pois_within(center, 2.0 * r_max)
+        others = [p for p in region if p != center]
+        if not others:
+            continue
+        other = others[int(rng.integers(len(others)))]
+        poi_distances.append(network.poi_poi_distance(center, other))
+    if not poi_distances:
+        poi_distances = [r_min]
+    distance_arr = np.asarray(poi_distances)
+    # The percentile gives 2r (a pairwise travel distance); halve it.
+    radius = float(np.percentile(distance_arr, percentile)) / 2.0
+    radius = min(max(radius, r_min), r_max)
+
+    # --- theta: matching scores of users against radius regions -----------
+    matching_scores = []
+    for _ in range(num_samples):
+        center = pois[int(rng.integers(len(pois)))]
+        region = network.pois_within(center, radius)
+        covered = frozenset().union(
+            *(network.poi(p).keywords for p in region)
+        )
+        uid = users[int(rng.integers(len(users)))]
+        matching_scores.append(
+            match_score(social.user(uid).interests, covered)
+        )
+    matching_arr = np.asarray(matching_scores)
+    # theta is a feasibility floor: take the *complementary* percentile
+    # so that roughly `percentile`% of user-region pairs can satisfy it.
+    theta = float(np.percentile(matching_arr, 100.0 - percentile))
+
+    def quartiles(arr: np.ndarray) -> tuple:
+        return tuple(round(float(q), 4) for q in np.percentile(arr, [25, 50, 75]))
+
+    return SuggestedParameters(
+        gamma=round(gamma, 4),
+        theta=round(max(theta, 0.0), 4),
+        radius=round(radius, 4),
+        interest_quartiles=quartiles(interest_arr),
+        matching_quartiles=quartiles(matching_arr),
+        poi_distance_quartiles=quartiles(distance_arr),
+    )

@@ -1,0 +1,43 @@
+"""Data generators for the paper's experimental datasets (Section 6.1).
+
+* :mod:`~repro.datagen.synthetic` — UNI / ZIPF synthetic spatial-social
+  networks, generated exactly as the paper describes;
+* :mod:`~repro.datagen.realworld` — statistically matched simulacra of the
+  real datasets Bri+Cal (Brightkite + California) and Gow+Col
+  (Gowalla + Colorado), whose originals are not redistributable here;
+* :mod:`~repro.datagen.distributions` — the Uniform / Zipf samplers the
+  generators share.
+"""
+
+from .distributions import Distribution, UniformSampler, ZipfSampler, make_sampler
+from .realworld import (
+    DatasetStats,
+    brightkite_california,
+    dataset_stats,
+    gowalla_colorado,
+)
+from .synthetic import (
+    generate_pois,
+    generate_road_network,
+    generate_social_network,
+    generate_spatial_social_network,
+    uni_dataset,
+    zipf_dataset,
+)
+
+__all__ = [
+    "Distribution",
+    "UniformSampler",
+    "ZipfSampler",
+    "make_sampler",
+    "generate_road_network",
+    "generate_pois",
+    "generate_social_network",
+    "generate_spatial_social_network",
+    "uni_dataset",
+    "zipf_dataset",
+    "brightkite_california",
+    "gowalla_colorado",
+    "DatasetStats",
+    "dataset_stats",
+]

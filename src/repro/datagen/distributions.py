@@ -1,0 +1,105 @@
+"""Uniform and Zipf samplers shared by the data generators (Section 6.1).
+
+The paper draws POI counts per edge, keyword values, social degrees, and
+interest probabilities from either the Uniform or the Zipf distribution.
+Both samplers expose the same three operations so generators can be
+written distribution-agnostically:
+
+* ``integers(low, high)`` — one integer in ``[low, high]`` inclusive;
+* ``unit(...)`` — floats in ``[0, 1]``;
+* ``choice_weights(k)`` — a probability vector over ``k`` categories.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+class Distribution(enum.Enum):
+    """The two data distributions used in the paper's experiments."""
+
+    UNIFORM = "uniform"
+    ZIPF = "zipf"
+
+
+class UniformSampler:
+    """Uniform sampling over integer ranges and the unit interval."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def integers(self, low: int, high: int) -> int:
+        """One integer drawn uniformly from ``[low, high]`` inclusive."""
+        if low > high:
+            raise InvalidParameterError(f"empty range [{low}, {high}]")
+        return int(self.rng.integers(low, high + 1))
+
+    def unit(self, size: int = 1) -> np.ndarray:
+        """``size`` floats drawn uniformly from ``[0, 1]``."""
+        return self.rng.random(size)
+
+    def choice_weights(self, k: int) -> np.ndarray:
+        """A flat probability vector over ``k`` categories."""
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        return np.full(k, 1.0 / k)
+
+
+class ZipfSampler:
+    """Zipf (power-law) sampling with exponent ``s``.
+
+    Rank ``i`` (1-based) receives probability proportional to ``i**-s``.
+    Integer draws map ranks onto the requested range; unit draws use the
+    normalized rank over a fixed resolution grid, producing the skewed
+    values in ``[0, 1]`` the paper's ZIPF datasets call for.
+    """
+
+    def __init__(self, rng: np.random.Generator, s: float = 1.2,
+                 resolution: int = 64) -> None:
+        if s <= 0:
+            raise InvalidParameterError(f"Zipf exponent must be > 0, got {s}")
+        self.rng = rng
+        self.s = s
+        self.resolution = resolution
+
+    def _rank_probs(self, k: int) -> np.ndarray:
+        ranks = np.arange(1, k + 1, dtype=float)
+        probs = ranks ** (-self.s)
+        return probs / probs.sum()
+
+    def integers(self, low: int, high: int) -> int:
+        """One integer from ``[low, high]``, small values most likely."""
+        if low > high:
+            raise InvalidParameterError(f"empty range [{low}, {high}]")
+        k = high - low + 1
+        rank = int(self.rng.choice(k, p=self._rank_probs(k)))
+        return low + rank
+
+    def unit(self, size: int = 1) -> np.ndarray:
+        """``size`` floats in ``[0, 1]`` with a Zipf-skew toward 0."""
+        probs = self._rank_probs(self.resolution)
+        ranks = self.rng.choice(self.resolution, size=size, p=probs)
+        return ranks / (self.resolution - 1)
+
+    def choice_weights(self, k: int) -> np.ndarray:
+        """A Zipf probability vector over ``k`` categories."""
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        return self._rank_probs(k)
+
+
+Sampler = Union[UniformSampler, ZipfSampler]
+
+
+def make_sampler(distribution: Distribution, rng: np.random.Generator) -> Sampler:
+    """Factory mapping a :class:`Distribution` to its sampler."""
+    if distribution is Distribution.UNIFORM:
+        return UniformSampler(rng)
+    if distribution is Distribution.ZIPF:
+        return ZipfSampler(rng)
+    raise InvalidParameterError(f"unknown distribution {distribution!r}")

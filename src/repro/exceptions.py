@@ -1,0 +1,49 @@
+"""Exception hierarchy for the GP-SSN library.
+
+All library-raised exceptions derive from :class:`GPSSNError` so callers can
+catch one base type. Specific subclasses signal distinct failure modes:
+construction errors (bad graphs, bad parameters) versus query-time errors
+(unknown users, infeasible queries).
+"""
+
+from __future__ import annotations
+
+
+class GPSSNError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphConstructionError(GPSSNError):
+    """Raised when a road or social network is built with invalid inputs.
+
+    Examples: duplicate vertex identifiers, an edge that references a
+    missing vertex, or a non-positive edge length.
+    """
+
+
+class InvalidParameterError(GPSSNError):
+    """Raised when a query or index parameter is out of its valid domain.
+
+    Examples: a group size ``tau < 1``, a threshold outside ``[0, 1]``,
+    or a non-positive spatial radius.
+    """
+
+
+class UnknownEntityError(GPSSNError):
+    """Raised when a user, POI, or vertex identifier cannot be resolved."""
+
+
+class InfeasibleQueryError(GPSSNError):
+    """Raised when a GP-SSN query provably has no answer.
+
+    This is distinct from an *empty* search: it is raised eagerly when the
+    query is structurally impossible (for instance, the query user's
+    connected component in the social network holds fewer than ``tau``
+    users), so callers can distinguish "no match found" from "could never
+    match".
+    """
+
+
+class IndexStateError(GPSSNError):
+    """Raised when an index is used before it has been built or after it
+    has been invalidated by a mutation of the underlying network."""

@@ -1,0 +1,31 @@
+"""Experiment harness reproducing Section 6's evaluation.
+
+* :mod:`~repro.experiments.harness` — dataset construction, workload
+  sampling, and measured query execution;
+* :mod:`~repro.experiments.figures` — one driver per paper figure/table
+  (Figures 7-11, Table 2, and the Appendix-P parameter sweeps);
+* :mod:`~repro.experiments.reporting` — plain-text table rendering for
+  benchmark output and EXPERIMENTS.md.
+"""
+
+from .harness import (
+    DATASET_NAMES,
+    ExperimentScale,
+    WorkloadResult,
+    build_dataset,
+    make_processor,
+    run_workload,
+    sample_query_users,
+)
+from .reporting import format_table
+
+__all__ = [
+    "DATASET_NAMES",
+    "ExperimentScale",
+    "WorkloadResult",
+    "build_dataset",
+    "make_processor",
+    "run_workload",
+    "sample_query_users",
+    "format_table",
+]

@@ -1,0 +1,141 @@
+"""Dataset calibration diagnostics.
+
+The reproducibility of the paper's pruning-power figures hinges on
+distributional properties of the generated data: how selective the
+``gamma`` thresholds are on pairwise interest scores, how much of the
+population sits outside the giant social component, and how feasible
+the ``theta`` matching thresholds are for nearby POI regions. This
+module measures those properties so the generators can be validated
+against the targets DESIGN.md documents (and so a user plugging in real
+data can see at a glance how their dataset behaves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.scores import interest_score, match_score
+from ..network import SpatialSocialNetwork
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Distributional diagnostics of one spatial-social network."""
+
+    #: fraction of random user pairs with Interest_Score >= gamma
+    gamma_pass_rates: Dict[float, float]
+    #: fraction of *friend* pairs with Interest_Score >= gamma
+    friend_gamma_pass_rates: Dict[float, float]
+    #: fraction of users in the largest connected social component
+    giant_component_share: float
+    #: number of connected social components
+    num_components: int
+    #: fraction of (user, POI-region) samples with Match_Score >= theta
+    theta_pass_rates: Dict[float, float]
+    #: median POIs inside a radius-r network ball around a POI
+    median_region_size: float
+
+
+def calibrate(
+    network: SpatialSocialNetwork,
+    gammas: Sequence[float] = (0.2, 0.3, 0.5, 0.7, 0.9),
+    thetas: Sequence[float] = (0.2, 0.3, 0.5, 0.7, 0.9),
+    radius: float = 2.0,
+    num_samples: int = 400,
+    seed: int = 0,
+) -> CalibrationReport:
+    """Measure the selectivity profile of a network.
+
+    Args:
+        network: the network to diagnose.
+        gammas / thetas: thresholds to evaluate pass rates for.
+        radius: region radius used for the matching-feasibility probe.
+        num_samples: sample size for each pass-rate estimate.
+        seed: randomness for the sampling.
+    """
+    rng = np.random.default_rng(seed)
+    social = network.social
+    user_ids = list(social.user_ids())
+    interests = {uid: social.user(uid).interests for uid in user_ids}
+
+    # -- gamma selectivity on random pairs ----------------------------------
+    scores = []
+    for _ in range(num_samples):
+        a = user_ids[int(rng.integers(len(user_ids)))]
+        b = user_ids[int(rng.integers(len(user_ids)))]
+        if a != b:
+            scores.append(interest_score(interests[a], interests[b]))
+    scores_arr = np.asarray(scores) if scores else np.zeros(1)
+    gamma_pass = {
+        g: float((scores_arr >= g).mean()) for g in gammas
+    }
+
+    # -- gamma selectivity on friend pairs -----------------------------------
+    friend_scores = []
+    for uid in user_ids:
+        for friend in social.friends(uid):
+            if uid < friend:
+                friend_scores.append(
+                    interest_score(interests[uid], interests[friend])
+                )
+    friend_arr = np.asarray(friend_scores) if friend_scores else np.zeros(1)
+    friend_pass = {
+        g: float((friend_arr >= g).mean()) for g in gammas
+    }
+
+    # -- component structure ---------------------------------------------------
+    seen: set = set()
+    component_sizes: List[int] = []
+    for uid in user_ids:
+        if uid not in seen:
+            component = social.connected_component(uid)
+            seen.update(component)
+            component_sizes.append(len(component))
+    giant = max(component_sizes) / len(user_ids) if user_ids else 0.0
+
+    # -- theta feasibility against nearby regions --------------------------------
+    poi_ids = network.poi_ids()
+    theta_scores = []
+    region_sizes = []
+    probes = min(num_samples // 4, 100)
+    for _ in range(max(probes, 1)):
+        seed_poi = poi_ids[int(rng.integers(len(poi_ids)))]
+        region = network.pois_within(seed_poi, radius)
+        region_sizes.append(len(region))
+        covered = frozenset().union(
+            *(network.poi(p).keywords for p in region)
+        )
+        uid = user_ids[int(rng.integers(len(user_ids)))]
+        theta_scores.append(match_score(interests[uid], covered))
+    theta_arr = np.asarray(theta_scores)
+    theta_pass = {
+        t: float((theta_arr >= t).mean()) for t in thetas
+    }
+
+    return CalibrationReport(
+        gamma_pass_rates=gamma_pass,
+        friend_gamma_pass_rates=friend_pass,
+        giant_component_share=giant,
+        num_components=len(component_sizes),
+        theta_pass_rates=theta_pass,
+        median_region_size=float(np.median(region_sizes)),
+    )
+
+
+def calibration_rows(report: CalibrationReport) -> Tuple[List[str], List[List[object]]]:
+    """Flatten a report into a printable table."""
+    headers = ["diagnostic", "value"]
+    rows: List[List[object]] = []
+    for g, rate in sorted(report.gamma_pass_rates.items()):
+        rows.append([f"P(Interest_Score >= {g}) random pair", round(rate, 4)])
+    for g, rate in sorted(report.friend_gamma_pass_rates.items()):
+        rows.append([f"P(Interest_Score >= {g}) friend pair", round(rate, 4)])
+    rows.append(["giant component share", round(report.giant_component_share, 4)])
+    rows.append(["social components", report.num_components])
+    for t, rate in sorted(report.theta_pass_rates.items()):
+        rows.append([f"P(Match_Score >= {t}) vs radius region", round(rate, 4)])
+    rows.append(["median region size", report.median_region_size])
+    return headers, rows

@@ -1,0 +1,439 @@
+"""Per-figure experiment drivers (Section 6 + Appendix P).
+
+Each function regenerates the rows/series of one paper figure or table
+and returns ``(headers, rows)``; the benchmark suite prints them through
+:func:`repro.experiments.reporting.format_table` and asserts the
+qualitative shape the paper reports.
+
+Structural sizes are supplied by an :class:`ExperimentScale` — all
+drivers run the paper's parameter values verbatim and shrink only the
+network sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.algorithm import GPSSNQueryProcessor, PruningToggles
+from ..core.baseline import BaselineProcessor
+from ..core.query import GPSSNQuery
+from ..datagen.realworld import dataset_stats
+from .harness import (
+    DATASET_NAMES,
+    DEFAULT_SCALE,
+    ExperimentScale,
+    build_dataset,
+    make_processor,
+    run_workload,
+    sample_query_users,
+)
+
+Rows = List[List[object]]
+Table = Tuple[List[str], Rows]
+
+#: Table-3 sweep values (verbatim from the paper).
+TAU_SWEEP = (2, 3, 5, 7, 10)
+GAMMA_SWEEP = (0.2, 0.3, 0.5, 0.7, 0.9)
+THETA_SWEEP = (0.2, 0.3, 0.5, 0.7, 0.9)
+RADIUS_SWEEP = (0.5, 1.0, 2.0, 3.0, 4.0)
+PIVOT_SWEEP = (2, 3, 5, 7, 10)
+#: Table-3 structural sweeps, expressed as fractions of the default so a
+#: scaled run sweeps the same proportions (3K..30K around a 10K default;
+#: 10K..50K around a 30K default).
+POI_FRACTIONS = (0.3, 0.5, 1.0, 1.5, 3.0)
+GRAPH_FRACTIONS = (1.0 / 3, 2.0 / 3, 1.0, 4.0 / 3, 5.0 / 3)
+#: Synthetic datasets used for the parameter sweeps (Section 6.3).
+SWEEP_DATASETS = ("UNI", "ZIPF")
+
+
+def _workload(
+    processor: GPSSNQueryProcessor,
+    network,
+    scale: ExperimentScale,
+    num_queries: int,
+    seed: int,
+    **params,
+):
+    users = sample_query_users(network, num_queries, seed=seed)
+    return run_workload(
+        processor, users, max_groups=scale.max_groups, **params
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — dataset statistics
+# ---------------------------------------------------------------------------
+
+
+def table2_datasets(
+    scale: ExperimentScale = DEFAULT_SCALE, seed: int = 7
+) -> Table:
+    """Table 2: statistics of the (simulated) real datasets."""
+    headers = ["dataset", "|V(G_s)|", "deg(G_s)", "|V(G_r)|", "deg(G_r)"]
+    rows: Rows = []
+    for name in ("Bri+Cal", "Gow+Col"):
+        network = build_dataset(name, scale, seed=seed)
+        stats = dataset_stats(name, network)
+        rows.append(list(stats.as_row()))
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — pruning powers
+# ---------------------------------------------------------------------------
+
+
+def _pruning_workloads(
+    scale: ExperimentScale, num_queries: int, seed: int
+) -> Dict[str, object]:
+    results = {}
+    for name in DATASET_NAMES:
+        network = build_dataset(name, scale, seed=seed)
+        processor = make_processor(network, seed=seed)
+        results[name] = _workload(
+            processor, network, scale, num_queries, seed, label=name
+        )
+    return results
+
+
+def fig7a_index_object_pruning(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    workloads: Optional[Dict[str, object]] = None,
+) -> Table:
+    """Figure 7(a): index-level vs object-level pruning power."""
+    workloads = workloads or _pruning_workloads(scale, num_queries, seed)
+    headers = [
+        "dataset",
+        "social index", "social object", "social overall",
+        "road index", "road object", "road overall",
+    ]
+    rows: Rows = []
+    for name in DATASET_NAMES:
+        p = workloads[name].pruning
+        s_idx, s_obj = p.social_index_power(), p.social_object_power()
+        r_idx, r_obj = p.road_index_power(), p.road_object_power()
+        rows.append([
+            name,
+            round(s_idx, 4), round(s_obj, 4),
+            round(s_idx + (1 - s_idx) * s_obj, 4),
+            round(r_idx, 4), round(r_obj, 4),
+            round(r_idx + (1 - r_idx) * r_obj, 4),
+        ])
+    return headers, rows
+
+
+def fig7b_user_pruning(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    workloads: Optional[Dict[str, object]] = None,
+) -> Table:
+    """Figure 7(b): user pruning power by rule (hop distance vs interest)."""
+    workloads = workloads or _pruning_workloads(scale, num_queries, seed)
+    headers = ["dataset", "distance pruning", "interest pruning"]
+    rows: Rows = []
+    for name in DATASET_NAMES:
+        p = workloads[name].pruning
+        total = max(p.total_users, 1)
+        rows.append([
+            name,
+            round(p.social_pruned_by_distance / total, 4),
+            round(p.social_pruned_by_interest / total, 4),
+        ])
+    return headers, rows
+
+
+def fig7c_poi_pruning(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    workloads: Optional[Dict[str, object]] = None,
+) -> Table:
+    """Figure 7(c): POI pruning power by rule (distance vs matching)."""
+    workloads = workloads or _pruning_workloads(scale, num_queries, seed)
+    headers = ["dataset", "distance pruning", "matching pruning"]
+    rows: Rows = []
+    for name in DATASET_NAMES:
+        p = workloads[name].pruning
+        total = max(p.total_pois, 1)
+        rows.append([
+            name,
+            round(p.road_pruned_by_distance / total, 4),
+            round(p.road_pruned_by_matching / total, 4),
+        ])
+    return headers, rows
+
+
+def fig7d_pair_pruning(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    workloads: Optional[Dict[str, object]] = None,
+) -> Table:
+    """Figure 7(d): overall user-POI group pair pruning power."""
+    workloads = workloads or _pruning_workloads(scale, num_queries, seed)
+    headers = ["dataset", "pair pruning power"]
+    rows: Rows = []
+    for name in DATASET_NAMES:
+        p = workloads[name].pruning
+        # Formatted as a fixed-point string: the power sits so close to
+        # 1 that general-precision float rendering would print "1".
+        rows.append([name, f"{p.pair_pruning_power():.10f}"])
+    return headers, rows
+
+
+def fig7_all(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+) -> Dict[str, Table]:
+    """All four Figure-7 panels from one shared workload run."""
+    workloads = _pruning_workloads(scale, num_queries, seed)
+    return {
+        "7a": fig7a_index_object_pruning(scale, num_queries, seed, workloads),
+        "7b": fig7b_user_pruning(scale, num_queries, seed, workloads),
+        "7c": fig7c_poi_pruning(scale, num_queries, seed, workloads),
+        "7d": fig7d_pair_pruning(scale, num_queries, seed, workloads),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — GP-SSN vs Baseline
+# ---------------------------------------------------------------------------
+
+
+def fig8_vs_baseline(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 3,
+    seed: int = 7,
+) -> Table:
+    """Figure 8: CPU time and I/O of GP-SSN vs the (extrapolated) baseline."""
+    headers = [
+        "dataset",
+        "GP-SSN CPU (s)", "GP-SSN I/O",
+        "Baseline CPU (s, est)", "Baseline I/O (est)",
+        "CPU speedup",
+    ]
+    rows: Rows = []
+    for name in DATASET_NAMES:
+        network = build_dataset(name, scale, seed=seed)
+        processor = make_processor(network, seed=seed)
+        result = _workload(processor, network, scale, num_queries, seed, label=name)
+        baseline = BaselineProcessor(network)
+        uq = sample_query_users(network, 1, seed=seed)[0]
+        estimate = baseline.estimate_cost(
+            GPSSNQuery(query_user=uq), num_samples=100
+        )
+        speedup = (
+            estimate.estimated_cpu_sec / result.mean_cpu
+            if result.mean_cpu > 0 else float("inf")
+        )
+        rows.append([
+            name,
+            round(result.mean_cpu, 5), round(result.mean_io, 1),
+            estimate.estimated_cpu_sec, estimate.estimated_page_accesses,
+            speedup,
+        ])
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 9-11 and Appendix-P sweeps
+# ---------------------------------------------------------------------------
+
+
+def _sweep(
+    param_name: str,
+    values: Sequence[object],
+    scale: ExperimentScale,
+    num_queries: int,
+    seed: int,
+    build_scale=None,
+    query_kwargs=None,
+    processor_kwargs=None,
+) -> Table:
+    """Shared sweep machinery: one row per (dataset, parameter value)."""
+    headers = ["dataset", param_name, "CPU (s)", "I/O", "found"]
+    rows: Rows = []
+    for name in SWEEP_DATASETS:
+        cache: Dict[object, object] = {}
+        for value in values:
+            run_scale = build_scale(value) if build_scale else scale
+            key = (run_scale.road_vertices, run_scale.num_pois, run_scale.num_users)
+            if key not in cache:
+                network = build_dataset(name, run_scale, seed=seed)
+                pkw = processor_kwargs(value) if processor_kwargs else {}
+                processor = make_processor(network, seed=seed, **pkw)
+                cache[key] = (network, processor)
+            elif processor_kwargs:
+                network, _ = cache[key]
+                processor = make_processor(
+                    network, seed=seed, **processor_kwargs(value)
+                )
+                cache[key] = (network, processor)
+            network, processor = cache[key]
+            qkw = query_kwargs(value) if query_kwargs else {}
+            result = _workload(
+                processor, network, run_scale, num_queries, seed, **qkw
+            )
+            rows.append([
+                name, value,
+                round(result.mean_cpu, 5), round(result.mean_io, 1),
+                f"{result.answers_found}/{result.num_queries}",
+            ])
+    return headers, rows
+
+
+def fig9_group_size(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    taus: Sequence[int] = TAU_SWEEP,
+) -> Table:
+    """Figure 9: CPU/I/O vs the user group size tau."""
+    return _sweep(
+        "tau", list(taus), scale, num_queries, seed,
+        query_kwargs=lambda tau: {"tau": tau},
+    )
+
+
+def fig10_num_pois(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    fractions: Sequence[float] = POI_FRACTIONS,
+) -> Table:
+    """Figure 10: CPU/I/O vs the number of POIs n (3K..30K scaled)."""
+    return _sweep(
+        "n (fraction of default)", list(fractions), scale, num_queries, seed,
+        build_scale=lambda frac: scale.scaled(pois=frac),
+    )
+
+
+def fig11_road_size(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    fractions: Sequence[float] = GRAPH_FRACTIONS,
+) -> Table:
+    """Figure 11: CPU/I/O vs road-network size |V(G_r)| (10K..50K scaled)."""
+    return _sweep(
+        "|V(G_r)| (fraction)", list(fractions), scale, num_queries, seed,
+        build_scale=lambda frac: scale.scaled(road=frac),
+    )
+
+
+def appendix_social_size(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    fractions: Sequence[float] = GRAPH_FRACTIONS,
+) -> Table:
+    """Appendix: CPU/I/O vs social-network size |V(G_s)| (10K..50K scaled)."""
+    return _sweep(
+        "|V(G_s)| (fraction)", list(fractions), scale, num_queries, seed,
+        build_scale=lambda frac: scale.scaled(users=frac),
+    )
+
+
+def appendix_gamma(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    gammas: Sequence[float] = GAMMA_SWEEP,
+) -> Table:
+    """Appendix P: CPU/I/O vs the interest threshold gamma."""
+    return _sweep(
+        "gamma", list(gammas), scale, num_queries, seed,
+        query_kwargs=lambda g: {"gamma": g},
+    )
+
+
+def appendix_theta(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    thetas: Sequence[float] = THETA_SWEEP,
+) -> Table:
+    """Appendix P: CPU/I/O vs the matching threshold theta."""
+    return _sweep(
+        "theta", list(thetas), scale, num_queries, seed,
+        query_kwargs=lambda t: {"theta": t},
+    )
+
+
+def appendix_radius(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 5,
+    seed: int = 7,
+    radii: Sequence[float] = RADIUS_SWEEP,
+) -> Table:
+    """Appendix P: CPU/I/O vs the spatial radius r."""
+    return _sweep(
+        "r", list(radii), scale, num_queries, seed,
+        query_kwargs=lambda r: {"radius": r},
+    )
+
+
+def appendix_pivots(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 3,
+    seed: int = 7,
+    pivot_counts: Sequence[int] = PIVOT_SWEEP,
+) -> Table:
+    """Appendix P: CPU/I/O vs the number of pivots l = h."""
+    return _sweep(
+        "pivots", list(pivot_counts), scale, num_queries, seed,
+        processor_kwargs=lambda p: {
+            "num_road_pivots": p, "num_social_pivots": p,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablation — contribution of each pruning rule
+# ---------------------------------------------------------------------------
+
+
+def ablation_pruning(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 3,
+    seed: int = 7,
+) -> Table:
+    """Design-choice ablation: disable one pruning family at a time.
+
+    Not a paper figure; quantifies the contribution of each rule that
+    DESIGN.md calls out, on the UNI dataset. Answers are invariant (the
+    suite asserts this); only cost moves.
+    """
+    variants = [
+        ("all rules", PruningToggles()),
+        ("no interest pruning", PruningToggles(interest=False)),
+        ("no social distance", PruningToggles(social_distance=False)),
+        ("no matching pruning", PruningToggles(matching=False)),
+        ("no road distance", PruningToggles(road_distance=False)),
+    ]
+    headers = ["variant", "CPU (s)", "I/O", "candidate users", "candidate POIs"]
+    rows: Rows = []
+    network = build_dataset("UNI", scale, seed=seed)
+    users = sample_query_users(network, num_queries, seed=seed)
+    for label, toggles in variants:
+        processor = GPSSNQueryProcessor(network, seed=seed, toggles=toggles)
+        cand_users = cand_pois = 0
+        result = run_workload(
+            processor, users, max_groups=scale.max_groups, label=label
+        )
+        for uq in users[:1]:
+            _, stats = processor.answer(
+                GPSSNQuery(query_user=uq), max_groups=scale.max_groups
+            )
+            cand_users, cand_pois = stats.candidate_users, stats.candidate_pois
+        rows.append([
+            label, round(result.mean_cpu, 5), round(result.mean_io, 1),
+            cand_users, cand_pois,
+        ])
+    return headers, rows

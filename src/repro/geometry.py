@@ -1,0 +1,198 @@
+"""Geometric primitives shared by the spatial and interest-space indexes.
+
+Two kinds of boxes appear in the paper's indexes:
+
+* 2D minimum bounding rectangles (MBRs) over POI locations in the
+  road-network index :class:`~repro.index.road_index.RoadIndex`;
+* d-dimensional interest-probability boxes (``e_S.lb_w`` / ``e_S.ub_w``,
+  Eqs. 9-10) in the social-network index.
+
+Both are served by the n-dimensional :class:`MBR` here, together with the
+``mindist`` / ``maxdist`` machinery used by the pruning lemmas.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from .exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2D point."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+
+def euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two equal-length coordinate sequences."""
+    if len(a) != len(b):
+        raise InvalidParameterError(
+            f"dimension mismatch: {len(a)} vs {len(b)}"
+        )
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+class MBR:
+    """An n-dimensional minimum bounding rectangle.
+
+    Stored as two coordinate tuples ``low`` and ``high`` with
+    ``low[i] <= high[i]`` for every dimension ``i``. Instances are
+    immutable; combination operations return new boxes.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]) -> None:
+        if len(low) != len(high):
+            raise InvalidParameterError("low/high dimension mismatch")
+        if any(l > h for l, h in zip(low, high)):
+            raise InvalidParameterError(f"inverted MBR bounds: {low} > {high}")
+        object.__setattr__(self, "low", tuple(float(v) for v in low))
+        object.__setattr__(self, "high", tuple(float(v) for v in high))
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("MBR instances are immutable")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, coords: Sequence[float]) -> "MBR":
+        """A degenerate (zero-extent) box around a single point."""
+        return cls(coords, coords)
+
+    @classmethod
+    def union_of(cls, boxes: Iterable["MBR"]) -> "MBR":
+        """The smallest box enclosing every box in ``boxes``.
+
+        Raises :class:`InvalidParameterError` when ``boxes`` is empty.
+        """
+        boxes = list(boxes)
+        if not boxes:
+            raise InvalidParameterError("cannot take the union of zero MBRs")
+        dims = boxes[0].dimensions
+        low = [min(b.low[i] for b in boxes) for i in range(dims)]
+        high = [max(b.high[i] for b in boxes) for i in range(dims)]
+        return cls(low, high)
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.low)
+
+    @property
+    def center(self) -> Tuple[float, ...]:
+        return tuple((l + h) / 2.0 for l, h in zip(self.low, self.high))
+
+    def area(self) -> float:
+        """Hyper-volume of the box (product of side lengths)."""
+        result = 1.0
+        for l, h in zip(self.low, self.high):
+            result *= h - l
+        return result
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree 'margin' split criterion)."""
+        return sum(h - l for l, h in zip(self.low, self.high))
+
+    # -- relations ---------------------------------------------------------
+
+    def contains_point(self, coords: Sequence[float]) -> bool:
+        return all(
+            l <= c <= h for l, c, h in zip(self.low, coords, self.high)
+        )
+
+    def contains(self, other: "MBR") -> bool:
+        return all(
+            sl <= ol and oh <= sh
+            for sl, ol, oh, sh in zip(self.low, other.low, other.high, self.high)
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        return all(
+            sl <= oh and ol <= sh
+            for sl, ol, oh, sh in zip(self.low, other.low, other.high, self.high)
+        )
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(
+            [min(a, b) for a, b in zip(self.low, other.low)],
+            [max(a, b) for a, b in zip(self.high, other.high)],
+        )
+
+    def intersection_area(self, other: "MBR") -> float:
+        """Hyper-volume of the overlap region (0 when disjoint)."""
+        result = 1.0
+        for sl, sh, ol, oh in zip(self.low, self.high, other.low, other.high):
+            side = min(sh, oh) - max(sl, ol)
+            if side <= 0:
+                return 0.0
+            result *= side
+        return result
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed for this box to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    # -- distances (used by pruning Lemmas 7 and 8) -------------------------
+
+    def mindist_point(self, coords: Sequence[float]) -> float:
+        """Smallest Euclidean distance from ``coords`` to the box."""
+        total = 0.0
+        for l, h, c in zip(self.low, self.high, coords):
+            if c < l:
+                total += (l - c) ** 2
+            elif c > h:
+                total += (c - h) ** 2
+        return math.sqrt(total)
+
+    def maxdist_point(self, coords: Sequence[float]) -> float:
+        """Largest Euclidean distance from ``coords`` to the box."""
+        total = 0.0
+        for l, h, c in zip(self.low, self.high, coords):
+            total += max(abs(c - l), abs(c - h)) ** 2
+        return math.sqrt(total)
+
+    def mindist_mbr(self, other: "MBR") -> float:
+        """Smallest Euclidean distance between the two boxes."""
+        total = 0.0
+        for sl, sh, ol, oh in zip(self.low, self.high, other.low, other.high):
+            if oh < sl:
+                total += (sl - oh) ** 2
+            elif ol > sh:
+                total += (ol - sh) ** 2
+        return math.sqrt(total)
+
+    def maxdist_mbr(self, other: "MBR") -> float:
+        """Largest Euclidean distance between the two boxes."""
+        total = 0.0
+        for sl, sh, ol, oh in zip(self.low, self.high, other.low, other.high):
+            total += max(abs(oh - sl), abs(sh - ol)) ** 2
+        return math.sqrt(total)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MBR)
+            and self.low == other.low
+            and self.high == other.high
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"MBR(low={self.low}, high={self.high})"

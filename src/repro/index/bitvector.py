@@ -1,0 +1,78 @@
+"""Hashed keyword bit vectors (Section 4.1).
+
+To save space, the paper hashes each keyword of the pre-computed keyword
+sets ``o_i.sup_K`` / ``o_i.sub_K`` into a position of a bit vector. A
+membership probe on the vector can yield false positives (hash
+collisions) but never false negatives, which is exactly the property the
+*upper-bound* matching score needs: over-counting keeps the bound an
+upper bound (Lemma 6 stays safe), while the exact sets are consulted only
+during refinement.
+
+Non-leaf vectors are the bitwise OR of their children's vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..exceptions import InvalidParameterError
+
+
+class KeywordBitVector:
+    """A fixed-width bit vector over hashed keyword ids."""
+
+    __slots__ = ("num_bits", "bits")
+
+    def __init__(self, num_bits: int, bits: int = 0) -> None:
+        if num_bits < 1:
+            raise InvalidParameterError("bit vector needs at least 1 bit")
+        self.num_bits = num_bits
+        self.bits = bits
+
+    # Knuth multiplicative hashing keeps the mapping deterministic across
+    # runs (Python's builtin hash of ints is identity, which would make
+    # collisions disappear for small keyword universes and hide the
+    # false-positive behaviour the tests exercise).
+    def _position(self, keyword: int) -> int:
+        return (int(keyword) * 2654435761) % self.num_bits
+
+    @classmethod
+    def from_keywords(cls, keywords: Iterable[int], num_bits: int) -> "KeywordBitVector":
+        vec = cls(num_bits)
+        for keyword in keywords:
+            vec.add(keyword)
+        return vec
+
+    def add(self, keyword: int) -> None:
+        self.bits |= 1 << self._position(keyword)
+
+    def might_contain(self, keyword: int) -> bool:
+        """True when ``keyword`` *may* be in the set (no false negatives)."""
+        return bool(self.bits >> self._position(keyword) & 1)
+
+    def union(self, other: "KeywordBitVector") -> "KeywordBitVector":
+        """Bitwise OR (used to aggregate children into a non-leaf entry)."""
+        if other.num_bits != self.num_bits:
+            raise InvalidParameterError("bit vector width mismatch")
+        return KeywordBitVector(self.num_bits, self.bits | other.bits)
+
+    def union_update(self, other: "KeywordBitVector") -> None:
+        if other.num_bits != self.num_bits:
+            raise InvalidParameterError("bit vector width mismatch")
+        self.bits |= other.bits
+
+    def set_positions(self) -> Iterator[int]:
+        """Indices of set bits (mostly for tests and debugging)."""
+        for i in range(self.num_bits):
+            if self.bits >> i & 1:
+                yield i
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, KeywordBitVector)
+            and self.num_bits == other.num_bits
+            and self.bits == other.bits
+        )
+
+    def __repr__(self) -> str:
+        return f"KeywordBitVector(num_bits={self.num_bits}, bits={self.bits:#x})"

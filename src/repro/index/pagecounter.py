@@ -1,0 +1,46 @@
+"""Simulated I/O accounting (Section 6.1 "Measures").
+
+The paper reports the I/O cost of query answering as the number of page
+accesses of the disk-resident indexes. This in-memory reproduction
+assigns every index node a page identifier and counts one access each
+time the traversal touches a node, which yields the same metric without
+a buffer manager.
+
+A counter can optionally deduplicate within a query (a tiny LRU-less
+"buffer pool" that never evicts), matching the common convention that a
+page already in memory is not re-fetched during the same query.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set
+
+
+class PageAccessCounter:
+    """Counts page accesses; optionally caches pages within one query."""
+
+    def __init__(self, cache_within_query: bool = True) -> None:
+        self.cache_within_query = cache_within_query
+        self.total_accesses = 0
+        self._resident: Set[Hashable] = set()
+
+    def record(self, page_id: Hashable) -> None:
+        """Record an access of ``page_id``.
+
+        With ``cache_within_query`` enabled, repeated accesses of the same
+        page since the last :meth:`reset` count once.
+        """
+        if self.cache_within_query:
+            if page_id in self._resident:
+                return
+            self._resident.add(page_id)
+        self.total_accesses += 1
+
+    def reset(self) -> None:
+        """Start a new query: zero the counter and drop resident pages."""
+        self.total_accesses = 0
+        self._resident.clear()
+
+    def snapshot(self) -> int:
+        """The number of accesses recorded since the last reset."""
+        return self.total_accesses

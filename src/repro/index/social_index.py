@@ -1,0 +1,335 @@
+"""The social-network index I_S (Section 4.1).
+
+I_S is a tree over the users of the social network:
+
+* **leaves** are subgraphs produced by balanced graph partitioning
+  (Section 4.1 cites METIS [28]; we use the BFS bisection of
+  :mod:`repro.socialnet.partition`), holding the users themselves;
+* **non-leaf entries** aggregate their subtrees with
+
+  - lower/upper bounds of the users' interest probabilities per topic
+    (Eqs. 9-10), kept here as a d-dimensional interest-space MBR;
+  - lower/upper bounds of hop distances to the ``l`` social pivots
+    (Eqs. 11-12);
+  - lower/upper bounds of road distances of the users' homes to the
+    ``h`` road pivots (Eqs. 13-14).
+
+Like I_R, the structure is immutable after construction and page-
+numbered for the I/O simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence
+
+from ..exceptions import InvalidParameterError
+from ..geometry import MBR
+from ..network import SpatialSocialNetwork
+from ..socialnet.graph import User
+from ..socialnet.partition import partition_graph
+from .pagecounter import PageAccessCounter
+from .pivots import RoadPivotIndex, SocialPivotIndex
+
+#: Default leaf capacity (users per leaf partition).
+DEFAULT_LEAF_SIZE = 16
+#: Default fanout of non-leaf nodes.
+DEFAULT_FANOUT = 8
+
+
+class AugmentedUser:
+    """A user plus pre-computed pivot distances."""
+
+    __slots__ = ("user", "social_pivot_dists", "road_pivot_dists")
+
+    def __init__(
+        self,
+        user: User,
+        social_pivot_dists: Sequence[float],
+        road_pivot_dists: Sequence[float],
+    ) -> None:
+        self.user = user
+        self.social_pivot_dists = list(social_pivot_dists)
+        self.road_pivot_dists = list(road_pivot_dists)
+
+    @property
+    def user_id(self) -> int:
+        return self.user.user_id
+
+
+class SocialIndexNode:
+    """An immutable I_S node with the Eq. 9-14 aggregate bounds."""
+
+    __slots__ = (
+        "is_leaf", "children", "users", "interest_mbr",
+        "lb_social_pivot", "ub_social_pivot",
+        "lb_road_pivot", "ub_road_pivot",
+        "page_id", "num_users",
+    )
+
+    def __init__(
+        self,
+        is_leaf: bool,
+        children: Sequence["SocialIndexNode"],
+        users: Sequence[AugmentedUser],
+        interest_mbr: MBR,
+        lb_social_pivot: Sequence[float],
+        ub_social_pivot: Sequence[float],
+        lb_road_pivot: Sequence[float],
+        ub_road_pivot: Sequence[float],
+        num_users: int,
+    ) -> None:
+        self.is_leaf = is_leaf
+        self.children = list(children)
+        self.users = list(users)
+        self.interest_mbr = interest_mbr
+        self.lb_social_pivot = list(lb_social_pivot)
+        self.ub_social_pivot = list(ub_social_pivot)
+        self.lb_road_pivot = list(lb_road_pivot)
+        self.ub_road_pivot = list(ub_road_pivot)
+        self.page_id = -1
+        self.num_users = num_users
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "inner"
+        return f"SocialIndexNode({kind}, users={self.num_users})"
+
+
+def _finite_bounds(values: Sequence[float]) -> Sequence[float]:
+    """Replace an empty sequence by a single +inf guard (defensive)."""
+    return values if values else (math.inf,)
+
+
+class SocialIndex:
+    """The complete I_S index over a spatial-social network's users."""
+
+    def __init__(
+        self,
+        network: SpatialSocialNetwork,
+        social_pivots: SocialPivotIndex,
+        road_pivots: RoadPivotIndex,
+        leaf_size: int = DEFAULT_LEAF_SIZE,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        if leaf_size < 1:
+            raise InvalidParameterError("leaf_size must be >= 1")
+        if fanout < 2:
+            raise InvalidParameterError("fanout must be >= 2")
+        if network.social.num_users == 0:
+            raise InvalidParameterError("cannot index an empty social network")
+        self.network = network
+        self.social_pivots = social_pivots
+        self.road_pivots = road_pivots
+        self.leaf_size = leaf_size
+        self.fanout = fanout
+        self.counter = PageAccessCounter()
+
+        self._augmented = {
+            user.user_id: AugmentedUser(
+                user=user,
+                social_pivot_dists=social_pivots.distances(user.user_id),
+                road_pivot_dists=road_pivots.distances(user.home),
+            )
+            for user in network.social.users()
+        }
+        self.root = self._build(sorted(self._augmented))
+        self.height = self._measure_height(self.root)
+        self.num_pages = self._assign_page_ids()
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self, user_ids: Sequence[int]) -> SocialIndexNode:
+        if len(user_ids) <= self.leaf_size:
+            return self._make_leaf(user_ids)
+        # Partition into about `fanout` socially cohesive parts.
+        part_size = max(self.leaf_size, math.ceil(len(user_ids) / self.fanout))
+        parts = partition_graph(self.network.social, user_ids, part_size)
+        if len(parts) <= 1:
+            return self._make_leaf(user_ids)
+        children = [self._build(part) for part in parts]
+        return self._aggregate(children)
+
+    def _make_leaf(self, user_ids: Sequence[int]) -> SocialIndexNode:
+        members = [self._augmented[uid] for uid in user_ids]
+        d = self.network.num_keywords
+        lows = [min(float(m.user.interests[f]) for m in members) for f in range(d)]
+        highs = [max(float(m.user.interests[f]) for m in members) for f in range(d)]
+        l = self.social_pivots.num_pivots
+        h = self.road_pivots.num_pivots
+        return SocialIndexNode(
+            is_leaf=True,
+            children=(),
+            users=members,
+            interest_mbr=MBR(lows, highs),
+            lb_social_pivot=[
+                min(m.social_pivot_dists[k] for m in members) for k in range(l)
+            ],
+            ub_social_pivot=[
+                max(m.social_pivot_dists[k] for m in members) for k in range(l)
+            ],
+            lb_road_pivot=[
+                min(m.road_pivot_dists[k] for m in members) for k in range(h)
+            ],
+            ub_road_pivot=[
+                max(m.road_pivot_dists[k] for m in members) for k in range(h)
+            ],
+            num_users=len(members),
+        )
+
+    def _aggregate(self, children: Sequence[SocialIndexNode]) -> SocialIndexNode:
+        l = self.social_pivots.num_pivots
+        h = self.road_pivots.num_pivots
+        return SocialIndexNode(
+            is_leaf=False,
+            children=children,
+            users=(),
+            interest_mbr=MBR.union_of(c.interest_mbr for c in children),
+            lb_social_pivot=[
+                min(c.lb_social_pivot[k] for c in children) for k in range(l)
+            ],
+            ub_social_pivot=[
+                max(c.ub_social_pivot[k] for c in children) for k in range(l)
+            ],
+            lb_road_pivot=[
+                min(c.lb_road_pivot[k] for c in children) for k in range(h)
+            ],
+            ub_road_pivot=[
+                max(c.ub_road_pivot[k] for c in children) for k in range(h)
+            ],
+            num_users=sum(c.num_users for c in children),
+        )
+
+    def _measure_height(self, node: SocialIndexNode) -> int:
+        height = 1
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def _assign_page_ids(self) -> int:
+        next_id = 0
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            node.page_id = next_id
+            next_id += 1
+            queue.extend(node.children)
+        return next_id
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serializable image of the index (structure + pivot distances)."""
+        def node_skeleton(node: SocialIndexNode):
+            if node.is_leaf:
+                return {"users": [au.user_id for au in node.users]}
+            return {"children": [node_skeleton(c) for c in node.children]}
+
+        return {
+            "social_pivots": list(self.social_pivots.pivots),
+            "road_pivots": list(self.road_pivots.pivots),
+            "leaf_size": self.leaf_size,
+            "fanout": self.fanout,
+            "augmented": {
+                str(uid): {
+                    "social": [
+                        None if math.isinf(d) else d
+                        for d in au.social_pivot_dists
+                    ],
+                    "road": list(au.road_pivot_dists),
+                }
+                for uid, au in self._augmented.items()
+            },
+            "tree": node_skeleton(self.root),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        network: SpatialSocialNetwork,
+        social_pivots: SocialPivotIndex,
+        road_pivots: RoadPivotIndex,
+        snapshot: dict,
+    ) -> "SocialIndex":
+        """Reconstruct an index from :meth:`snapshot` output."""
+        index = cls.__new__(cls)
+        index.network = network
+        index.social_pivots = social_pivots
+        index.road_pivots = road_pivots
+        index.leaf_size = int(snapshot["leaf_size"])
+        index.fanout = int(snapshot["fanout"])
+        index.counter = PageAccessCounter()
+        index._augmented = {}
+        for uid_str, data in snapshot["augmented"].items():
+            uid = int(uid_str)
+            index._augmented[uid] = AugmentedUser(
+                user=network.social.user(uid),
+                social_pivot_dists=[
+                    math.inf if d is None else float(d)
+                    for d in data["social"]
+                ],
+                road_pivot_dists=data["road"],
+            )
+
+        def rebuild(skeleton: dict) -> SocialIndexNode:
+            if "users" in skeleton:
+                return index._make_leaf(skeleton["users"])
+            children = [rebuild(c) for c in skeleton["children"]]
+            return index._aggregate(children)
+
+        index.root = rebuild(snapshot["tree"])
+        index.height = index._measure_height(index.root)
+        index.num_pages = index._assign_page_ids()
+        return index
+
+    # -- access -----------------------------------------------------------------
+
+    def augmented(self, user_id: int) -> AugmentedUser:
+        return self._augmented[user_id]
+
+    def visit(self, node: SocialIndexNode) -> None:
+        """Record a page access for the traversal touching ``node``."""
+        self.counter.record(("social", node.page_id))
+
+    def iter_nodes(self) -> Iterator[SocialIndexNode]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def describe(self) -> dict:
+        """Structural statistics (for dashboards, logs, and tests)."""
+        leaves = inner = 0
+        leaf_fill = []
+        mbr_widths = []
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                leaves += 1
+                leaf_fill.append(len(node.users))
+                box = node.interest_mbr
+                mbr_widths.append(
+                    sum(h - l for l, h in zip(box.low, box.high))
+                    / box.dimensions
+                )
+            else:
+                inner += 1
+        return {
+            "num_users": self.root.num_users,
+            "height": self.height,
+            "num_pages": self.num_pages,
+            "leaf_nodes": leaves,
+            "inner_nodes": inner,
+            "avg_leaf_fill": sum(leaf_fill) / leaves if leaves else 0.0,
+            "avg_leaf_interest_width": (
+                sum(mbr_widths) / len(mbr_widths) if mbr_widths else 0.0
+            ),
+            "num_social_pivots": self.social_pivots.num_pivots,
+            "num_road_pivots": self.road_pivots.num_pivots,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SocialIndex(users={self.root.num_users}, height={self.height}, "
+            f"pages={self.num_pages})"
+        )

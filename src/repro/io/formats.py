@@ -1,0 +1,207 @@
+"""Parsers and writers for the public dataset formats the paper uses.
+
+* **SNAP social edge lists** (``loc-brightkite_edges.txt`` /
+  ``loc-gowalla_edges.txt``): one undirected friendship per line,
+  ``<user_a>\\t<user_b>``, ``#`` comments.
+* **SNAP check-ins** (``loc-brightkite_totalCheckins.txt``):
+  ``<user>\\t<time>\\t<lat>\\t<lon>\\t<location_id>`` per line; we keep
+  the user, coordinates, and location id (the timestamp is parsed but
+  unused by the generators).
+* **DIMACS road graphs** (the 9th DIMACS challenge ``.gr``/``.co``
+  pair used for the Colorado network, also a common distribution shape
+  for the California network): ``p sp <n> <m>`` header, ``a u v w``
+  arc lines, and ``v id x y`` coordinate lines.
+
+All loaders are streaming, tolerate comments/blank lines, and raise
+:class:`~repro.exceptions.InvalidParameterError` on malformed records
+with the offending line number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..exceptions import InvalidParameterError
+from ..roadnet.graph import RoadNetwork
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CheckinRecord:
+    """One check-in: a user visiting a location."""
+
+    user_id: int
+    latitude: float
+    longitude: float
+    location_id: str
+    timestamp: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# SNAP social edge lists
+# ---------------------------------------------------------------------------
+
+
+def load_snap_social_edges(path: PathLike) -> List[Tuple[int, int]]:
+    """Parse a SNAP-style friendship edge list.
+
+    Duplicate directions (``a b`` and ``b a``) collapse into one
+    undirected edge; self-loops are skipped (both appear in the real
+    Brightkite dump).
+    """
+    edges: set = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise InvalidParameterError(
+                    f"{path}:{lineno}: expected two user ids, got {line!r}"
+                )
+            try:
+                a, b = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise InvalidParameterError(
+                    f"{path}:{lineno}: non-integer user id in {line!r}"
+                ) from None
+            if a == b:
+                continue
+            edges.add((min(a, b), max(a, b)))
+    return sorted(edges)
+
+
+def write_snap_social_edges(
+    path: PathLike, edges: Iterable[Tuple[int, int]]
+) -> None:
+    """Write an undirected edge list in SNAP's two-column format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# undirected friendship edges (SNAP format)\n")
+        for a, b in edges:
+            handle.write(f"{a}\t{b}\n")
+
+
+# ---------------------------------------------------------------------------
+# SNAP check-ins
+# ---------------------------------------------------------------------------
+
+
+def load_checkins(path: PathLike) -> List[CheckinRecord]:
+    """Parse a SNAP-style check-in file.
+
+    Real dumps contain occasional records with zeroed coordinates;
+    those are kept (filtering is a modelling decision left to callers).
+    """
+    records: List[CheckinRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 5:
+                raise InvalidParameterError(
+                    f"{path}:{lineno}: expected 5 fields, got {len(parts)}"
+                )
+            try:
+                records.append(
+                    CheckinRecord(
+                        user_id=int(parts[0]),
+                        timestamp=parts[1],
+                        latitude=float(parts[2]),
+                        longitude=float(parts[3]),
+                        location_id=parts[4],
+                    )
+                )
+            except ValueError:
+                raise InvalidParameterError(
+                    f"{path}:{lineno}: malformed check-in {line!r}"
+                ) from None
+    return records
+
+
+def write_checkins(path: PathLike, records: Iterable[CheckinRecord]) -> None:
+    """Write check-ins in SNAP's five-column format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# user\ttime\tlat\tlon\tlocation_id\n")
+        for r in records:
+            stamp = r.timestamp or "1970-01-01T00:00:00Z"
+            handle.write(
+                f"{r.user_id}\t{stamp}\t{r.latitude}\t{r.longitude}\t"
+                f"{r.location_id}\n"
+            )
+
+
+# ---------------------------------------------------------------------------
+# DIMACS road graphs
+# ---------------------------------------------------------------------------
+
+#: DIMACS coordinate files store micro-degrees; we keep raw units and
+#: let callers rescale.
+def load_dimacs_road(
+    gr_path: PathLike,
+    co_path: PathLike,
+    length_scale: float = 1.0,
+) -> RoadNetwork:
+    """Build a :class:`RoadNetwork` from a DIMACS ``.gr``/``.co`` pair.
+
+    Args:
+        gr_path: arc file (``a u v w`` lines; arcs appear once per
+            direction — duplicates collapse into undirected edges).
+        co_path: coordinate file (``v id x y`` lines).
+        length_scale: multiplier applied to arc weights.
+    """
+    coords: Dict[int, Tuple[float, float]] = {}
+    with open(co_path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line[0] in "cp":
+                continue
+            parts = line.split()
+            if parts[0] != "v" or len(parts) != 4:
+                raise InvalidParameterError(
+                    f"{co_path}:{lineno}: expected 'v id x y', got {line!r}"
+                )
+            coords[int(parts[1])] = (float(parts[2]), float(parts[3]))
+
+    road = RoadNetwork()
+    for vid, (x, y) in sorted(coords.items()):
+        road.add_vertex(vid, x, y)
+
+    with open(gr_path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line[0] in "cp":
+                continue
+            parts = line.split()
+            if parts[0] != "a" or len(parts) != 4:
+                raise InvalidParameterError(
+                    f"{gr_path}:{lineno}: expected 'a u v w', got {line!r}"
+                )
+            u, v, w = int(parts[1]), int(parts[2]), float(parts[3])
+            if u == v or road.has_edge(u, v):
+                continue
+            road.add_edge(u, v, length=w * length_scale)
+    return road
+
+
+def write_dimacs_road(
+    gr_path: PathLike, co_path: PathLike, road: RoadNetwork
+) -> None:
+    """Write a road network as a DIMACS ``.gr``/``.co`` pair."""
+    with open(co_path, "w", encoding="utf-8") as handle:
+        handle.write("c coordinates\n")
+        handle.write(f"p aux sp co {road.num_vertices}\n")
+        for vid in sorted(road.vertices()):
+            pt = road.coords(vid)
+            handle.write(f"v {vid} {pt.x} {pt.y}\n")
+    with open(gr_path, "w", encoding="utf-8") as handle:
+        handle.write("c road graph\n")
+        handle.write(f"p sp {road.num_vertices} {2 * road.num_edges}\n")
+        for u, v, length in sorted(road.edges()):
+            handle.write(f"a {u} {v} {length}\n")
+            handle.write(f"a {v} {u} {length}\n")

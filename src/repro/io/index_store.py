@@ -1,0 +1,110 @@
+"""Persist and reload built GP-SSN processors.
+
+Index construction is dominated by the offline precompute — Algorithm-1
+pivot selection and the per-POI region sweep (one truncated Dijkstra per
+POI). :func:`save_processor` captures everything that is expensive to
+derive; :func:`load_processor` reconstructs a ready-to-serve processor
+recomputing only the pivot SSSP/BFS tables (a handful of searches).
+
+The store records the network version at save time; loading against a
+network that has since mutated (or a different network) is rejected, the
+same staleness contract the live processor enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.algorithm import GPSSNQueryProcessor, PruningToggles
+from ..exceptions import IndexStateError, InvalidParameterError
+from ..index.pivots import RoadPivotIndex, SocialPivotIndex
+from ..index.road_index import RoadIndex
+from ..index.social_index import SocialIndex
+from ..network import SpatialSocialNetwork
+
+PathLike = Union[str, Path]
+
+FORMAT_NAME = "gpssn-index-store"
+FORMAT_VERSION = 1
+
+
+def save_processor(path: PathLike, processor: GPSSNQueryProcessor) -> None:
+    """Serialize a built processor's indexes to ``path`` (JSON)."""
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "network_version": processor.network.version,
+        "r_min": processor.r_min,
+        "r_max": processor.r_max,
+        "road_index": processor.road_index.snapshot(),
+        "social_index": processor.social_index.snapshot(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_processor(
+    path: PathLike,
+    network: SpatialSocialNetwork,
+    toggles: Optional[PruningToggles] = None,
+) -> GPSSNQueryProcessor:
+    """Reconstruct a processor from :func:`save_processor` output.
+
+    Args:
+        path: the saved index store.
+        network: the *same* network the store was built against (checked
+            via the version counter).
+        toggles: optional pruning toggles for the revived processor.
+
+    Raises:
+        InvalidParameterError: wrong file format/version.
+        IndexStateError: the network mutated since the store was written.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != FORMAT_NAME:
+        raise InvalidParameterError(
+            f"{path}: not a {FORMAT_NAME} file "
+            f"(format={document.get('format')!r})"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise InvalidParameterError(
+            f"{path}: unsupported store version {document.get('version')!r}"
+        )
+    if document["network_version"] != network.version:
+        raise IndexStateError(
+            f"{path}: built against network version "
+            f"{document['network_version']}, current is {network.version}; "
+            "rebuild the indexes instead of loading the store"
+        )
+
+    road_snapshot = document["road_index"]
+    social_snapshot = document["social_index"]
+    road_pivots = RoadPivotIndex(network.road, road_snapshot["pivots"])
+    social_pivots = SocialPivotIndex(
+        network.social, social_snapshot["social_pivots"]
+    )
+
+    processor = GPSSNQueryProcessor.__new__(GPSSNQueryProcessor)
+    processor.toggles = toggles or PruningToggles()
+    processor.network = network
+    processor.road_pivots = road_pivots
+    processor.social_pivots = social_pivots
+    processor.road_index = RoadIndex.from_snapshot(
+        network, road_pivots, road_snapshot
+    )
+    processor.social_index = SocialIndex.from_snapshot(
+        network, social_pivots, road_pivots, social_snapshot
+    )
+    processor.r_min = float(document["r_min"])
+    processor.r_max = float(document["r_max"])
+    processor._built_version = network.version
+    processor._build_args = dict(
+        num_road_pivots=road_pivots.num_pivots,
+        num_social_pivots=social_pivots.num_pivots,
+        r_min=processor.r_min, r_max=processor.r_max,
+        max_entries=16, leaf_size=social_snapshot["leaf_size"], seed=0,
+    )
+    return processor

@@ -1,0 +1,175 @@
+"""The integrated spatial-social network ``G_rs`` (Definition 4).
+
+:class:`SpatialSocialNetwork` bundles a road network with its POIs and a
+social network whose users are anchored to road edges, and validates the
+coupling invariants at construction time:
+
+* every user's home and every POI's position references a real edge with
+  a valid offset;
+* POI identifiers are unique;
+* user interest vectors and the keyword universe share one dimension
+  ``d`` (``num_keywords``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .exceptions import GraphConstructionError, UnknownEntityError
+from .roadnet.graph import RoadNetwork
+from .roadnet.poi import POI
+from .roadnet.shortest_path import DistanceOracle
+from .socialnet.graph import SocialNetwork, User
+
+
+class SpatialSocialNetwork:
+    """An integrated spatial-social network (``G_rs = G_r ∪ G_s``)."""
+
+    def __init__(
+        self,
+        road: RoadNetwork,
+        social: SocialNetwork,
+        pois: Sequence[POI],
+        num_keywords: int,
+        distance_cache_size: int = 4096,
+    ) -> None:
+        self.road = road
+        self.social = social
+        self.num_keywords = int(num_keywords)
+        self._pois: Dict[int, POI] = {}
+        for poi in pois:
+            if poi.poi_id in self._pois:
+                raise GraphConstructionError(f"duplicate POI id {poi.poi_id}")
+            road.validate_position(poi.position)
+            for keyword in poi.keywords:
+                if not 0 <= keyword < self.num_keywords:
+                    raise GraphConstructionError(
+                        f"POI {poi.poi_id} keyword {keyword} outside "
+                        f"[0, {self.num_keywords})"
+                    )
+            self._pois[poi.poi_id] = poi
+        for user in social.users():
+            road.validate_position(user.home)
+            if user.dimensions != self.num_keywords:
+                raise GraphConstructionError(
+                    f"user {user.user_id} has {user.dimensions}-dim interests "
+                    f"but the network declares d={self.num_keywords}"
+                )
+        self._poi_version = 0
+        #: shared oracle for dist_RN lookups; keys are ("user", id) and
+        #: ("poi", id) so users and POIs never collide.
+        self.distances = DistanceOracle(road, cache_size=distance_cache_size)
+
+    # -- mutation (bumps version counters so indexes can detect staleness) ----
+
+    @property
+    def version(self) -> int:
+        """Combined version of the underlying graphs and the POI set.
+
+        Index structures capture this at build time and refuse to serve
+        queries once it moves (see
+        :meth:`repro.core.algorithm.GPSSNQueryProcessor.answer`).
+        """
+        return self.road.version + self.social.version + self._poi_version
+
+    def add_poi(self, poi: POI) -> None:
+        """Add a POI (validated like construction-time POIs)."""
+        if poi.poi_id in self._pois:
+            raise GraphConstructionError(f"duplicate POI id {poi.poi_id}")
+        self.road.validate_position(poi.position)
+        for keyword in poi.keywords:
+            if not 0 <= keyword < self.num_keywords:
+                raise GraphConstructionError(
+                    f"POI {poi.poi_id} keyword {keyword} outside "
+                    f"[0, {self.num_keywords})"
+                )
+        self._pois[poi.poi_id] = poi
+        self._poi_version += 1
+        self.distances.clear()
+
+    def remove_poi(self, poi_id: int) -> POI:
+        """Remove and return a POI."""
+        try:
+            poi = self._pois.pop(poi_id)
+        except KeyError:
+            raise UnknownEntityError(f"unknown POI {poi_id}") from None
+        self._poi_version += 1
+        # Drop cached Dijkstra maps: a future POI reusing this id must
+        # not inherit the removed POI's distances.
+        self.distances.clear()
+        return poi
+
+    def add_user(self, user: "User", friends: Iterable[int] = ()) -> None:
+        """Add a user (validated) and wire the given friendships."""
+        self.road.validate_position(user.home)
+        if user.dimensions != self.num_keywords:
+            raise GraphConstructionError(
+                f"user {user.user_id} has {user.dimensions}-dim interests "
+                f"but the network declares d={self.num_keywords}"
+            )
+        self.social.add_user(user)
+        for friend in friends:
+            self.social.add_friendship(user.user_id, friend)
+        self.distances.clear()
+
+    # -- POI access ----------------------------------------------------------
+
+    @property
+    def num_pois(self) -> int:
+        return len(self._pois)
+
+    def poi(self, poi_id: int) -> POI:
+        try:
+            return self._pois[poi_id]
+        except KeyError:
+            raise UnknownEntityError(f"unknown POI {poi_id}") from None
+
+    def pois(self) -> List[POI]:
+        return list(self._pois.values())
+
+    def poi_ids(self) -> List[int]:
+        return list(self._pois)
+
+    # -- distances (dist_RN between users and POIs) ---------------------------
+
+    def user_poi_distance(self, user_id: int, poi_id: int) -> float:
+        """``dist_RN(u_j, o_i)`` — the Dijkstra tree is rooted at the POI.
+
+        POI-rooted trees are reused across the many users compared against
+        the same candidate POI during query processing, which keeps the
+        oracle cache effective.
+        """
+        user = self.social.user(user_id)
+        poi = self.poi(poi_id)
+        return self.distances.distance(("poi", poi_id), poi.position, user.home)
+
+    def poi_poi_distance(self, a: int, b: int) -> float:
+        """``dist_RN(o_a, o_b)`` between two POIs."""
+        poi_a = self.poi(a)
+        poi_b = self.poi(b)
+        return self.distances.distance(("poi", a), poi_a.position, poi_b.position)
+
+    def pois_within(self, poi_id: int, radius: float) -> List[int]:
+        """Ids of POIs with ``dist_RN`` at most ``radius`` from ``poi_id``.
+
+        Materializes the circular region ``⊙(o_i, radius)`` of Section 3.1
+        (including ``poi_id`` itself).
+        """
+        center = self.poi(poi_id)
+        dist_map = self.distances.distances_from(("poi", poi_id), center.position)
+        result = []
+        from .roadnet.shortest_path import position_distance_from_map
+
+        for other in self._pois.values():
+            d = position_distance_from_map(
+                self.road, dist_map, other.position, center.position
+            )
+            if d <= radius:
+                result.append(other.poi_id)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialSocialNetwork(road={self.road!r}, social={self.social!r}, "
+            f"pois={self.num_pois}, d={self.num_keywords})"
+        )

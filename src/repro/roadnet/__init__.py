@@ -1,0 +1,24 @@
+"""Spatial road network substrate (Definitions 1-2 of the paper).
+
+Public surface:
+
+* :class:`~repro.roadnet.graph.RoadNetwork` — the weighted planar-ish graph
+  of road vertices and segments;
+* :class:`~repro.roadnet.graph.NetworkPosition` — a point on an edge,
+  where users live and POIs sit;
+* :class:`~repro.roadnet.poi.POI` — a point of interest with keywords;
+* :class:`~repro.roadnet.shortest_path.DistanceOracle` — cached Dijkstra
+  distances (``dist_RN``) between network positions.
+"""
+
+from .graph import NetworkPosition, RoadNetwork
+from .poi import POI
+from .shortest_path import DistanceOracle, dijkstra
+
+__all__ = [
+    "RoadNetwork",
+    "NetworkPosition",
+    "POI",
+    "DistanceOracle",
+    "dijkstra",
+]

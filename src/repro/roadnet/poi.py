@@ -1,0 +1,64 @@
+"""Points of interest (Definition 2).
+
+Each POI sits on a road edge at a :class:`~repro.roadnet.graph.NetworkPosition`,
+has a 2D location, and carries a set of integer keyword identifiers.
+Keywords index into the same ``d``-dimensional topic universe as users'
+interest vectors, so the matching-score indicator
+``chi(w_f in union o.K)`` (Eq. 2) is a set-membership test on keyword ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from ..exceptions import InvalidParameterError
+from ..geometry import Point
+from .graph import NetworkPosition
+
+
+@dataclass(frozen=True)
+class POI:
+    """An immutable point of interest.
+
+    Attributes:
+        poi_id: unique identifier (``o_i.id``).
+        location: 2D coordinates (``o_i.Loc``).
+        position: the POI's placement on a road edge.
+        keywords: frozenset of keyword/topic ids (``o_i.K``).
+    """
+
+    poi_id: int
+    location: Point
+    position: NetworkPosition
+    keywords: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.keywords, frozenset):
+            object.__setattr__(self, "keywords", frozenset(self.keywords))
+
+    def has_keyword(self, keyword: int) -> bool:
+        return keyword in self.keywords
+
+
+def union_keywords(pois: Iterable[POI]) -> FrozenSet[int]:
+    """Union of the keyword sets of ``pois`` (``∪ o_i.K``).
+
+    Used both for real matching scores (Eq. 2) and for the pre-computed
+    keyword supersets/subsets stored in the road index (Section 4.1).
+    """
+    result: set = set()
+    for poi in pois:
+        result |= poi.keywords
+    return frozenset(result)
+
+
+def validate_keywords(keywords: Iterable[int], num_keywords: int) -> FrozenSet[int]:
+    """Check keyword ids lie in ``[0, num_keywords)`` and freeze them."""
+    frozen = frozenset(int(k) for k in keywords)
+    for k in frozen:
+        if not 0 <= k < num_keywords:
+            raise InvalidParameterError(
+                f"keyword id {k} outside [0, {num_keywords})"
+            )
+    return frozen

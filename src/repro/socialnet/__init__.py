@@ -1,0 +1,26 @@
+"""Social network substrate (Definition 3).
+
+Public surface:
+
+* :class:`~repro.socialnet.graph.User` — a social user with an interest
+  vector and a home location on the road network;
+* :class:`~repro.socialnet.graph.SocialNetwork` — the friendship graph
+  with hop distances (``dist_SN``);
+* :mod:`~repro.socialnet.interests` — interest-vector helpers;
+* :func:`~repro.socialnet.partition.bisect_graph` /
+  :func:`~repro.socialnet.partition.partition_graph` — balanced graph
+  partitioning used to build the leaves of the social index I_S.
+"""
+
+from .graph import SocialNetwork, User
+from .interests import interest_score, normalize_interests
+from .partition import bisect_graph, partition_graph
+
+__all__ = [
+    "User",
+    "SocialNetwork",
+    "interest_score",
+    "normalize_interests",
+    "bisect_graph",
+    "partition_graph",
+]

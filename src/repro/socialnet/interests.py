@@ -1,0 +1,88 @@
+"""Interest-vector helpers (Eq. 1 and the cosine form, Eq. 4).
+
+The common-interest score between two users is the dot product of their
+interest vectors, which the paper rewrites as
+``||u_j.w|| * ||u_k.w|| * cos(angle)`` to derive the halfplane pruning
+region of Section 3.2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+
+def interest_score(w_j: np.ndarray, w_k: np.ndarray) -> float:
+    """``Interest_Score(u_j, u_k)`` — the dot product of Eq. 1."""
+    w_j = np.asarray(w_j, dtype=float)
+    w_k = np.asarray(w_k, dtype=float)
+    if w_j.shape != w_k.shape:
+        raise InvalidParameterError(
+            f"interest vector shapes differ: {w_j.shape} vs {w_k.shape}"
+        )
+    return float(np.dot(w_j, w_k))
+
+
+def cosine_similarity(w_j: np.ndarray, w_k: np.ndarray) -> float:
+    """Cosine of the angle between two interest vectors.
+
+    Returns 0 when either vector is all-zero (no preference information).
+    """
+    w_j = np.asarray(w_j, dtype=float)
+    w_k = np.asarray(w_k, dtype=float)
+    nj = float(np.linalg.norm(w_j))
+    nk = float(np.linalg.norm(w_k))
+    if nj == 0.0 or nk == 0.0:
+        return 0.0
+    return float(np.dot(w_j, w_k) / (nj * nk))
+
+
+def normalize_interests(weights: Sequence[float]) -> np.ndarray:
+    """Clip to ``[0, 1]`` and rescale so the maximum entry is at most 1.
+
+    Raw topic counts (e.g. check-in frequencies) can exceed 1; the paper
+    models each entry as a probability, so we divide by the max when it is
+    above 1. All-zero vectors are returned unchanged.
+    """
+    arr = np.asarray(weights, dtype=float)
+    if arr.ndim != 1:
+        raise InvalidParameterError("interest vector must be 1-D")
+    arr = np.clip(arr, 0.0, None)
+    peak = float(arr.max()) if arr.size else 0.0
+    if peak > 1.0:
+        arr = arr / peak
+    return arr
+
+
+def interests_from_visits(
+    visit_counts: Sequence[float],
+    num_keywords: int,
+    concentration: float = 1.0,
+) -> np.ndarray:
+    """Interest vector from per-topic visit counts (Section 6.1).
+
+    The paper derives ``u_j.w`` from check-ins: entry ``f`` is the fraction
+    of the user's visits that went to locations carrying keyword ``f``.
+    ``concentration > 1`` raises counts to that power before normalizing,
+    emulating the peaked topic distributions that text-based topic
+    discovery (the paper's refs [4], [42]) produces from raw frequencies.
+    An all-zero count vector yields an all-zero interest vector.
+    """
+    counts = np.asarray(visit_counts, dtype=float)
+    if counts.shape != (num_keywords,):
+        raise InvalidParameterError(
+            f"expected {num_keywords} counts, got shape {counts.shape}"
+        )
+    if np.any(counts < 0):
+        raise InvalidParameterError("visit counts must be non-negative")
+    if concentration <= 0:
+        raise InvalidParameterError("concentration must be > 0")
+    if concentration != 1.0:
+        counts = counts ** concentration
+    total = float(counts.sum())
+    if total == 0.0:
+        return np.zeros(num_keywords)
+    return counts / total

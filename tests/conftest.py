@@ -1,0 +1,122 @@
+"""Shared fixtures: small, deterministic networks and processors.
+
+Session-scoped where construction is expensive; tests that mutate
+structures build their own instances instead of touching these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GPSSNQueryProcessor,
+    NetworkPosition,
+    POI,
+    RoadNetwork,
+    SocialNetwork,
+    SpatialSocialNetwork,
+    User,
+    uni_dataset,
+    zipf_dataset,
+)
+
+
+def build_grid_road(side: int = 4, spacing: float = 10.0) -> RoadNetwork:
+    """A ``side x side`` grid road network with unit spacing ``spacing``."""
+    road = RoadNetwork()
+    for r in range(side):
+        for c in range(side):
+            road.add_vertex(r * side + c, c * spacing, r * spacing)
+    for r in range(side):
+        for c in range(side):
+            vid = r * side + c
+            if c + 1 < side:
+                road.add_edge(vid, vid + 1)
+            if r + 1 < side:
+                road.add_edge(vid, vid + side)
+    return road
+
+
+def build_tiny_network(num_keywords: int = 3) -> SpatialSocialNetwork:
+    """A hand-checkable network: 4x4 grid road, 6 users, 5 POIs.
+
+    Users 0-3 form a path (0-1, 1-2, 2-3) plus the chord 0-2; users 4-5
+    are an isolated friend pair. Interest vectors are chosen so that the
+    pairwise scores around user 0 are easy to reason about.
+    """
+    road = build_grid_road()
+    pois = [
+        POI(0, road.position_coords(NetworkPosition(0, 1, 5.0)),
+            NetworkPosition(0, 1, 5.0), frozenset({0})),
+        POI(1, road.position_coords(NetworkPosition(1, 2, 5.0)),
+            NetworkPosition(1, 2, 5.0), frozenset({1})),
+        POI(2, road.position_coords(NetworkPosition(5, 6, 2.0)),
+            NetworkPosition(5, 6, 2.0), frozenset({0, 2})),
+        POI(3, road.position_coords(NetworkPosition(10, 11, 8.0)),
+            NetworkPosition(10, 11, 8.0), frozenset({1, 2})),
+        POI(4, road.position_coords(NetworkPosition(14, 15, 5.0)),
+            NetworkPosition(14, 15, 5.0), frozenset({2})),
+    ]
+    interests = {
+        0: (0.9, 0.1, 0.0),
+        1: (0.8, 0.2, 0.0),
+        2: (0.7, 0.0, 0.3),
+        3: (0.1, 0.9, 0.0),
+        4: (0.0, 0.1, 0.9),
+        5: (0.0, 0.2, 0.8),
+    }
+    homes = {
+        0: NetworkPosition(0, 1, 2.0),
+        1: NetworkPosition(1, 2, 2.0),
+        2: NetworkPosition(4, 5, 5.0),
+        3: NetworkPosition(2, 3, 5.0),
+        4: NetworkPosition(12, 13, 5.0),
+        5: NetworkPosition(13, 14, 5.0),
+    }
+    social = SocialNetwork()
+    for uid, w in interests.items():
+        social.add_user(User(uid, np.asarray(w, dtype=float), homes[uid]))
+    for a, b in [(0, 1), (1, 2), (2, 3), (0, 2), (4, 5)]:
+        social.add_friendship(a, b)
+    return SpatialSocialNetwork(road, social, pois, num_keywords)
+
+
+@pytest.fixture(scope="session")
+def grid_road() -> RoadNetwork:
+    return build_grid_road()
+
+
+@pytest.fixture(scope="session")
+def tiny_network() -> SpatialSocialNetwork:
+    return build_tiny_network()
+
+
+@pytest.fixture(scope="session")
+def small_uni() -> SpatialSocialNetwork:
+    """A small UNI dataset shared by read-only tests."""
+    return uni_dataset(
+        num_road_vertices=100, num_pois=30, num_users=40, seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def small_zipf() -> SpatialSocialNetwork:
+    return zipf_dataset(
+        num_road_vertices=100, num_pois=30, num_users=40, seed=2
+    )
+
+
+@pytest.fixture(scope="session")
+def small_processor(small_uni) -> GPSSNQueryProcessor:
+    return GPSSNQueryProcessor(
+        small_uni, num_road_pivots=3, num_social_pivots=3, seed=1
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_processor(tiny_network) -> GPSSNQueryProcessor:
+    return GPSSNQueryProcessor(
+        tiny_network, num_road_pivots=2, num_social_pivots=2,
+        r_min=0.5, r_max=30.0, seed=1,
+    )

@@ -1,0 +1,77 @@
+"""Pruning is safe: disabling any rule never changes the answer."""
+
+import numpy as np
+import pytest
+
+from repro import GPSSNQuery, GPSSNQueryProcessor, uni_dataset
+from repro.core.algorithm import PruningToggles
+
+TOGGLE_VARIANTS = [
+    PruningToggles(interest=False),
+    PruningToggles(social_distance=False),
+    PruningToggles(matching=False),
+    PruningToggles(road_distance=False),
+    PruningToggles(
+        interest=False, social_distance=False,
+        matching=False, road_distance=False,
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def network():
+    return uni_dataset(
+        num_road_vertices=120, num_pois=40, num_users=90, seed=4
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_processor(network):
+    return GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=4
+    )
+
+
+@pytest.mark.parametrize("variant_idx", range(len(TOGGLE_VARIANTS)))
+def test_toggles_preserve_answers(network, reference_processor, variant_idx):
+    toggles = TOGGLE_VARIANTS[variant_idx]
+    variant = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=4,
+        toggles=toggles,
+    )
+    rng = np.random.default_rng(variant_idx)
+    for _ in range(3):
+        uq = int(rng.integers(network.social.num_users))
+        query = GPSSNQuery(
+            query_user=uq, tau=3, gamma=0.3, theta=0.4, radius=2.0
+        )
+        reference, _ = reference_processor.answer(query)
+        candidate, _ = variant.answer(query)
+        assert candidate.found == reference.found
+        if reference.found:
+            assert candidate.max_distance == pytest.approx(
+                reference.max_distance, abs=1e-9
+            )
+
+
+def test_disabling_rules_never_shrinks_candidates(network):
+    """With pruning off, candidate sets can only grow."""
+    uq = 5
+    query = GPSSNQuery(query_user=uq, tau=3, gamma=0.3, theta=0.4, radius=2.0)
+    full = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=4
+    )
+    off = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=4,
+        toggles=PruningToggles(
+            interest=False, social_distance=False,
+            matching=False, road_distance=False,
+        ),
+    )
+    _, stats_full = full.answer(query)
+    _, stats_off = off.answer(query)
+    assert stats_off.candidate_users >= stats_full.candidate_users
+    assert stats_off.candidate_pois >= stats_full.candidate_pois
+    # With everything disabled nothing is ever discarded.
+    assert stats_off.candidate_users == network.social.num_users
+    assert stats_off.candidate_pois == network.num_pois

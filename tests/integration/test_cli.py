@@ -1,0 +1,117 @@
+"""End-to-end tests for the gpssn command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def bundle(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "net.json"
+    code = main([
+        "generate", "--dataset", "UNI",
+        "--users", "80", "--pois", "30", "--road-vertices", "80",
+        "--seed", "3", "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_bundle_created(self, bundle):
+        assert bundle.exists()
+        assert bundle.stat().st_size > 1000
+
+    def test_realworld_dataset(self, tmp_path, capsys):
+        path = tmp_path / "bri.json"
+        code = main([
+            "generate", "--dataset", "Bri+Cal",
+            "--users", "60", "--pois", "25", "--road-vertices", "60",
+            "--output", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bri+Cal" in out
+
+
+class TestStats:
+    def test_prints_table(self, bundle, capsys):
+        assert main(["stats", "--input", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "|V(G_s)|" in out
+        assert "80" in out
+
+
+class TestQuery:
+    def test_single_answer(self, bundle, capsys):
+        code = main([
+            "query", "--input", str(bundle), "--user", "0",
+            "--tau", "3", "--gamma", "0.3", "--theta", "0.3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out or "no (S, R) pair" in out
+        assert "page accesses" in out
+
+    def test_topk(self, bundle, capsys):
+        code = main([
+            "query", "--input", str(bundle), "--user", "0",
+            "--tau", "3", "--gamma", "0.3", "--theta", "0.3",
+            "--topk", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("#") >= 1
+
+    def test_sampled(self, bundle, capsys):
+        code = main([
+            "query", "--input", str(bundle), "--user", "0",
+            "--tau", "3", "--gamma", "0.3", "--theta", "0.3",
+            "--sampled", "10",
+        ])
+        assert code == 0
+
+    def test_metric_option(self, bundle, capsys):
+        code = main([
+            "query", "--input", str(bundle), "--user", "0",
+            "--tau", "2", "--gamma", "0.5", "--theta", "0.2",
+            "--metric", "cosine",
+        ])
+        assert code == 0
+
+
+class TestFigure:
+    def test_fig7d(self, capsys):
+        code = main([
+            "figure", "--name", "fig7d",
+            "--users", "80", "--pois", "30", "--road-vertices", "80",
+            "--queries", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pair pruning power" in out
+
+    def test_table2(self, capsys):
+        code = main([
+            "figure", "--name", "table2",
+            "--users", "60", "--pois", "25", "--road-vertices", "60",
+        ])
+        assert code == 0
+        assert "Bri+Cal" in capsys.readouterr().out
+
+
+class TestCalibrateAndTune:
+    def test_calibrate(self, bundle, capsys):
+        code = main([
+            "calibrate", "--input", str(bundle), "--samples", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Interest_Score" in out
+        assert "giant component share" in out
+
+    def test_tune(self, bundle, capsys):
+        code = main(["tune", "--input", str(bundle), "--percentile", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gamma" in out and "theta" in out

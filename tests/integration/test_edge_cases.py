@@ -1,0 +1,159 @@
+"""Adversarial and degenerate scenarios across the whole pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineProcessor,
+    GPSSNQuery,
+    GPSSNQueryProcessor,
+    NetworkPosition,
+    POI,
+    RoadNetwork,
+    SocialNetwork,
+    SpatialSocialNetwork,
+    User,
+)
+from repro.exceptions import InvalidParameterError
+from tests.conftest import build_grid_road
+
+
+def minimal_network(num_users=2, num_pois=1):
+    """Two vertices, one edge; everything lives on it."""
+    road = RoadNetwork()
+    road.add_vertex(0, 0.0, 0.0)
+    road.add_vertex(1, 10.0, 0.0)
+    road.add_edge(0, 1)
+    pois = [
+        POI(i, road.position_coords(NetworkPosition(0, 1, 2.0 + i)),
+            NetworkPosition(0, 1, 2.0 + i), frozenset({0}))
+        for i in range(num_pois)
+    ]
+    social = SocialNetwork()
+    for uid in range(num_users):
+        social.add_user(
+            User(uid, np.asarray([1.0, 0.0]), NetworkPosition(0, 1, 1.0 * uid))
+        )
+    for uid in range(1, num_users):
+        social.add_friendship(uid - 1, uid)
+    return SpatialSocialNetwork(road, social, pois, 2)
+
+
+class TestDegenerateNetworks:
+    def test_minimal_network_answers(self):
+        network = minimal_network()
+        processor = GPSSNQueryProcessor(
+            network, num_road_pivots=1, num_social_pivots=1,
+            r_min=0.5, r_max=12.0, seed=0,
+        )
+        query = GPSSNQuery(query_user=0, tau=2, gamma=0.5, theta=0.5, radius=5.0)
+        answer, _ = processor.answer(query)
+        assert answer.found
+        assert answer.users == frozenset({0, 1})
+        assert answer.pois == frozenset({0})
+
+    def test_single_user_tau_one(self):
+        network = minimal_network(num_users=1)
+        processor = GPSSNQueryProcessor(
+            network, num_road_pivots=1, num_social_pivots=1,
+            r_min=0.5, r_max=12.0, seed=0,
+        )
+        query = GPSSNQuery(query_user=0, tau=1, gamma=0.9, theta=0.5, radius=5.0)
+        answer, _ = processor.answer(query)
+        assert answer.found
+        assert answer.users == frozenset({0})
+
+    def test_tau_exceeds_population(self):
+        network = minimal_network(num_users=2)
+        processor = GPSSNQueryProcessor(
+            network, num_road_pivots=1, num_social_pivots=1,
+            r_min=0.5, r_max=12.0, seed=0,
+        )
+        query = GPSSNQuery(query_user=0, tau=5, gamma=0.0, theta=0.0, radius=5.0)
+        answer, _ = processor.answer(query)
+        assert not answer.found
+
+    def test_poiless_network_rejected_at_index_build(self):
+        network = minimal_network(num_pois=0)
+        with pytest.raises(InvalidParameterError):
+            GPSSNQueryProcessor(
+                network, num_road_pivots=1, num_social_pivots=1,
+                r_min=0.5, r_max=12.0, seed=0,
+            )
+
+    def test_zero_interest_query_user(self):
+        """A user with an all-zero interest vector: every matching score
+        is 0, so theta > 0 makes the query infeasible but never crashes."""
+        road = build_grid_road()
+        pois = [
+            POI(0, road.position_coords(NetworkPosition(0, 1, 5.0)),
+                NetworkPosition(0, 1, 5.0), frozenset({0}))
+        ]
+        social = SocialNetwork()
+        social.add_user(User(0, np.zeros(2), NetworkPosition(0, 1, 1.0)))
+        social.add_user(User(1, np.zeros(2), NetworkPosition(0, 1, 2.0)))
+        social.add_friendship(0, 1)
+        network = SpatialSocialNetwork(road, social, pois, 2)
+        processor = GPSSNQueryProcessor(
+            network, num_road_pivots=1, num_social_pivots=1,
+            r_min=0.5, r_max=40.0, seed=0,
+        )
+        strict = GPSSNQuery(query_user=0, tau=2, gamma=0.0, theta=0.5, radius=5.0)
+        answer, _ = processor.answer(strict)
+        assert not answer.found
+        lax = GPSSNQuery(query_user=0, tau=2, gamma=0.0, theta=0.0, radius=5.0)
+        answer, _ = processor.answer(lax)
+        assert answer.found
+
+
+class TestExtremeParameters:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro import uni_dataset
+
+        network = uni_dataset(
+            num_road_vertices=80, num_pois=24, num_users=32, seed=19
+        )
+        processor = GPSSNQueryProcessor(
+            network, num_road_pivots=2, num_social_pivots=2, seed=19
+        )
+        return network, processor
+
+    def test_gamma_above_any_pair(self, setup):
+        network, processor = setup
+        query = GPSSNQuery(query_user=0, tau=2, gamma=5.0, theta=0.0, radius=2.0)
+        answer, stats = processor.answer(query)
+        assert not answer.found
+        # Aggressive pruning: nearly all users fall out.
+        assert stats.candidate_users <= 2
+
+    def test_theta_above_total_mass(self, setup):
+        network, processor = setup
+        query = GPSSNQuery(query_user=0, tau=2, gamma=0.0, theta=50.0, radius=2.0)
+        answer, stats = processor.answer(query)
+        assert not answer.found
+        assert stats.candidate_pois == 0
+
+    def test_tiny_radius(self, setup):
+        network, processor = setup
+        query = GPSSNQuery(query_user=0, tau=2, gamma=0.1, theta=0.1, radius=0.5)
+        answer, _ = processor.answer(query)
+        # Either feasible with a near-singleton region or empty; both fine.
+        if answer.found:
+            assert len(answer.pois) >= 1
+
+    def test_agrees_with_baseline_on_extremes(self, setup):
+        network, processor = setup
+        baseline = BaselineProcessor(network)
+        for query in [
+            GPSSNQuery(query_user=0, tau=1, gamma=0.0, theta=0.0, radius=0.5),
+            GPSSNQuery(query_user=0, tau=2, gamma=5.0, theta=0.0, radius=4.0),
+            GPSSNQuery(query_user=0, tau=2, gamma=0.0, theta=50.0, radius=4.0),
+        ]:
+            a, _ = processor.answer(query)
+            b, _ = baseline.answer(query)
+            assert a.found == b.found
+            if a.found:
+                assert a.max_distance == pytest.approx(b.max_distance)

@@ -1,0 +1,84 @@
+"""The central correctness property: Algorithm 2 equals brute force.
+
+On networks small enough for the exhaustive baseline, the indexed
+GP-SSN processor must return an answer with the identical objective
+value (and identical feasibility) for every parameter combination.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineProcessor,
+    GPSSNQuery,
+    GPSSNQueryProcessor,
+    uni_dataset,
+    zipf_dataset,
+)
+
+PARAMS = [
+    (2, 0.2, 0.3, 2.0),
+    (3, 0.3, 0.5, 2.0),
+    (3, 0.1, 0.2, 3.0),
+    (4, 0.2, 0.4, 4.0),
+    (3, 0.5, 0.7, 1.0),
+    (5, 0.0, 0.0, 2.0),
+]
+
+
+def _check(network, seed):
+    processor = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=seed
+    )
+    baseline = BaselineProcessor(network)
+    rng = np.random.default_rng(seed)
+    for tau, gamma, theta, radius in PARAMS:
+        uq = int(rng.integers(network.social.num_users))
+        query = GPSSNQuery(
+            query_user=uq, tau=tau, gamma=gamma, theta=theta, radius=radius
+        )
+        indexed, _ = processor.answer(query)
+        exact, _ = baseline.answer(query)
+        assert indexed.found == exact.found, (tau, gamma, theta, radius, uq)
+        if indexed.found:
+            assert indexed.max_distance == pytest.approx(
+                exact.max_distance, abs=1e-9
+            ), (tau, gamma, theta, radius, uq)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_uni_equivalence(seed):
+    network = uni_dataset(
+        num_road_vertices=90, num_pois=25, num_users=36, seed=seed
+    )
+    _check(network, seed)
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_zipf_equivalence(seed):
+    network = zipf_dataset(
+        num_road_vertices=90, num_pois=25, num_users=36, seed=seed
+    )
+    _check(network, seed)
+
+
+def test_tiny_handmade_network_equivalence(tiny_network):
+    processor = GPSSNQueryProcessor(
+        tiny_network, num_road_pivots=2, num_social_pivots=2,
+        r_min=0.5, r_max=30.0, seed=0,
+    )
+    baseline = BaselineProcessor(tiny_network)
+    for tau in (1, 2, 3):
+        for gamma in (0.0, 0.4):
+            for theta in (0.2, 0.6):
+                query = GPSSNQuery(
+                    query_user=0, tau=tau, gamma=gamma,
+                    theta=theta, radius=20.0,
+                )
+                indexed, _ = processor.answer(query)
+                exact, _ = baseline.answer(query)
+                assert indexed.found == exact.found
+                if indexed.found:
+                    assert indexed.max_distance == pytest.approx(
+                        exact.max_distance
+                    )

@@ -1,0 +1,48 @@
+"""The example scripts must run end to end (they are the public demos)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_trip_planning(capsys):
+    out = run_example("trip_planning.py", capsys)
+    assert "Group S" in out
+    assert "Max travel distance" in out
+    assert "no feasible group" in out  # the strict-gamma epilogue
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Indexes ready" in out
+    assert "CPU time" in out or "No (S, R) pair" in out
+
+
+@pytest.mark.slow
+def test_group_marketing(capsys):
+    out = run_example("group_marketing.py", capsys)
+    assert "coupon size tau=2" in out
+    assert "buyers" in out or "no eligible buying group" in out
+
+
+@pytest.mark.slow
+def test_pruning_analysis(capsys):
+    out = run_example("pruning_analysis.py", capsys)
+    assert "identical answer" in out
+    assert "pair pruning power" in out
+
+
+@pytest.mark.slow
+def test_real_data_pipeline(capsys):
+    out = run_example("real_data_pipeline.py", capsys)
+    assert "assembled:" in out
+    assert "GP-SSN query" in out

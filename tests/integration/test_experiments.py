@@ -1,0 +1,121 @@
+"""Integration tests for the experiment harness and figure drivers."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ablation_pruning,
+    appendix_gamma,
+    fig7_all,
+    fig8_vs_baseline,
+    fig9_group_size,
+    table2_datasets,
+)
+from repro.experiments.harness import (
+    DATASET_NAMES,
+    ExperimentScale,
+    build_dataset,
+    make_processor,
+    run_workload,
+    sample_query_users,
+)
+from repro.experiments.reporting import format_markdown_table, format_table
+from repro.exceptions import InvalidParameterError
+
+TEST_SCALE = ExperimentScale(
+    road_vertices=120, num_pois=40, num_users=120, max_groups=300
+)
+
+
+class TestHarness:
+    def test_build_all_datasets(self):
+        for name in DATASET_NAMES:
+            network = build_dataset(name, TEST_SCALE, seed=1)
+            assert network.social.num_users > 0
+            assert network.num_pois > 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build_dataset("nope", TEST_SCALE)
+
+    def test_sample_query_users_prefers_giant_component(self):
+        network = build_dataset("UNI", TEST_SCALE, seed=1)
+        users = sample_query_users(network, 5, seed=0)
+        assert len(users) == 5
+        for uid in users:
+            assert len(network.social.connected_component(uid)) >= 12
+
+    def test_run_workload_aggregates(self):
+        network = build_dataset("UNI", TEST_SCALE, seed=1)
+        processor = make_processor(network, seed=1)
+        users = sample_query_users(network, 3, seed=0)
+        result = run_workload(processor, users, max_groups=100)
+        assert result.num_queries == 3
+        assert len(result.cpu_times) == 3
+        assert result.mean_cpu > 0
+        assert result.mean_io > 0
+
+    def test_scaled(self):
+        scaled = TEST_SCALE.scaled(road=2.0, pois=0.5)
+        assert scaled.road_vertices == 240
+        assert scaled.num_pois == 20
+        assert scaled.num_users == TEST_SCALE.num_users
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3e9]], title="T")
+        assert "T" in text and "a" in text and "3e+09" in text.replace("3.000e+09", "3e+09")
+
+    def test_markdown_table(self):
+        text = format_markdown_table(["a"], [[1], [2]])
+        assert text.startswith("| a |")
+        assert "|---|" in text
+
+
+class TestFigureDrivers:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return fig7_all(TEST_SCALE, num_queries=2, seed=3)
+
+    def test_table2_rows(self):
+        headers, rows = table2_datasets(TEST_SCALE, seed=3)
+        assert len(rows) == 2
+        assert rows[0][0] == "Bri+Cal"
+
+    def test_fig7_powers_in_unit_interval(self, fig7):
+        for key in ("7a", "7b", "7c", "7d"):
+            headers, rows = fig7[key]
+            assert len(rows) == len(DATASET_NAMES)
+            for row in rows:
+                for value in row[1:]:
+                    assert 0.0 <= float(value) <= 1.0
+
+    def test_fig7d_power_is_extreme(self, fig7):
+        _, rows = fig7["7d"]
+        for row in rows:
+            assert float(row[1]) > 0.999
+
+    def test_fig9_rows_cover_sweep(self):
+        headers, rows = fig9_group_size(
+            TEST_SCALE, num_queries=2, seed=3, taus=(2, 3)
+        )
+        assert len(rows) == 4  # 2 datasets x 2 tau values
+        assert all(float(r[2]) >= 0 for r in rows)
+
+    def test_appendix_gamma_rows(self):
+        headers, rows = appendix_gamma(
+            TEST_SCALE, num_queries=2, seed=3, gammas=(0.2, 0.7)
+        )
+        assert len(rows) == 4
+
+    def test_fig8_speedup_large(self):
+        headers, rows = fig8_vs_baseline(TEST_SCALE, num_queries=2, seed=3)
+        for row in rows:
+            speedup = float(row[-1])
+            assert speedup > 1e3  # orders of magnitude, as in the paper
+
+    def test_ablation_answers_consistent(self):
+        headers, rows = ablation_pruning(TEST_SCALE, num_queries=2, seed=3)
+        assert len(rows) == 5
+        baseline_row = rows[0]
+        assert baseline_row[0] == "all rules"

@@ -1,0 +1,99 @@
+"""Index persistence: saved and reloaded processors answer identically."""
+
+import numpy as np
+import pytest
+
+from repro import GPSSNQuery, GPSSNQueryProcessor, uni_dataset
+from repro.core.metrics import InterestMetric
+from repro.exceptions import IndexStateError, InvalidParameterError
+from repro.io.index_store import load_processor, save_processor
+
+
+@pytest.fixture(scope="module")
+def setup(tmp_path_factory):
+    network = uni_dataset(
+        num_road_vertices=90, num_pois=30, num_users=60, seed=27
+    )
+    processor = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=27
+    )
+    path = tmp_path_factory.mktemp("store") / "indexes.json"
+    save_processor(path, processor)
+    return network, processor, path
+
+
+class TestRoundTrip:
+    def test_answers_identical(self, setup):
+        network, original, path = setup
+        revived = load_processor(path, network)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            uq = int(rng.integers(network.social.num_users))
+            query = GPSSNQuery(
+                query_user=uq, tau=3, gamma=0.3, theta=0.3, radius=2.0
+            )
+            a, sa = original.answer(query)
+            b, sb = revived.answer(query)
+            assert a.found == b.found
+            if a.found:
+                assert a.max_distance == pytest.approx(b.max_distance)
+                assert a.users == b.users
+                assert a.pois == b.pois
+            # Identical structures: identical simulated I/O.
+            assert sa.page_accesses == sb.page_accesses
+
+    def test_structure_matches(self, setup):
+        network, original, path = setup
+        revived = load_processor(path, network)
+        assert revived.road_index.height == original.road_index.height
+        assert revived.road_index.num_pages == original.road_index.num_pages
+        assert revived.social_index.num_pages == original.social_index.num_pages
+        assert revived.road_pivots.pivots == original.road_pivots.pivots
+        assert revived.social_pivots.pivots == original.social_pivots.pivots
+
+    def test_augmented_data_survives(self, setup):
+        network, original, path = setup
+        revived = load_processor(path, network)
+        for pid in network.poi_ids():
+            a = original.road_index.augmented(pid)
+            b = revived.road_index.augmented(pid)
+            assert a.sup_keywords == b.sup_keywords
+            assert a.sub_keywords == b.sub_keywords
+            assert a.pivot_dists == pytest.approx(b.pivot_dists)
+
+    def test_topk_and_metrics_work_on_revived(self, setup):
+        network, _, path = setup
+        revived = load_processor(path, network)
+        query = GPSSNQuery(
+            query_user=0, tau=2, gamma=0.5, theta=0.2,
+            metric=InterestMetric.COSINE,
+        )
+        answers, _ = revived.answer_topk(query, 3)
+        assert isinstance(answers, list)
+
+
+class TestValidation:
+    def test_mutated_network_rejected(self, setup, tmp_path):
+        network, processor, _ = setup
+        path = tmp_path / "store.json"
+        save_processor(path, processor)
+        from repro import NetworkPosition, POI
+
+        u, v, length = next(iter(network.road.edges()))
+        position = NetworkPosition(u, v, 0.0)
+        network.add_poi(POI(
+            9000, network.road.position_coords(position), position,
+            frozenset({0}),
+        ))
+        try:
+            with pytest.raises(IndexStateError, match="network version"):
+                load_processor(path, network)
+        finally:
+            network.remove_poi(9000)
+
+    def test_wrong_format_rejected(self, setup, tmp_path):
+        network, _, _ = setup
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(InvalidParameterError):
+            load_processor(path, network)

@@ -1,0 +1,68 @@
+"""Indexed == exhaustive under every interest metric (future-work ext)."""
+
+import numpy as np
+import pytest
+
+from repro import BaselineProcessor, GPSSNQuery, GPSSNQueryProcessor, uni_dataset
+from repro.core.metrics import InterestMetric
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = uni_dataset(
+        num_road_vertices=80, num_pois=24, num_users=36, seed=17
+    )
+    processor = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=17
+    )
+    baseline = BaselineProcessor(network)
+    return network, processor, baseline
+
+
+METRIC_GAMMAS = [
+    (InterestMetric.DOT, 0.3),
+    (InterestMetric.COSINE, 0.7),
+    (InterestMetric.JACCARD, 0.4),
+    (InterestMetric.HAMMING, 0.6),
+]
+
+
+@pytest.mark.parametrize("metric,gamma", METRIC_GAMMAS)
+def test_equivalence_per_metric(setup, metric, gamma):
+    network, processor, baseline = setup
+    rng = np.random.default_rng(hash(metric.value) % 2**31)
+    for _ in range(3):
+        uq = int(rng.integers(network.social.num_users))
+        query = GPSSNQuery(
+            query_user=uq, tau=3, gamma=gamma, theta=0.3, radius=2.0,
+            metric=metric,
+        )
+        indexed, _ = processor.answer(query)
+        exact, _ = baseline.answer(query)
+        assert indexed.found == exact.found, (metric, uq)
+        if indexed.found:
+            assert indexed.max_distance == pytest.approx(
+                exact.max_distance, abs=1e-9
+            ), (metric, uq)
+
+
+@pytest.mark.parametrize("metric,gamma", METRIC_GAMMAS)
+def test_answers_satisfy_metric_predicate(setup, metric, gamma):
+    from repro.core.metrics import MetricScorer
+
+    network, processor, _ = setup
+    scorer = MetricScorer(metric)
+    query = GPSSNQuery(
+        query_user=0, tau=3, gamma=gamma, theta=0.2, radius=3.0, metric=metric
+    )
+    answer, _ = processor.answer(query)
+    if not answer.found:
+        return
+    users = sorted(answer.users)
+    for i, a in enumerate(users):
+        for b in users[i + 1:]:
+            score = scorer.score(
+                network.social.user(a).interests,
+                network.social.user(b).interests,
+            )
+            assert score >= gamma - 1e-9

@@ -1,0 +1,110 @@
+"""Subset-sampling refinement: validity, approximation, determinism."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineProcessor,
+    GPSSNQuery,
+    GPSSNQueryProcessor,
+    uni_dataset,
+)
+from repro.core.refinement import sample_connected_groups
+from repro.core.scores import interest_score
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = uni_dataset(
+        num_road_vertices=90, num_pois=28, num_users=48, seed=12
+    )
+    processor = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=12
+    )
+    return network, processor, BaselineProcessor(network)
+
+
+class TestSampling:
+    def test_sampled_groups_are_valid(self, setup):
+        network, _, _ = setup
+        rng = np.random.default_rng(1)
+        groups = sample_connected_groups(
+            network, 0, tau=3, gamma=0.2, rng=rng, num_samples=10
+        )
+        for group in groups:
+            assert 0 in group
+            assert len(group) == 3
+            assert network.social.is_connected_subset(sorted(group))
+            members = sorted(group)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    assert interest_score(
+                        network.social.user(a).interests,
+                        network.social.user(b).interests,
+                    ) >= 0.2
+
+    def test_groups_distinct(self, setup):
+        network, _, _ = setup
+        rng = np.random.default_rng(1)
+        groups = sample_connected_groups(
+            network, 0, tau=3, gamma=0.0, rng=rng, num_samples=15
+        )
+        assert len(groups) == len(set(groups))
+
+    def test_tau_one(self, setup):
+        network, _, _ = setup
+        rng = np.random.default_rng(1)
+        assert sample_connected_groups(
+            network, 5, tau=1, gamma=0.0, rng=rng, num_samples=3
+        ) == [frozenset({5})]
+
+    def test_deterministic_for_fixed_rng(self, setup):
+        network, _, _ = setup
+        a = sample_connected_groups(
+            network, 0, 3, 0.2, np.random.default_rng(7), 8
+        )
+        b = sample_connected_groups(
+            network, 0, 3, 0.2, np.random.default_rng(7), 8
+        )
+        assert a == b
+
+
+class TestAnswerSampled:
+    def test_sampled_answer_is_valid_and_at_least_optimum(self, setup):
+        network, processor, baseline = setup
+        query = GPSSNQuery(query_user=0, tau=3, gamma=0.2, theta=0.3, radius=2.5)
+        exact, _ = baseline.answer(query)
+        approx, stats = processor.answer_sampled(query, num_samples=60, seed=4)
+        if approx.found:
+            # An approximate answer can never beat the true optimum.
+            assert approx.max_distance >= exact.max_distance - 1e-9
+            # And it must satisfy the predicates (spot check two).
+            assert query.query_user in approx.users
+            assert network.social.is_connected_subset(sorted(approx.users))
+        if exact.found and stats.groups_refined > 0:
+            # With many samples, the sampled answer usually exists too.
+            assert approx.found
+
+    def test_more_samples_never_worse(self, setup):
+        _, processor, _ = setup
+        query = GPSSNQuery(query_user=0, tau=3, gamma=0.2, theta=0.3, radius=2.5)
+        few, _ = processor.answer_sampled(query, num_samples=5, seed=9)
+        # Same seed: the first 5 sampled groups are a subset of the 50.
+        many, _ = processor.answer_sampled(query, num_samples=50, seed=9)
+        if few.found and many.found:
+            assert many.max_distance <= few.max_distance + 1e-9
+
+    def test_deterministic_by_seed(self, setup):
+        _, processor, _ = setup
+        query = GPSSNQuery(query_user=1, tau=3, gamma=0.2, theta=0.3, radius=2.5)
+        a, _ = processor.answer_sampled(query, num_samples=20, seed=3)
+        b, _ = processor.answer_sampled(query, num_samples=20, seed=3)
+        assert a.found == b.found
+        if a.found:
+            assert a.users == b.users and a.pois == b.pois
+
+    def test_bad_num_samples_rejected(self, setup):
+        _, processor, _ = setup
+        with pytest.raises(InvalidParameterError):
+            processor.answer_sampled(GPSSNQuery(query_user=0), num_samples=0)

@@ -1,0 +1,63 @@
+"""The scan-based competitor must agree with index and baseline."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineProcessor,
+    GPSSNQuery,
+    GPSSNQueryProcessor,
+    uni_dataset,
+)
+from repro.core.scan import ScanProcessor
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = uni_dataset(
+        num_road_vertices=90, num_pois=28, num_users=44, seed=33
+    )
+    indexed = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=33
+    )
+    scan = ScanProcessor(
+        network,
+        road_pivots=indexed.road_pivots,
+        social_pivots=indexed.social_pivots,
+    )
+    return network, indexed, scan, BaselineProcessor(network)
+
+
+class TestEquivalence:
+    def test_matches_indexed_and_baseline(self, setup):
+        network, indexed, scan, baseline = setup
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            uq = int(rng.integers(network.social.num_users))
+            query = GPSSNQuery(
+                query_user=uq, tau=3, gamma=0.25, theta=0.3, radius=2.5
+            )
+            a, _ = indexed.answer(query)
+            b, _ = scan.answer(query)
+            c, _ = baseline.answer(query)
+            assert a.found == b.found == c.found
+            if a.found:
+                assert a.max_distance == pytest.approx(b.max_distance)
+                assert b.max_distance == pytest.approx(c.max_distance)
+
+
+class TestCostProfile:
+    def test_scan_io_scales_with_population(self, setup):
+        network, indexed, scan, _ = setup
+        query = GPSSNQuery(query_user=0, tau=3, gamma=0.25, theta=0.3, radius=2.5)
+        _, scan_stats = scan.answer(query)
+        expected_pages = -(-(network.social.num_users + network.num_pois) // 32)
+        assert scan_stats.page_accesses == expected_pages
+
+    def test_scan_applies_same_object_pruning(self, setup):
+        network, indexed, scan, _ = setup
+        query = GPSSNQuery(query_user=2, tau=3, gamma=0.4, theta=0.4, radius=2.0)
+        _, scan_stats = scan.answer(query)
+        # Object-level rules fire on the scan path too.
+        assert scan_stats.pruning.social_object_pruned > 0
+        assert scan_stats.candidate_users < network.social.num_users

@@ -1,0 +1,94 @@
+"""Top-k GP-SSN queries: indexed vs exhaustive, ordering, distinctness."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineProcessor,
+    GPSSNQuery,
+    GPSSNQueryProcessor,
+    uni_dataset,
+    zipf_dataset,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    network = uni_dataset(
+        num_road_vertices=80, num_pois=24, num_users=32, seed=9
+    )
+    processor = GPSSNQueryProcessor(
+        network, num_road_pivots=3, num_social_pivots=3, seed=9
+    )
+    return network, processor, BaselineProcessor(network)
+
+
+class TestTopK:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 10])
+    def test_values_match_baseline(self, setup, k):
+        network, processor, baseline = setup
+        query = GPSSNQuery(
+            query_user=0, tau=3, gamma=0.2, theta=0.3, radius=2.5
+        )
+        indexed, _ = processor.answer_topk(query, k)
+        exact, _ = baseline.answer_topk(query, k)
+        assert len(indexed) == len(exact)
+        for a, b in zip(indexed, exact):
+            assert a.max_distance == pytest.approx(b.max_distance, abs=1e-9)
+
+    def test_values_ascending(self, setup):
+        _, processor, _ = setup
+        query = GPSSNQuery(query_user=0, tau=3, gamma=0.2, theta=0.3, radius=2.5)
+        answers, _ = processor.answer_topk(query, 5)
+        values = [a.max_distance for a in answers]
+        assert values == sorted(values)
+
+    def test_pairs_distinct(self, setup):
+        _, processor, _ = setup
+        query = GPSSNQuery(query_user=0, tau=3, gamma=0.2, theta=0.3, radius=2.5)
+        answers, _ = processor.answer_topk(query, 6)
+        pairs = {(a.users, a.pois) for a in answers}
+        assert len(pairs) == len(answers)
+
+    def test_k1_matches_answer(self, setup):
+        _, processor, _ = setup
+        query = GPSSNQuery(query_user=2, tau=3, gamma=0.2, theta=0.3, radius=2.5)
+        single, _ = processor.answer(query)
+        topk, _ = processor.answer_topk(query, 1)
+        if single.found:
+            assert len(topk) == 1
+            assert topk[0].max_distance == pytest.approx(single.max_distance)
+        else:
+            assert topk == []
+
+    def test_fewer_answers_than_k_when_scarce(self, setup):
+        network, processor, baseline = setup
+        # Strict thresholds leave few feasible pairs.
+        query = GPSSNQuery(query_user=0, tau=3, gamma=0.6, theta=0.7, radius=1.0)
+        indexed, _ = processor.answer_topk(query, 50)
+        exact, _ = baseline.answer_topk(query, 50)
+        assert len(indexed) == len(exact)
+
+    def test_bad_k_rejected(self, setup):
+        _, processor, baseline = setup
+        query = GPSSNQuery(query_user=0)
+        with pytest.raises(InvalidParameterError):
+            processor.answer_topk(query, 0)
+        with pytest.raises(InvalidParameterError):
+            baseline.answer_topk(query, 0)
+
+    def test_zipf_dataset_topk(self):
+        network = zipf_dataset(
+            num_road_vertices=70, num_pois=20, num_users=28, seed=3
+        )
+        processor = GPSSNQueryProcessor(
+            network, num_road_pivots=2, num_social_pivots=2, seed=3
+        )
+        baseline = BaselineProcessor(network)
+        query = GPSSNQuery(query_user=1, tau=2, gamma=0.2, theta=0.2, radius=3.0)
+        indexed, _ = processor.answer_topk(query, 4)
+        exact, _ = baseline.answer_topk(query, 4)
+        assert [round(a.max_distance, 9) for a in indexed] == [
+            round(a.max_distance, 9) for a in exact
+        ]

@@ -1,0 +1,40 @@
+"""Property: JSON bundles round-trip arbitrary generated networks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen.synthetic import uni_dataset, zipf_dataset
+from repro.io.bundle import load_network, save_network
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    num_users=st.integers(10, 40),
+    num_pois=st.integers(5, 20),
+    zipf=st.booleans(),
+)
+def test_roundtrip_preserves_everything(tmp_path_factory, seed, num_users, num_pois, zipf):
+    maker = zipf_dataset if zipf else uni_dataset
+    original = maker(
+        num_road_vertices=40, num_pois=num_pois, num_users=num_users, seed=seed
+    )
+    path = tmp_path_factory.mktemp("bundles") / f"net_{seed}.json"
+    save_network(path, original)
+    loaded = load_network(path)
+
+    assert loaded.num_keywords == original.num_keywords
+    assert sorted(loaded.road.edges()) == sorted(original.road.edges())
+    assert sorted(loaded.poi_ids()) == sorted(original.poi_ids())
+    for pid in original.poi_ids():
+        a, b = loaded.poi(pid), original.poi(pid)
+        assert a.keywords == b.keywords
+        assert a.position == b.position
+    assert sorted(loaded.social.user_ids()) == sorted(original.social.user_ids())
+    for uid in original.social.user_ids():
+        assert np.allclose(
+            loaded.social.user(uid).interests,
+            original.social.user(uid).interests,
+        )
+        assert loaded.social.friends(uid) == original.social.friends(uid)

@@ -1,0 +1,75 @@
+"""Property: any mutation sequence + rebuild ≡ building from scratch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    GPSSNQuery,
+    GPSSNQueryProcessor,
+    NetworkPosition,
+    POI,
+    User,
+    uni_dataset,
+)
+
+
+def apply_mutations(network, ops, rng):
+    """Apply a random mutation sequence; returns ids added."""
+    next_poi_id = max(network.poi_ids()) + 1
+    next_user_id = max(network.social.user_ids()) + 1
+    edges = list(network.road.edges())
+    for op in ops:
+        if op == "add_poi":
+            u, v, length = edges[int(rng.integers(len(edges)))]
+            position = NetworkPosition(u, v, float(rng.random() * length))
+            network.add_poi(POI(
+                next_poi_id,
+                network.road.position_coords(position),
+                position,
+                frozenset({int(rng.integers(network.num_keywords))}),
+            ))
+            next_poi_id += 1
+        elif op == "remove_poi":
+            ids = network.poi_ids()
+            if len(ids) > 5:
+                network.remove_poi(ids[int(rng.integers(len(ids)))])
+        elif op == "add_user":
+            u, v, length = edges[int(rng.integers(len(edges)))]
+            w = rng.random(network.num_keywords)
+            w = w / w.sum()
+            friends = [int(rng.integers(next_user_id))]
+            network.add_user(
+                User(next_user_id, w, NetworkPosition(u, v, 0.0)),
+                friends=friends,
+            )
+            next_user_id += 1
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    ops=st.lists(
+        st.sampled_from(["add_poi", "remove_poi", "add_user"]),
+        min_size=1, max_size=6,
+    ),
+)
+def test_rebuild_equals_fresh_build(seed, ops):
+    network = uni_dataset(
+        num_road_vertices=60, num_pois=18, num_users=24, seed=seed
+    )
+    kwargs = dict(num_road_pivots=2, num_social_pivots=2, seed=seed)
+    processor = GPSSNQueryProcessor(network, **kwargs)
+    rng = np.random.default_rng(seed)
+    apply_mutations(network, ops, rng)
+    processor.rebuild()
+    fresh = GPSSNQueryProcessor(network, **kwargs)
+
+    query = GPSSNQuery(query_user=0, tau=2, gamma=0.2, theta=0.2, radius=2.0)
+    a, _ = processor.answer(query)
+    b, _ = fresh.answer(query)
+    assert a.found == b.found
+    if a.found:
+        assert a.max_distance == pytest.approx(b.max_distance)
+        assert a.users == b.users
+        assert a.pois == b.pois

@@ -1,0 +1,102 @@
+"""Unit tests for the raw-data assembly pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.assemble import (
+    assemble_network,
+    default_location_keywords,
+)
+from repro.exceptions import InvalidParameterError
+from repro.io.formats import CheckinRecord
+from tests.conftest import build_grid_road
+
+
+def make_checkins():
+    # Users 0, 1 check in near the grid origin; user 2 near the far corner.
+    return [
+        CheckinRecord(0, 1.0, 1.0, "cafe_a"),
+        CheckinRecord(0, 2.0, 1.0, "cafe_a"),
+        CheckinRecord(0, 11.0, 1.0, "mall_b"),
+        CheckinRecord(1, 1.5, 0.5, "cafe_a"),
+        CheckinRecord(1, 12.0, 2.0, "mall_b"),
+        CheckinRecord(2, 28.0, 29.0, "bar_c"),
+        CheckinRecord(2, 29.0, 28.0, "bar_c"),
+    ]
+
+
+class TestLocationKeywords:
+    def test_deterministic(self):
+        a = default_location_keywords("loc_1", 5)
+        b = default_location_keywords("loc_1", 5)
+        assert a == b
+
+    def test_within_universe(self):
+        for loc in ("a", "b", "c", "loc_42"):
+            keys = default_location_keywords(loc, 4)
+            assert keys
+            assert all(0 <= k < 4 for k in keys)
+
+    def test_bad_universe_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            default_location_keywords("x", 0)
+
+
+class TestAssemble:
+    @pytest.fixture()
+    def network(self):
+        road = build_grid_road()
+        friendships = [(0, 1), (1, 2), (0, 9)]  # user 9 has no check-ins
+        return assemble_network(road, friendships, make_checkins())
+
+    def test_distinct_locations_become_pois(self, network):
+        assert network.num_pois == 3
+
+    def test_users_without_checkins_dropped(self, network):
+        assert sorted(network.social.user_ids()) == [0, 1, 2]
+        # friendship (0, 9) was skipped
+        assert network.social.friends(0) == {1}
+
+    def test_interests_are_distributions(self, network):
+        for user in network.social.users():
+            assert float(user.interests.sum()) == pytest.approx(1.0)
+
+    def test_homes_near_checkin_centroids(self, network):
+        # User 2's check-ins cluster near (28.5, 28.5): the home should
+        # land on the far side of the 30x30 grid.
+        home = network.social.user(2).home
+        pt = network.road.position_coords(home)
+        assert pt.x > 15 and pt.y > 15
+
+    def test_poi_positions_valid(self, network):
+        for poi in network.pois():
+            network.road.validate_position(poi.position)
+
+    def test_empty_checkins_rejected(self):
+        road = build_grid_road()
+        with pytest.raises(InvalidParameterError):
+            assemble_network(road, [], [])
+
+    def test_custom_keyword_mapping(self):
+        road = build_grid_road()
+        mapping = {"cafe_a": [0], "mall_b": [1], "bar_c": [2]}
+        network = assemble_network(
+            road, [(0, 1)], make_checkins(),
+            num_keywords=3,
+            location_keywords=lambda loc: mapping[loc],
+        )
+        by_keyword = {
+            next(iter(p.keywords)) for p in network.pois()
+        }
+        assert by_keyword == {0, 1, 2}
+
+    def test_coordinate_transform_applied(self):
+        road = build_grid_road()
+        flipped = assemble_network(
+            road, [], make_checkins(),
+            coordinate_transform=lambda lat, lon: (30 - lat, 30 - lon),
+        )
+        # User 2 checked in near (28, 28); flipped, the home lands near
+        # the origin corner instead.
+        pt = flipped.road.position_coords(flipped.social.user(2).home)
+        assert pt.x < 15 and pt.y < 15

@@ -1,0 +1,114 @@
+"""Unit tests for the exhaustive Baseline processor (Section 6.1)."""
+
+import math
+
+import pytest
+
+from repro import BaselineProcessor, GPSSNQuery
+from repro.core.baseline import BaselineCostEstimate
+from repro.core.scores import interest_score, match_score
+from repro.exceptions import UnknownEntityError
+
+
+class TestExhaustiveAnswer:
+    def test_answer_satisfies_all_predicates(self, tiny_network):
+        """Definition 5's six predicates, checked one by one."""
+        baseline = BaselineProcessor(tiny_network)
+        query = GPSSNQuery(
+            query_user=0, tau=3, gamma=0.3, theta=0.5, radius=25.0
+        )
+        answer, stats = baseline.answer(query)
+        assert answer.found
+        social = tiny_network.social
+        # 1: issuer included
+        assert 0 in answer.users
+        # 2: induced connectivity
+        assert social.is_connected_subset(sorted(answer.users))
+        # 3: pairwise interest scores
+        users = sorted(answer.users)
+        for i, a in enumerate(users):
+            for b in users[i + 1:]:
+                assert interest_score(
+                    social.user(a).interests, social.user(b).interests
+                ) >= query.gamma
+        # 4: pairwise POI distance <= 2r
+        pois = sorted(answer.pois)
+        for i, a in enumerate(pois):
+            for b in pois[i + 1:]:
+                assert tiny_network.poi_poi_distance(a, b) <= 2 * query.radius + 1e-9
+        # 5: matching scores
+        covered = frozenset().union(
+            *(tiny_network.poi(p).keywords for p in answer.pois)
+        )
+        for uid in answer.users:
+            assert match_score(
+                social.user(uid).interests, covered
+            ) >= query.theta
+        # 6: reported objective equals the true max distance
+        from repro.core.refinement import exact_maxdist
+
+        assert answer.max_distance == pytest.approx(
+            exact_maxdist(tiny_network, answer.users, answer.pois)
+        )
+
+    def test_no_group_yields_empty(self, tiny_network):
+        baseline = BaselineProcessor(tiny_network)
+        # user 4's component has size 2: tau=4 is impossible.
+        query = GPSSNQuery(query_user=4, tau=4, gamma=0.0, theta=0.0, radius=5.0)
+        answer, _ = baseline.answer(query)
+        assert not answer.found
+
+    def test_impossible_matching_yields_empty(self, tiny_network):
+        baseline = BaselineProcessor(tiny_network)
+        query = GPSSNQuery(query_user=0, tau=2, gamma=0.0, theta=9.0, radius=5.0)
+        answer, _ = baseline.answer(query)
+        assert not answer.found
+
+    def test_unknown_user_raises(self, tiny_network):
+        with pytest.raises(UnknownEntityError):
+            BaselineProcessor(tiny_network).answer(
+                GPSSNQuery(query_user=999, tau=2)
+            )
+
+    def test_statistics_populated(self, tiny_network):
+        baseline = BaselineProcessor(tiny_network)
+        query = GPSSNQuery(query_user=0, tau=2, gamma=0.0, theta=0.1, radius=10.0)
+        _, stats = baseline.answer(query)
+        assert stats.cpu_time_sec > 0
+        assert stats.groups_refined > 0
+        assert stats.page_accesses > 0
+        assert stats.pruning.candidate_pairs_examined > 0
+
+    def test_max_groups_cap(self, tiny_network):
+        baseline = BaselineProcessor(tiny_network)
+        query = GPSSNQuery(query_user=0, tau=2, gamma=0.0, theta=0.1, radius=10.0)
+        _, stats = baseline.answer(query, max_groups=1)
+        assert stats.groups_refined == 1
+
+
+class TestCostEstimate:
+    def test_extrapolation_math(self, tiny_network):
+        baseline = BaselineProcessor(tiny_network)
+        query = GPSSNQuery(query_user=0, tau=2, gamma=0.0, theta=0.3, radius=10.0)
+        estimate = baseline.estimate_cost(query, num_samples=3)
+        assert isinstance(estimate, BaselineCostEstimate)
+        assert estimate.sampled_pairs >= 1
+        assert estimate.total_pairs > 0
+        per_pair = estimate.sampled_cpu_sec / estimate.sampled_pairs
+        assert estimate.estimated_cpu_sec == pytest.approx(
+            per_pair * estimate.total_pairs
+        )
+
+    def test_estimate_dwarfs_sample(self, small_uni):
+        baseline = BaselineProcessor(small_uni)
+        query = GPSSNQuery(query_user=0, tau=5, gamma=0.0, theta=0.3, radius=2.0)
+        estimate = baseline.estimate_cost(query, num_samples=5)
+        assert estimate.estimated_cpu_sec > estimate.sampled_cpu_sec
+
+    def test_no_eligible_groups_still_estimates(self, tiny_network):
+        baseline = BaselineProcessor(tiny_network)
+        # gamma above any pairwise score -> zero sample groups
+        query = GPSSNQuery(query_user=0, tau=3, gamma=5.0, theta=0.3, radius=10.0)
+        estimate = baseline.estimate_cost(query, num_samples=5)
+        assert estimate.sampled_pairs == 1
+        assert estimate.estimated_cpu_sec > 0

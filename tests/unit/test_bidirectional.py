@@ -1,0 +1,56 @@
+"""Unit and property tests for bidirectional Dijkstra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import RoadNetwork
+from repro.datagen.synthetic import generate_road_network
+from repro.exceptions import UnknownEntityError
+from repro.roadnet.shortest_path import bidirectional_dijkstra, dijkstra
+
+
+class TestBasics:
+    def test_same_vertex_zero(self, grid_road):
+        assert bidirectional_dijkstra(grid_road, 3, 3) == 0.0
+
+    def test_adjacent_vertices(self, grid_road):
+        assert bidirectional_dijkstra(grid_road, 0, 1) == pytest.approx(10.0)
+
+    def test_grid_diagonal(self, grid_road):
+        # 4x4 grid, corner to corner: 3 right + 3 down = 60.
+        assert bidirectional_dijkstra(grid_road, 0, 15) == pytest.approx(60.0)
+
+    def test_unknown_vertices_rejected(self, grid_road):
+        with pytest.raises(UnknownEntityError):
+            bidirectional_dijkstra(grid_road, 0, 999)
+        with pytest.raises(UnknownEntityError):
+            bidirectional_dijkstra(grid_road, 999, 0)
+
+    def test_disconnected_is_inf(self):
+        road = RoadNetwork()
+        for vid, (x, y) in enumerate([(0, 0), (1, 0), (9, 9), (10, 9)]):
+            road.add_vertex(vid, x, y)
+        road.add_edge(0, 1)
+        road.add_edge(2, 3)
+        assert math.isinf(bidirectional_dijkstra(road, 0, 3))
+
+
+class TestEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        source=st.integers(0, 59),
+        target=st.integers(0, 59),
+    )
+    def test_matches_unidirectional(self, seed, source, target):
+        rng = np.random.default_rng(seed)
+        road = generate_road_network(60, rng)
+        expected = dijkstra(road, source).get(target, math.inf)
+        actual = bidirectional_dijkstra(road, source, target)
+        if math.isinf(expected):
+            assert math.isinf(actual)
+        else:
+            assert actual == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,87 @@
+"""Unit and property tests for hashed keyword bit vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.index.bitvector import KeywordBitVector
+
+keyword_sets = st.sets(st.integers(0, 200), max_size=20)
+
+
+class TestBasics:
+    def test_empty_vector_contains_nothing_surely(self):
+        vec = KeywordBitVector(16)
+        assert not any(vec.might_contain(k) for k in range(50))
+
+    def test_added_keywords_always_found(self):
+        vec = KeywordBitVector.from_keywords([1, 5, 9], 16)
+        for k in (1, 5, 9):
+            assert vec.might_contain(k)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            KeywordBitVector(0)
+
+    def test_collisions_possible_with_tiny_width(self):
+        # With 2 bits and many keywords, false positives must appear.
+        vec = KeywordBitVector.from_keywords(range(10), 2)
+        false_positives = [
+            k for k in range(10, 100) if vec.might_contain(k)
+        ]
+        assert false_positives
+
+    def test_set_positions(self):
+        vec = KeywordBitVector(8)
+        vec.add(0)
+        positions = list(vec.set_positions())
+        assert len(positions) == 1
+
+
+class TestUnion:
+    def test_union_covers_both(self):
+        a = KeywordBitVector.from_keywords([1, 2], 32)
+        b = KeywordBitVector.from_keywords([3, 4], 32)
+        u = a.union(b)
+        for k in (1, 2, 3, 4):
+            assert u.might_contain(k)
+
+    def test_union_update_in_place(self):
+        a = KeywordBitVector.from_keywords([1], 32)
+        b = KeywordBitVector.from_keywords([2], 32)
+        a.union_update(b)
+        assert a.might_contain(1) and a.might_contain(2)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            KeywordBitVector(8).union(KeywordBitVector(16))
+        with pytest.raises(InvalidParameterError):
+            KeywordBitVector(8).union_update(KeywordBitVector(16))
+
+    def test_equality(self):
+        a = KeywordBitVector.from_keywords([1, 2], 32)
+        b = KeywordBitVector.from_keywords([2, 1], 32)
+        assert a == b
+        assert a != KeywordBitVector.from_keywords([3], 32)
+
+
+class TestProperties:
+    @given(keyword_sets, st.integers(1, 64))
+    def test_no_false_negatives(self, keywords, num_bits):
+        """The property every upper bound depends on: members always probe
+        positive, regardless of vector width."""
+        vec = KeywordBitVector.from_keywords(keywords, num_bits)
+        assert all(vec.might_contain(k) for k in keywords)
+
+    @given(keyword_sets, keyword_sets, st.integers(1, 64))
+    def test_union_has_no_false_negatives(self, a_keys, b_keys, num_bits):
+        a = KeywordBitVector.from_keywords(a_keys, num_bits)
+        b = KeywordBitVector.from_keywords(b_keys, num_bits)
+        u = a.union(b)
+        assert all(u.might_contain(k) for k in a_keys | b_keys)
+
+    @given(keyword_sets, st.integers(1, 64))
+    def test_deterministic_hashing(self, keywords, num_bits):
+        a = KeywordBitVector.from_keywords(keywords, num_bits)
+        b = KeywordBitVector.from_keywords(keywords, num_bits)
+        assert a == b

@@ -1,0 +1,77 @@
+"""Tests for the dataset calibration diagnostics — these encode the
+distributional targets DESIGN.md documents for the generators."""
+
+import pytest
+
+from repro.datagen.realworld import brightkite_california
+from repro.datagen.synthetic import uni_dataset, zipf_dataset
+from repro.experiments.calibration import calibrate, calibration_rows
+
+
+@pytest.fixture(scope="module")
+def uni_report():
+    network = uni_dataset(
+        num_road_vertices=200, num_pois=70, num_users=250, seed=31
+    )
+    return calibrate(network, num_samples=400, seed=1)
+
+
+class TestGammaSelectivity:
+    def test_pass_rates_decrease_with_gamma(self, uni_report):
+        rates = [
+            uni_report.gamma_pass_rates[g] for g in (0.2, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_default_gamma_is_selective_but_not_empty(self, uni_report):
+        """The Figure-7(b) target: gamma=0.5 prunes the majority of
+        random pairs while leaving a workable fraction."""
+        rate = uni_report.gamma_pass_rates[0.5]
+        assert 0.05 <= rate <= 0.5
+
+    def test_friends_more_similar_than_random(self, uni_report):
+        """Homophily: friend pairs pass gamma=0.5 more often than random
+        pairs do."""
+        assert (
+            uni_report.friend_gamma_pass_rates[0.5]
+            > uni_report.gamma_pass_rates[0.5]
+        )
+
+
+class TestComponentStructure:
+    def test_giant_component_with_satellite_fringe(self, uni_report):
+        assert 0.6 <= uni_report.giant_component_share <= 0.95
+        assert uni_report.num_components > 1
+
+
+class TestThetaFeasibility:
+    def test_pass_rates_decrease_with_theta(self, uni_report):
+        rates = [
+            uni_report.theta_pass_rates[t] for t in (0.2, 0.3, 0.5, 0.7, 0.9)
+        ]
+        assert all(a >= b + -1e-9 for a, b in zip(rates, rates[1:]))
+
+    def test_regions_nonempty(self, uni_report):
+        assert uni_report.median_region_size >= 1
+
+
+class TestOtherDatasets:
+    def test_zipf_calibrates(self):
+        network = zipf_dataset(
+            num_road_vertices=150, num_pois=50, num_users=150, seed=31
+        )
+        report = calibrate(network, num_samples=200, seed=2)
+        assert 0.0 < report.gamma_pass_rates[0.2] <= 1.0
+
+    def test_brightkite_simulacrum_calibrates(self):
+        network = brightkite_california(scale=0.006, seed=31)
+        report = calibrate(network, num_samples=200, seed=2)
+        assert report.friend_gamma_pass_rates[0.3] > 0.1
+        assert report.giant_component_share > 0.6
+
+
+class TestRows:
+    def test_flattening(self, uni_report):
+        headers, rows = calibration_rows(uni_report)
+        assert headers == ["diagnostic", "value"]
+        assert len(rows) == 5 + 5 + 2 + 5 + 1

@@ -1,0 +1,87 @@
+"""Unit tests for the Uniform/Zipf samplers."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import (
+    Distribution,
+    UniformSampler,
+    ZipfSampler,
+    make_sampler,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestUniform:
+    def test_integers_in_range(self, rng):
+        sampler = UniformSampler(rng)
+        draws = [sampler.integers(2, 5) for _ in range(200)]
+        assert all(2 <= d <= 5 for d in draws)
+        assert set(draws) == {2, 3, 4, 5}
+
+    def test_empty_range_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            UniformSampler(rng).integers(5, 2)
+
+    def test_unit_in_bounds(self, rng):
+        draws = UniformSampler(rng).unit(500)
+        assert np.all((draws >= 0) & (draws <= 1))
+
+    def test_choice_weights_flat(self, rng):
+        w = UniformSampler(rng).choice_weights(4)
+        assert np.allclose(w, 0.25)
+
+    def test_choice_weights_bad_k(self, rng):
+        with pytest.raises(InvalidParameterError):
+            UniformSampler(rng).choice_weights(0)
+
+
+class TestZipf:
+    def test_integers_in_range(self, rng):
+        sampler = ZipfSampler(rng)
+        draws = [sampler.integers(0, 5) for _ in range(300)]
+        assert all(0 <= d <= 5 for d in draws)
+
+    def test_skew_toward_low_values(self, rng):
+        sampler = ZipfSampler(rng, s=1.5)
+        draws = [sampler.integers(0, 9) for _ in range(2000)]
+        low = sum(1 for d in draws if d <= 2)
+        high = sum(1 for d in draws if d >= 7)
+        assert low > 3 * high
+
+    def test_unit_in_bounds_and_skewed(self, rng):
+        draws = ZipfSampler(rng).unit(2000)
+        assert np.all((draws >= 0) & (draws <= 1))
+        assert float(np.median(draws)) < 0.5
+
+    def test_choice_weights_sum_to_one_and_decrease(self, rng):
+        w = ZipfSampler(rng).choice_weights(5)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(w[i] >= w[i + 1] for i in range(4))
+
+    def test_bad_exponent_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            ZipfSampler(rng, s=0.0)
+
+    def test_empty_range_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            ZipfSampler(rng).integers(3, 1)
+
+
+class TestFactory:
+    def test_uniform(self, rng):
+        assert isinstance(
+            make_sampler(Distribution.UNIFORM, rng), UniformSampler
+        )
+
+    def test_zipf(self, rng):
+        assert isinstance(make_sampler(Distribution.ZIPF, rng), ZipfSampler)
+
+    def test_unknown_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            make_sampler("not-a-distribution", rng)

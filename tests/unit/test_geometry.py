@@ -1,0 +1,189 @@
+"""Unit tests for geometric primitives (points, MBRs, distances)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry import MBR, Point, euclidean
+
+coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def boxes(dims: int = 2):
+    """Strategy generating valid MBRs of the given dimensionality."""
+    return st.lists(
+        st.tuples(coord, coord), min_size=dims, max_size=dims
+    ).map(
+        lambda pairs: MBR(
+            [min(a, b) for a, b in pairs], [max(a, b) for a, b in pairs]
+        )
+    )
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -1.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5
+
+
+class TestEuclidean:
+    def test_matches_hypot(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+    def test_higher_dimensions(self):
+        assert euclidean((1, 1, 1, 1), (2, 2, 2, 2)) == pytest.approx(2.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            euclidean((1, 2), (1, 2, 3))
+
+
+class TestMBRConstruction:
+    def test_from_point_has_zero_area(self):
+        box = MBR.from_point((3.0, 4.0))
+        assert box.area() == 0.0
+        assert box.low == box.high == (3.0, 4.0)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MBR((1.0, 0.0), (0.0, 1.0))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MBR((0.0,), (1.0, 1.0))
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MBR.union_of([])
+
+    def test_union_of_covers_all(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((2, -1), (3, 0.5))
+        u = MBR.union_of([a, b])
+        assert u.contains(a) and u.contains(b)
+        assert u.low == (0.0, -1.0) and u.high == (3.0, 1.0)
+
+    def test_immutable(self):
+        box = MBR((0, 0), (1, 1))
+        with pytest.raises(AttributeError):
+            box.low = (5, 5)
+
+
+class TestMBRRelations:
+    def test_contains_point_boundary(self):
+        box = MBR((0, 0), (2, 2))
+        assert box.contains_point((0, 0))
+        assert box.contains_point((2, 2))
+        assert not box.contains_point((2.0001, 1))
+
+    def test_intersects_touching_edges(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((1, 0), (2, 1))
+        assert a.intersects(b)
+        assert a.intersection_area(b) == 0.0
+
+    def test_disjoint_boxes(self):
+        a = MBR((0, 0), (1, 1))
+        b = MBR((3, 3), (4, 4))
+        assert not a.intersects(b)
+        assert a.intersection_area(b) == 0.0
+        assert a.mindist_mbr(b) == pytest.approx(math.sqrt(8))
+
+    def test_enlargement(self):
+        a = MBR((0, 0), (2, 2))
+        b = MBR((3, 0), (4, 2))
+        assert a.enlargement(b) == pytest.approx(8.0 - 4.0)
+
+    def test_margin(self):
+        assert MBR((0, 0), (2, 3)).margin() == 5.0
+
+    def test_center(self):
+        assert MBR((0, 0), (4, 2)).center == (2.0, 1.0)
+
+
+class TestMBRDistances:
+    def test_mindist_point_inside_is_zero(self):
+        box = MBR((0, 0), (10, 10))
+        assert box.mindist_point((5, 5)) == 0.0
+
+    def test_mindist_point_outside(self):
+        box = MBR((0, 0), (10, 10))
+        assert box.mindist_point((13, 14)) == 5.0
+
+    def test_maxdist_point(self):
+        box = MBR((0, 0), (3, 4))
+        assert box.maxdist_point((0, 0)) == 5.0
+
+    def test_maxdist_mbr_of_identical_box(self):
+        box = MBR((0, 0), (3, 4))
+        assert box.maxdist_mbr(box) == 5.0
+
+
+class TestMBRProperties:
+    @given(boxes(), st.tuples(coord, coord))
+    def test_mindist_le_maxdist(self, box, point):
+        assert box.mindist_point(point) <= box.maxdist_point(point) + 1e-9
+
+    @given(boxes(), st.tuples(coord, coord))
+    def test_contained_point_has_zero_mindist(self, box, point):
+        if box.contains_point(point):
+            assert box.mindist_point(point) == 0.0
+
+    @given(boxes(), boxes())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains(a) and u.contains(b)
+
+    @given(boxes(), boxes())
+    def test_union_commutes(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(boxes(), boxes())
+    def test_intersection_area_symmetric(self, a, b):
+        assert a.intersection_area(b) == pytest.approx(
+            b.intersection_area(a), rel=1e-9, abs=1e-9
+        )
+
+    @given(boxes(), boxes())
+    def test_mindist_mbr_zero_iff_intersecting(self, a, b):
+        if a.intersects(b):
+            assert a.mindist_mbr(b) == 0.0
+        else:
+            # Strict positivity only when the gap is large enough that
+            # squaring it cannot underflow to zero.
+            gap = max(
+                max(bl - ah, al - bh, 0.0)
+                for al, ah, bl, bh in zip(a.low, a.high, b.low, b.high)
+            )
+            assert a.mindist_mbr(b) >= 0.0
+            if gap > 1e-100:
+                assert a.mindist_mbr(b) > 0.0
+
+    @given(boxes(), boxes(), st.tuples(coord, coord))
+    def test_mindist_point_monotone_under_union(self, a, b, point):
+        # A bigger box can only be closer to any point.
+        u = a.union(b)
+        assert u.mindist_point(point) <= a.mindist_point(point) + 1e-9
+
+    @given(boxes())
+    def test_area_nonnegative(self, box):
+        assert box.area() >= 0.0
+
+    @given(boxes(3), st.tuples(coord, coord, coord))
+    def test_three_dimensional_boxes(self, box, point):
+        assert box.dimensions == 3
+        assert box.mindist_point(point) <= box.maxdist_point(point) + 1e-9

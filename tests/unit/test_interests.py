@@ -1,0 +1,118 @@
+"""Unit and property tests for interest-vector helpers (Eqs. 1 and 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.socialnet.interests import (
+    cosine_similarity,
+    interest_score,
+    interests_from_visits,
+    normalize_interests,
+)
+
+unit_vec = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=3, max_size=3,
+).map(lambda xs: np.asarray(xs))
+
+
+class TestInterestScore:
+    def test_table1_example(self):
+        # Interest_Score(u1, u2) with Table 1's vectors.
+        u1 = np.asarray([0.7, 0.3, 0.7])
+        u2 = np.asarray([0.2, 0.9, 0.3])
+        assert interest_score(u1, u2) == pytest.approx(
+            0.7 * 0.2 + 0.3 * 0.9 + 0.7 * 0.3
+        )
+
+    def test_orthogonal_vectors_score_zero(self):
+        assert interest_score(np.asarray([1.0, 0.0]), np.asarray([0.0, 1.0])) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(InvalidParameterError):
+            interest_score(np.zeros(3), np.zeros(4))
+
+    @given(unit_vec, unit_vec)
+    def test_symmetry(self, a, b):
+        assert interest_score(a, b) == pytest.approx(interest_score(b, a))
+
+    @given(unit_vec, unit_vec)
+    def test_nonnegative_for_probability_vectors(self, a, b):
+        assert interest_score(a, b) >= 0.0
+
+    @given(unit_vec, unit_vec)
+    def test_equals_cosine_identity(self, a, b):
+        # Eq. 4: the dot product equals ||a|| * ||b|| * cos(theta).
+        na, nb = np.linalg.norm(a), np.linalg.norm(b)
+        expected = na * nb * cosine_similarity(a, b)
+        assert interest_score(a, b) == pytest.approx(expected, abs=1e-9)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = np.asarray([0.3, 0.4])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_zero_vector_yields_zero(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    @given(unit_vec, unit_vec)
+    def test_bounded(self, a, b):
+        assert -1.0 - 1e-9 <= cosine_similarity(a, b) <= 1.0 + 1e-9
+
+
+class TestNormalize:
+    def test_peak_above_one_rescaled(self):
+        out = normalize_interests([2.0, 1.0, 0.5])
+        assert out.max() == pytest.approx(1.0)
+        assert out[1] == pytest.approx(0.5)
+
+    def test_already_valid_unchanged(self):
+        out = normalize_interests([0.5, 0.25])
+        assert list(out) == [0.5, 0.25]
+
+    def test_negatives_clipped(self):
+        out = normalize_interests([-0.5, 0.5])
+        assert out[0] == 0.0
+
+    def test_all_zero_unchanged(self):
+        assert list(normalize_interests([0.0, 0.0])) == [0.0, 0.0]
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            normalize_interests(np.zeros((2, 2)))
+
+
+class TestVisits:
+    def test_fractions(self):
+        out = interests_from_visits([2, 1, 1], 3)
+        assert list(out) == pytest.approx([0.5, 0.25, 0.25])
+
+    def test_all_zero_counts(self):
+        assert list(interests_from_visits([0, 0], 2)) == [0.0, 0.0]
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            interests_from_visits([1, -1], 2)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            interests_from_visits([1, 2, 3], 2)
+
+    def test_concentration_sharpens(self):
+        flat = interests_from_visits([3, 1], 2)
+        sharp = interests_from_visits([3, 1], 2, concentration=3.0)
+        assert sharp[0] > flat[0]
+        assert sharp.sum() == pytest.approx(1.0)
+
+    def test_bad_concentration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            interests_from_visits([1, 1], 2, concentration=0.0)
+
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=6))
+    def test_sums_to_one_or_zero(self, counts):
+        out = interests_from_visits(counts, len(counts))
+        total = float(out.sum())
+        assert total == pytest.approx(1.0) or total == 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for the JSON network bundle (save/load round-trip)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.io.bundle import load_network, save_network
+from repro import GPSSNQuery, GPSSNQueryProcessor
+from tests.conftest import build_tiny_network
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, tmp_path):
+        original = build_tiny_network()
+        path = tmp_path / "net.json"
+        save_network(path, original)
+        loaded = load_network(path)
+
+        assert loaded.num_keywords == original.num_keywords
+        assert loaded.road.num_vertices == original.road.num_vertices
+        assert sorted(loaded.road.edges()) == sorted(original.road.edges())
+        assert loaded.num_pois == original.num_pois
+        for pid in original.poi_ids():
+            assert loaded.poi(pid).keywords == original.poi(pid).keywords
+            assert loaded.poi(pid).position == original.poi(pid).position
+        assert loaded.social.num_users == original.social.num_users
+        assert (
+            loaded.social.num_friendships == original.social.num_friendships
+        )
+        for uid in original.social.user_ids():
+            assert np.allclose(
+                loaded.social.user(uid).interests,
+                original.social.user(uid).interests,
+            )
+            assert loaded.social.friends(uid) == original.social.friends(uid)
+
+    def test_queries_agree_after_roundtrip(self, tmp_path):
+        original = build_tiny_network()
+        path = tmp_path / "net.json"
+        save_network(path, original)
+        loaded = load_network(path)
+        query = GPSSNQuery(query_user=0, tau=3, gamma=0.3, theta=0.5, radius=20.0)
+        kwargs = dict(
+            num_road_pivots=2, num_social_pivots=2,
+            r_min=0.5, r_max=30.0, seed=1,
+        )
+        a1, _ = GPSSNQueryProcessor(original, **kwargs).answer(query)
+        a2, _ = GPSSNQueryProcessor(loaded, **kwargs).answer(query)
+        assert a1.found == a2.found
+        if a1.found:
+            assert a1.max_distance == pytest.approx(a2.max_distance)
+            assert a1.users == a2.users
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(InvalidParameterError, match="not a gpssn-bundle"):
+            load_network(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"format": "gpssn-bundle", "version": 99})
+        )
+        with pytest.raises(InvalidParameterError, match="version"):
+            load_network(path)

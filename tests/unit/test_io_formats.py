@@ -1,0 +1,128 @@
+"""Unit tests for the SNAP / DIMACS dataset parsers and writers."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.io.formats import (
+    CheckinRecord,
+    load_checkins,
+    load_dimacs_road,
+    load_snap_social_edges,
+    write_checkins,
+    write_dimacs_road,
+    write_snap_social_edges,
+)
+from tests.conftest import build_grid_road
+
+
+class TestSnapEdges:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        edges = [(0, 1), (1, 2), (0, 5)]
+        write_snap_social_edges(path, edges)
+        assert load_snap_social_edges(path) == sorted(edges)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0\t1\n# mid comment\n2 3\n")
+        assert load_snap_social_edges(path) == [(0, 1), (2, 3)]
+
+    def test_duplicate_directions_collapse(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\t1\n1\t0\n")
+        assert load_snap_social_edges(path) == [(0, 1)]
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("4\t4\n0\t1\n")
+        assert load_snap_social_edges(path) == [(0, 1)]
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\t1\nbroken\n")
+        with pytest.raises(InvalidParameterError, match=":2"):
+            load_snap_social_edges(path)
+
+    def test_non_integer_id_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\n")
+        with pytest.raises(InvalidParameterError):
+            load_snap_social_edges(path)
+
+
+class TestCheckins:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        records = [
+            CheckinRecord(0, 39.7, -104.9, "loc_a", "2010-10-17T01:48:53Z"),
+            CheckinRecord(1, 37.6, -122.4, "loc_b", "2010-10-16T06:02:04Z"),
+        ]
+        write_checkins(path, records)
+        loaded = load_checkins(path)
+        assert [(r.user_id, r.location_id) for r in loaded] == [
+            (0, "loc_a"), (1, "loc_b"),
+        ]
+        assert loaded[0].latitude == pytest.approx(39.7)
+
+    def test_short_record_raises(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text("0\t2010\t39.7\n")
+        with pytest.raises(InvalidParameterError, match=":1"):
+            load_checkins(path)
+
+    def test_malformed_float_raises(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        path.write_text("0\t2010\tnot-a-float\t1.0\tloc\n")
+        with pytest.raises(InvalidParameterError):
+            load_checkins(path)
+
+    def test_missing_timestamp_defaults_on_write(self, tmp_path):
+        path = tmp_path / "checkins.txt"
+        write_checkins(path, [CheckinRecord(0, 1.0, 2.0, "x")])
+        assert load_checkins(path)[0].timestamp == "1970-01-01T00:00:00Z"
+
+
+class TestDimacs:
+    def test_roundtrip_preserves_graph(self, tmp_path):
+        road = build_grid_road(side=3)
+        gr, co = tmp_path / "g.gr", tmp_path / "g.co"
+        write_dimacs_road(gr, co, road)
+        loaded = load_dimacs_road(gr, co)
+        assert loaded.num_vertices == road.num_vertices
+        assert loaded.num_edges == road.num_edges
+        assert sorted(loaded.edges()) == sorted(road.edges())
+        for vid in road.vertices():
+            assert loaded.coords(vid) == road.coords(vid)
+
+    def test_length_scale(self, tmp_path):
+        road = build_grid_road(side=2)
+        gr, co = tmp_path / "g.gr", tmp_path / "g.co"
+        write_dimacs_road(gr, co, road)
+        scaled = load_dimacs_road(gr, co, length_scale=0.5)
+        u, v, length = next(iter(road.edges()))
+        assert scaled.edge_length(u, v) == pytest.approx(length / 2)
+
+    def test_malformed_arc_raises(self, tmp_path):
+        co = tmp_path / "g.co"
+        gr = tmp_path / "g.gr"
+        co.write_text("v 1 0 0\nv 2 1 0\n")
+        gr.write_text("a 1 2\n")  # missing weight
+        with pytest.raises(InvalidParameterError, match="g.gr:1"):
+            load_dimacs_road(gr, co)
+
+    def test_malformed_coordinate_raises(self, tmp_path):
+        co = tmp_path / "g.co"
+        gr = tmp_path / "g.gr"
+        co.write_text("v 1 0\n")
+        gr.write_text("")
+        with pytest.raises(InvalidParameterError, match="g.co:1"):
+            load_dimacs_road(gr, co)
+
+    def test_comment_and_problem_lines_skipped(self, tmp_path):
+        co = tmp_path / "g.co"
+        gr = tmp_path / "g.gr"
+        co.write_text("c comment\np aux sp co 2\nv 1 0 0\nv 2 3 4\n")
+        gr.write_text("c comment\np sp 2 2\na 1 2 5.0\na 2 1 5.0\n")
+        road = load_dimacs_road(gr, co)
+        assert road.num_vertices == 2
+        assert road.edge_length(1, 2) == 5.0

@@ -1,0 +1,125 @@
+"""Unit and property tests for the alternative interest metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import InterestMetric, MetricScorer, support
+from repro.exceptions import InvalidParameterError
+from repro.geometry import MBR
+
+vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=4, max_size=4,
+).map(np.asarray)
+
+ALL_METRICS = list(InterestMetric)
+
+
+class TestSupport:
+    def test_threshold_boundary(self):
+        w = np.asarray([0.05, 0.1, 0.5, 0.0])
+        assert support(w, 0.1) == frozenset({1, 2})
+
+    def test_empty_support(self):
+        assert support(np.zeros(3), 0.1) == frozenset()
+
+
+class TestScores:
+    def test_dot_matches_eq1(self):
+        scorer = MetricScorer(InterestMetric.DOT)
+        a = np.asarray([0.7, 0.3, 0.7])
+        b = np.asarray([0.2, 0.9, 0.3])
+        assert scorer.score(a, b) == pytest.approx(0.62)
+
+    def test_cosine_of_identical_is_one(self):
+        scorer = MetricScorer(InterestMetric.COSINE)
+        v = np.asarray([0.3, 0.4, 0.0])
+        assert scorer.score(v, v) == pytest.approx(1.0)
+
+    def test_cosine_zero_vector(self):
+        scorer = MetricScorer(InterestMetric.COSINE)
+        assert scorer.score(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_jaccard_known_value(self):
+        scorer = MetricScorer(InterestMetric.JACCARD, binarize_threshold=0.5)
+        a = np.asarray([0.9, 0.9, 0.0, 0.0])
+        b = np.asarray([0.9, 0.0, 0.9, 0.0])
+        assert scorer.score(a, b) == pytest.approx(1 / 3)
+
+    def test_jaccard_both_empty_supports(self):
+        scorer = MetricScorer(InterestMetric.JACCARD, binarize_threshold=0.5)
+        assert scorer.score(np.zeros(3), np.zeros(3)) == 0.0
+
+    def test_hamming_known_value(self):
+        scorer = MetricScorer(InterestMetric.HAMMING, binarize_threshold=0.5)
+        a = np.asarray([0.9, 0.9, 0.0, 0.0])
+        b = np.asarray([0.9, 0.0, 0.9, 0.0])
+        assert scorer.score(a, b) == pytest.approx(1.0 - 2 / 4)
+
+    def test_shape_mismatch_rejected(self):
+        scorer = MetricScorer(InterestMetric.DOT)
+        with pytest.raises(InvalidParameterError):
+            scorer.score(np.zeros(3), np.zeros(4))
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MetricScorer(InterestMetric.JACCARD, binarize_threshold=0.0)
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MetricScorer("not-a-metric")
+
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    @given(a=vectors, b=vectors)
+    def test_symmetry(self, metric, a, b):
+        scorer = MetricScorer(metric)
+        assert scorer.score(a, b) == pytest.approx(scorer.score(b, a))
+
+    @pytest.mark.parametrize(
+        "metric",
+        [InterestMetric.COSINE, InterestMetric.JACCARD, InterestMetric.HAMMING],
+    )
+    @given(a=vectors, b=vectors)
+    def test_normalized_metrics_bounded(self, metric, a, b):
+        scorer = MetricScorer(metric)
+        assert -1e-9 <= scorer.score(a, b) <= 1.0 + 1e-9
+
+
+class TestPairwiseMatrix:
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    def test_matrix_matches_scalar_scores(self, metric):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((6, 4))
+        scorer = MetricScorer(metric)
+        scores = scorer.pairwise_matrix(matrix)
+        for i in range(6):
+            for j in range(6):
+                assert scores[i, j] == pytest.approx(
+                    scorer.score(matrix[i], matrix[j]), abs=1e-9
+                )
+
+
+class TestBoxUpperBounds:
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    @given(anchor=vectors, low=vectors, spread=vectors)
+    def test_ub_over_box_sound(self, metric, anchor, low, spread):
+        """The generalized Lemma-8 soundness: the bound dominates the
+        score of every vector inside the box."""
+        scorer = MetricScorer(metric)
+        high = np.minimum(low + spread, 1.0)
+        low = np.minimum(low, high)
+        box = MBR(list(low), list(high))
+        ub = scorer.ub_over_box(box, anchor)
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            x = low + rng.random(4) * (high - low)
+            assert scorer.score(x, anchor) <= ub + 1e-9
+
+    def test_node_prunable_boundary(self):
+        scorer = MetricScorer(InterestMetric.DOT)
+        box = MBR([0.0, 0.0], [0.4, 0.4])
+        anchor = np.asarray([0.5, 0.5])
+        # max dot over box = 0.4: prunable at gamma 0.5, not at 0.3.
+        assert scorer.node_prunable(box, anchor, 0.5)
+        assert not scorer.node_prunable(box, anchor, 0.3)

@@ -1,0 +1,102 @@
+"""Unit tests for the integrated spatial-social network container."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    NetworkPosition,
+    POI,
+    SocialNetwork,
+    SpatialSocialNetwork,
+    User,
+)
+from repro.exceptions import GraphConstructionError, UnknownEntityError
+from repro.geometry import Point
+from tests.conftest import build_grid_road
+
+
+def minimal_social(road, num_keywords=3):
+    social = SocialNetwork()
+    social.add_user(
+        User(0, np.zeros(num_keywords), NetworkPosition(0, 1, 1.0))
+    )
+    return social
+
+
+class TestValidation:
+    def test_duplicate_poi_ids_rejected(self, grid_road):
+        poi = POI(0, Point(0, 0), NetworkPosition(0, 1, 1.0), frozenset({0}))
+        with pytest.raises(GraphConstructionError):
+            SpatialSocialNetwork(
+                grid_road, minimal_social(grid_road), [poi, poi], 3
+            )
+
+    def test_poi_off_edge_rejected(self, grid_road):
+        poi = POI(0, Point(0, 0), NetworkPosition(0, 1, 99.0), frozenset({0}))
+        with pytest.raises(GraphConstructionError):
+            SpatialSocialNetwork(
+                grid_road, minimal_social(grid_road), [poi], 3
+            )
+
+    def test_poi_keyword_out_of_universe_rejected(self, grid_road):
+        poi = POI(0, Point(0, 0), NetworkPosition(0, 1, 1.0), frozenset({7}))
+        with pytest.raises(GraphConstructionError):
+            SpatialSocialNetwork(
+                grid_road, minimal_social(grid_road), [poi], 3
+            )
+
+    def test_user_home_off_edge_rejected(self, grid_road):
+        social = SocialNetwork()
+        social.add_user(User(0, np.zeros(3), NetworkPosition(0, 1, 99.0)))
+        with pytest.raises(GraphConstructionError):
+            SpatialSocialNetwork(grid_road, social, [], 3)
+
+    def test_interest_dimension_mismatch_rejected(self, grid_road):
+        social = SocialNetwork()
+        social.add_user(User(0, np.zeros(4), NetworkPosition(0, 1, 1.0)))
+        with pytest.raises(GraphConstructionError):
+            SpatialSocialNetwork(grid_road, social, [], 3)
+
+
+class TestAccess(object):
+    def test_poi_lookup(self, tiny_network):
+        assert tiny_network.poi(0).poi_id == 0
+        with pytest.raises(UnknownEntityError):
+            tiny_network.poi(99)
+
+    def test_counts(self, tiny_network):
+        assert tiny_network.num_pois == 5
+        assert len(tiny_network.pois()) == 5
+        assert sorted(tiny_network.poi_ids()) == [0, 1, 2, 3, 4]
+
+
+class TestDistances:
+    def test_poi_poi_distance_symmetric(self, tiny_network):
+        d01 = tiny_network.poi_poi_distance(0, 1)
+        d10 = tiny_network.poi_poi_distance(1, 0)
+        assert d01 == pytest.approx(d10)
+
+    def test_poi_poi_known_value(self, tiny_network):
+        # POI 0 at (5,0) on edge 0-1; POI 1 at (15,0) on edge 1-2: the
+        # along-road distance is 10.
+        assert tiny_network.poi_poi_distance(0, 1) == pytest.approx(10.0)
+
+    def test_user_poi_distance_known_value(self, tiny_network):
+        # User 0 home at (2,0) on edge 0-1; POI 0 at (5,0) same edge.
+        assert tiny_network.user_poi_distance(0, 0) == pytest.approx(3.0)
+
+    def test_pois_within_includes_center(self, tiny_network):
+        region = tiny_network.pois_within(0, 1.0)
+        assert 0 in region
+
+    def test_pois_within_radius_monotone(self, tiny_network):
+        small = set(tiny_network.pois_within(0, 5.0))
+        large = set(tiny_network.pois_within(0, 25.0))
+        assert small <= large
+
+    def test_pois_within_matches_pairwise_distances(self, tiny_network):
+        radius = 12.0
+        region = set(tiny_network.pois_within(0, radius))
+        for pid in tiny_network.poi_ids():
+            d = tiny_network.poi_poi_distance(0, pid)
+            assert (pid in region) == (d <= radius)

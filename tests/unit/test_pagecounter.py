@@ -1,0 +1,40 @@
+"""Unit tests for the simulated I/O accounting."""
+
+from repro.index.pagecounter import PageAccessCounter
+
+
+class TestCaching:
+    def test_repeat_access_counts_once(self):
+        counter = PageAccessCounter()
+        counter.record("p1")
+        counter.record("p1")
+        counter.record("p2")
+        assert counter.total_accesses == 2
+
+    def test_reset_starts_fresh_query(self):
+        counter = PageAccessCounter()
+        counter.record("p1")
+        counter.reset()
+        assert counter.total_accesses == 0
+        counter.record("p1")
+        assert counter.total_accesses == 1
+
+    def test_snapshot(self):
+        counter = PageAccessCounter()
+        counter.record("a")
+        counter.record("b")
+        assert counter.snapshot() == 2
+
+
+class TestUncached:
+    def test_every_access_counts(self):
+        counter = PageAccessCounter(cache_within_query=False)
+        for _ in range(3):
+            counter.record("p1")
+        assert counter.total_accesses == 3
+
+    def test_tuple_page_ids(self):
+        counter = PageAccessCounter()
+        counter.record(("road", 1))
+        counter.record(("social", 1))
+        assert counter.total_accesses == 2

@@ -1,0 +1,117 @@
+"""Unit and property tests for the balanced graph partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import NetworkPosition, SocialNetwork, User
+from repro.exceptions import InvalidParameterError
+from repro.socialnet.partition import bisect_graph, partition_graph
+
+HOME = NetworkPosition(0, 1, 1.0)
+
+
+def ring_network(n: int) -> SocialNetwork:
+    social = SocialNetwork()
+    for uid in range(n):
+        social.add_user(User(uid, np.asarray([0.5]), HOME))
+    for uid in range(n):
+        social.add_friendship(uid, (uid + 1) % n)
+    return social
+
+
+def random_network(n: int, seed: int) -> SocialNetwork:
+    rng = np.random.default_rng(seed)
+    social = SocialNetwork()
+    for uid in range(n):
+        social.add_user(User(uid, np.asarray([0.5]), HOME))
+    for uid in range(1, n):
+        social.add_friendship(uid, int(rng.integers(uid)))
+    extra = n // 2
+    for _ in range(extra):
+        a, b = int(rng.integers(n)), int(rng.integers(n))
+        if a != b and not social.are_friends(a, b):
+            social.add_friendship(a, b)
+    return social
+
+
+class TestBisect:
+    def test_halves_are_balanced(self):
+        social = ring_network(20)
+        first, second = bisect_graph(social, list(range(20)))
+        assert abs(len(first) - len(second)) <= 2
+        assert sorted(first + second) == list(range(20))
+
+    def test_two_vertices(self):
+        social = ring_network(4)
+        first, second = bisect_graph(social, [0, 1])
+        assert sorted(first + second) == [0, 1]
+        assert first and second
+
+    def test_too_few_vertices_rejected(self):
+        social = ring_network(4)
+        with pytest.raises(InvalidParameterError):
+            bisect_graph(social, [0])
+
+    def test_ring_halves_are_contiguous(self):
+        # BFS growth on a ring yields a contiguous arc: both halves
+        # should induce connected subgraphs.
+        social = ring_network(16)
+        first, second = bisect_graph(social, list(range(16)))
+        assert social.is_connected_subset(first)
+        assert social.is_connected_subset(second)
+
+    def test_disconnected_input_still_partitions_fully(self):
+        social = SocialNetwork()
+        for uid in range(6):
+            social.add_user(User(uid, np.asarray([0.5]), HOME))
+        social.add_friendship(0, 1)
+        social.add_friendship(2, 3)
+        # users 4, 5 isolated
+        first, second = bisect_graph(social, list(range(6)))
+        assert sorted(first + second) == list(range(6))
+        assert first and second
+
+
+class TestPartition:
+    def test_partition_sizes_bounded(self):
+        social = ring_network(40)
+        parts = partition_graph(social, list(range(40)), 8)
+        assert all(len(p) <= 8 for p in parts)
+        assert sorted(uid for p in parts for uid in p) == list(range(40))
+
+    def test_small_input_single_part(self):
+        social = ring_network(5)
+        parts = partition_graph(social, [0, 1, 2], 8)
+        assert parts == [[0, 1, 2]]
+
+    def test_empty_input(self):
+        social = ring_network(4)
+        assert partition_graph(social, [], 4) == []
+
+    def test_invalid_max_size_rejected(self):
+        social = ring_network(4)
+        with pytest.raises(InvalidParameterError):
+            partition_graph(social, [0, 1], 0)
+
+    def test_parts_are_disjoint(self):
+        social = random_network(50, seed=3)
+        parts = partition_graph(social, list(range(50)), 7)
+        seen = set()
+        for part in parts:
+            assert not (seen & set(part))
+            seen.update(part)
+        assert seen == set(range(50))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(4, 60),
+        max_size=st.integers(2, 12),
+        seed=st.integers(0, 100),
+    )
+    def test_cover_and_bound_invariants(self, n, max_size, seed):
+        social = random_network(n, seed)
+        parts = partition_graph(social, list(range(n)), max_size)
+        flattened = sorted(uid for p in parts for uid in p)
+        assert flattened == list(range(n))
+        assert all(1 <= len(p) <= max_size for p in parts)

@@ -1,0 +1,60 @@
+"""Unit tests for POIs and keyword utilities."""
+
+import pytest
+
+from repro import NetworkPosition, POI
+from repro.exceptions import InvalidParameterError
+from repro.geometry import Point
+from repro.roadnet.poi import union_keywords, validate_keywords
+
+
+def make_poi(poi_id: int, keywords) -> POI:
+    return POI(
+        poi_id=poi_id,
+        location=Point(0.0, 0.0),
+        position=NetworkPosition(0, 1, 1.0),
+        keywords=frozenset(keywords),
+    )
+
+
+class TestPOI:
+    def test_keywords_coerced_to_frozenset(self):
+        poi = POI(1, Point(0, 0), NetworkPosition(0, 1, 1.0), {1, 2})
+        assert isinstance(poi.keywords, frozenset)
+
+    def test_has_keyword(self):
+        poi = make_poi(1, {0, 2})
+        assert poi.has_keyword(0)
+        assert not poi.has_keyword(1)
+
+    def test_empty_keyword_set_allowed(self):
+        assert make_poi(1, set()).keywords == frozenset()
+
+
+class TestUnionKeywords:
+    def test_union(self):
+        pois = [make_poi(1, {0}), make_poi(2, {1, 2}), make_poi(3, {2})]
+        assert union_keywords(pois) == frozenset({0, 1, 2})
+
+    def test_empty_iterable(self):
+        assert union_keywords([]) == frozenset()
+
+    def test_union_is_superset_of_each(self):
+        pois = [make_poi(i, {i % 3, (i + 1) % 3}) for i in range(5)]
+        merged = union_keywords(pois)
+        for poi in pois:
+            assert poi.keywords <= merged
+
+
+class TestValidateKeywords:
+    def test_valid_passes(self):
+        assert validate_keywords([0, 1, 4], 5) == frozenset({0, 1, 4})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            validate_keywords([5], 5)
+        with pytest.raises(InvalidParameterError):
+            validate_keywords([-1], 5)
+
+    def test_duplicates_collapse(self):
+        assert validate_keywords([1, 1, 1], 5) == frozenset({1})

@@ -1,0 +1,170 @@
+"""Unit and property tests for object-level pruning (Section 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.pruning import (
+    PruningRegion,
+    corollary2_prunable,
+    distance_pair_prunable,
+    interest_score_prunable,
+    lb_maxdist_via_query_user,
+    matching_score_prunable,
+    social_distance_prunable,
+    ub_maxdist_via_center,
+)
+from repro.core.scores import interest_score
+from repro.exceptions import InvalidParameterError
+from repro.geometry import MBR
+
+vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=3, max_size=3,
+).map(np.asarray)
+gammas = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+
+
+class TestMatchingScorePruning:
+    def test_lemma1_boundary(self):
+        assert matching_score_prunable(0.49, 0.5)
+        assert not matching_score_prunable(0.5, 0.5)
+        assert not matching_score_prunable(0.9, 0.5)
+
+
+class TestInterestScorePruning:
+    def test_lemma3_boundary(self):
+        a = np.asarray([1.0, 0.0])
+        b = np.asarray([0.4, 0.0])
+        assert interest_score_prunable(a, b, 0.5)
+        assert not interest_score_prunable(a, b, 0.4)
+
+
+class TestPruningRegion:
+    @given(vectors, vectors, gammas)
+    def test_point_test_equals_halfplane(self, anchor, candidate, gamma):
+        """Corollary 1's region is exactly {x : x . anchor < gamma}."""
+        region = PruningRegion(anchor, gamma)
+        in_region = region.contains_vector(candidate)
+        below = interest_score(anchor, candidate) < gamma
+        if abs(interest_score(anchor, candidate) - gamma) > 1e-9:
+            assert in_region == below
+
+    @given(vectors, gammas)
+    def test_pruned_vectors_fail_threshold(self, anchor, gamma):
+        region = PruningRegion(anchor, gamma)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            w = rng.random(3)
+            if region.contains_vector(w):
+                assert interest_score(anchor, w) < gamma + 1e-9
+
+    def test_zero_anchor_degenerate_cases(self):
+        zero = np.zeros(3)
+        region_pos = PruningRegion(zero, 0.5)
+        assert region_pos.contains_vector(np.asarray([1.0, 1.0, 1.0]))
+        region_zero = PruningRegion(zero, 0.0)
+        assert not region_zero.contains_vector(np.asarray([1.0, 0.0, 0.0]))
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            PruningRegion(np.ones(2), -0.1)
+
+    @given(vectors, gammas)
+    def test_mbr_test_sound(self, anchor, gamma):
+        """Lemma 8 soundness: a pruned box holds no vector passing gamma."""
+        region = PruningRegion(anchor, gamma)
+        rng = np.random.default_rng(1)
+        low = rng.random(3) * 0.5
+        high = low + rng.random(3) * 0.5
+        box = MBR(list(low), list(high))
+        if region.contains_mbr(box):
+            for _ in range(10):
+                w = low + rng.random(3) * (high - low)
+                assert interest_score(anchor, w) < gamma + 1e-9
+
+    @given(vectors, gammas)
+    def test_geometric_test_implies_exact_test(self, anchor, gamma):
+        """The paper's literal B/B' comparison is conservative: whenever
+        it prunes, the exact halfplane test also prunes."""
+        region = PruningRegion(anchor, gamma)
+        rng = np.random.default_rng(2)
+        low = rng.random(3) * 0.5
+        high = low + rng.random(3) * 0.5
+        box = MBR(list(low), list(high))
+        if region.contains_mbr_geometric(box):
+            assert region.contains_mbr(box)
+
+    def test_case2_small_norm_anchor(self):
+        # ||B||^2 < gamma exercises Case 2 of Figure 5.
+        anchor = np.asarray([0.3, 0.2, 0.1])
+        gamma = 0.5
+        region = PruningRegion(anchor, gamma)
+        assert not region.case1
+        w = np.asarray([0.1, 0.1, 0.1])
+        assert region.contains_vector(w) == (
+            interest_score(anchor, w) < gamma
+        )
+
+
+class TestCorollary2:
+    def test_threshold_boundary(self):
+        membership = {7: [1, 2, 3]}
+        # |S'| = 6, tau = 4 -> threshold 3 hostile members
+        assert corollary2_prunable(7, membership, 6, 4)
+        # tau = 3 -> threshold 4: three hostiles are not enough
+        assert not corollary2_prunable(7, membership, 6, 3)
+
+    def test_absent_candidate_not_pruned(self):
+        assert not corollary2_prunable(9, {}, 5, 3)
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            corollary2_prunable(1, {}, 5, 0)
+
+
+class TestSocialDistancePruning:
+    def test_lemma4_boundary(self):
+        assert social_distance_prunable(5, 5)
+        assert not social_distance_prunable(4, 5)
+        assert social_distance_prunable(math.inf, 2)
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            social_distance_prunable(1, 0)
+
+
+class TestDistancePairPruning:
+    def test_lemma5_boundary(self):
+        assert distance_pair_prunable(10.0, 10.5)
+        assert not distance_pair_prunable(10.0, 10.0)  # ties survive
+        assert not distance_pair_prunable(10.0, 9.0)
+
+
+class TestEq5Eq6:
+    def test_ub_maxdist_via_center(self):
+        assert ub_maxdist_via_center([3.0, 7.0], [1.0, 2.0]) == 9.0
+
+    def test_ub_with_empty_region(self):
+        assert ub_maxdist_via_center([3.0], []) == 3.0
+        assert ub_maxdist_via_center([], [1.0]) == 0.0
+
+    def test_lb_maxdist_via_query_user(self):
+        assert lb_maxdist_via_query_user([2.0, 5.0, 1.0]) == 5.0
+        assert lb_maxdist_via_query_user([]) == 0.0
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=5),
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=5),
+    )
+    def test_eq5_dominates_eq6_for_shared_scenario(self, user_dists, poi_dists):
+        """For any (S, R) built around a center, Eq. 5 >= Eq. 6 when the
+        query user is among the users and POIs lie in the region."""
+        ub = ub_maxdist_via_center(user_dists, poi_dists)
+        # Eq. 6 evaluated with dist(u_q, o) <= dist(u_q, center) + dist(center, o)
+        lb = lb_maxdist_via_query_user(
+            [min(user_dists) for _ in poi_dists]
+        )
+        assert ub >= lb - 1e-9

@@ -1,0 +1,120 @@
+"""Unit tests for query/answer/statistics types and the config module."""
+
+import math
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.core.query import (
+    GPSSNAnswer,
+    GPSSNQuery,
+    PruningCounters,
+    QueryStatistics,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestGPSSNQuery:
+    def test_defaults_match_table3(self):
+        q = GPSSNQuery(query_user=1)
+        assert (q.tau, q.gamma, q.theta, q.radius) == (5, 0.5, 0.5, 2.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            GPSSNQuery(query_user=1, tau=0)
+        with pytest.raises(InvalidParameterError):
+            GPSSNQuery(query_user=1, gamma=-0.1)
+        with pytest.raises(InvalidParameterError):
+            GPSSNQuery(query_user=1, theta=-1)
+        with pytest.raises(InvalidParameterError):
+            GPSSNQuery(query_user=1, radius=0.0)
+
+    def test_frozen(self):
+        q = GPSSNQuery(query_user=1)
+        with pytest.raises(AttributeError):
+            q.tau = 3
+
+
+class TestGPSSNAnswer:
+    def test_empty_answer(self):
+        empty = GPSSNAnswer.empty()
+        assert not empty.found
+        assert math.isinf(empty.max_distance)
+        assert empty.users == frozenset()
+
+    def test_found_answer_requires_users(self):
+        with pytest.raises(InvalidParameterError):
+            GPSSNAnswer(
+                users=frozenset(), pois=frozenset({1}),
+                max_distance=1.0, found=True,
+            )
+
+
+class TestPruningCounters:
+    def test_powers_normalized(self):
+        p = PruningCounters(
+            total_users=100, social_index_pruned=40, social_object_pruned=30,
+            total_pois=50, road_index_pruned=10, road_object_pruned=20,
+        )
+        assert p.social_index_power() == pytest.approx(0.4)
+        assert p.social_object_power() == pytest.approx(0.5)
+        assert p.road_index_power() == pytest.approx(0.2)
+        assert p.road_object_power() == pytest.approx(0.5)
+
+    def test_zero_totals(self):
+        p = PruningCounters()
+        assert p.social_index_power() == 0.0
+        assert p.road_object_power() == 0.0
+        assert p.pair_pruning_power() == 0.0
+
+    def test_pair_power(self):
+        p = PruningCounters(
+            candidate_pairs_examined=1, total_possible_pairs=1_000_000.0
+        )
+        assert p.pair_pruning_power() == pytest.approx(1 - 1e-6)
+
+    def test_everything_pruned_at_index_level(self):
+        p = PruningCounters(total_users=10, social_index_pruned=10)
+        assert p.social_object_power() == 0.0
+
+
+class TestExperimentConfig:
+    def test_defaults_are_table3_bold(self):
+        assert DEFAULT_CONFIG.gamma == 0.5
+        assert DEFAULT_CONFIG.tau == 5
+        assert DEFAULT_CONFIG.num_pois == 10_000
+        assert DEFAULT_CONFIG.theta == 0.5
+        assert DEFAULT_CONFIG.radius == 2.0
+
+    def test_scaled_shrinks_structures_only(self):
+        scaled = DEFAULT_CONFIG.scaled(0.01)
+        assert scaled.num_pois == 100
+        assert scaled.num_road_vertices == 300
+        assert scaled.gamma == DEFAULT_CONFIG.gamma
+        assert scaled.tau == DEFAULT_CONFIG.tau
+
+    def test_scaled_floors(self):
+        scaled = DEFAULT_CONFIG.scaled(1e-9)
+        assert scaled.num_pois >= 20
+        assert scaled.num_road_vertices >= 30
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            DEFAULT_CONFIG.scaled(0.0)
+
+    def test_radius_outside_envelope_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(radius=10.0)
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(tau=0)
+
+
+class TestQueryStatistics:
+    def test_defaults(self):
+        stats = QueryStatistics()
+        assert stats.cpu_time_sec == 0.0
+        assert stats.page_accesses == 0
+        assert stats.groups_refined == 0
+        assert isinstance(stats.pruning, PruningCounters)

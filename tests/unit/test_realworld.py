@@ -1,0 +1,120 @@
+"""Unit tests for the simulated real-world datasets (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.realworld import (
+    brightkite_california,
+    dataset_stats,
+    gowalla_colorado,
+    preferential_attachment_graph,
+)
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def bri():
+    return brightkite_california(scale=0.01, seed=5)
+
+
+@pytest.fixture(scope="module")
+def gow():
+    return gowalla_colorado(scale=0.01, seed=5)
+
+
+class TestPreferentialAttachment:
+    def test_edge_count_tracks_degree(self):
+        rng = np.random.default_rng(0)
+        edges = preferential_attachment_graph(200, 10.0, rng)
+        avg_degree = 2 * len(edges) / 200
+        assert 8.0 <= avg_degree <= 12.0
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(0)
+        edges = preferential_attachment_graph(300, 6.0, rng)
+        degree = {}
+        for a, b in edges:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        degrees = sorted(degree.values(), reverse=True)
+        # The hub should dominate the median degree by a wide margin.
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_homophily_biases_edges(self):
+        rng = np.random.default_rng(1)
+        communities = [i % 2 for i in range(300)]
+        edges = preferential_attachment_graph(
+            300, 8.0, rng, communities=communities, homophily=0.8
+        )
+        same = sum(1 for a, b in edges if communities[a] == communities[b])
+        assert same / len(edges) > 0.6
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            preferential_attachment_graph(1, 4.0, np.random.default_rng(0))
+
+
+class TestTable2Shape:
+    def test_bri_cal_proportions(self, bri):
+        stats = dataset_stats("Bri+Cal", bri)
+        assert stats.social_users == 400
+        # Table 2: Brightkite degree 10.3, California road degree 2.1.
+        assert 7.0 <= stats.social_avg_degree <= 13.0
+        assert 1.8 <= stats.road_avg_degree <= 2.5
+
+    def test_gow_col_denser_social(self, bri, gow):
+        bri_stats = dataset_stats("Bri+Cal", bri)
+        gow_stats = dataset_stats("Gow+Col", gow)
+        # Gowalla (32.1) is much denser than Brightkite (10.3).
+        assert gow_stats.social_avg_degree > 2 * bri_stats.social_avg_degree
+
+    def test_road_vertex_proportions(self, bri, gow):
+        # California 21K vs Colorado 30K at equal scale.
+        assert gow.road.num_vertices > bri.road.num_vertices
+
+    def test_as_row_rounds(self, bri):
+        row = dataset_stats("Bri+Cal", bri).as_row()
+        assert row[0] == "Bri+Cal"
+        assert isinstance(row[2], float)
+
+
+class TestSimulacrumProperties:
+    def test_homes_on_valid_edges(self, bri):
+        for user in bri.social.users():
+            bri.road.validate_position(user.home)
+
+    def test_interests_are_distributions(self, bri):
+        for user in bri.social.users():
+            total = float(user.interests.sum())
+            assert total == pytest.approx(1.0) or total == 0.0
+
+    def test_interest_concentration(self, bri):
+        # The topic-salience transform should leave most users with a
+        # clearly dominant topic.
+        peaks = [float(u.interests.max()) for u in bri.social.users()]
+        assert np.median(peaks) > 0.5
+
+    def test_satellite_fringe_exists(self, gow):
+        seen = set()
+        sizes = []
+        for uid in gow.social.user_ids():
+            if uid not in seen:
+                comp = gow.social.connected_component(uid)
+                seen.update(comp)
+                sizes.append(len(comp))
+        sizes.sort(reverse=True)
+        assert sizes[0] >= 0.7 * gow.social.num_users
+        assert len(sizes) > 1
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            brightkite_california(scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            gowalla_colorado(scale=-1.0)
+
+    def test_determinism(self):
+        a = brightkite_california(scale=0.005, seed=7)
+        b = brightkite_california(scale=0.005, seed=7)
+        wa = np.stack([u.interests for u in a.social.users()])
+        wb = np.stack([u.interests for u in b.social.users()])
+        assert np.allclose(wa, wb)

@@ -1,0 +1,161 @@
+"""Unit tests for the road network graph model."""
+
+import math
+
+import pytest
+
+from repro import NetworkPosition, RoadNetwork
+from repro.exceptions import GraphConstructionError, UnknownEntityError
+
+
+@pytest.fixture()
+def triangle() -> RoadNetwork:
+    road = RoadNetwork()
+    road.add_vertex(1, 0.0, 0.0)
+    road.add_vertex(2, 3.0, 0.0)
+    road.add_vertex(3, 0.0, 4.0)
+    road.add_edge(1, 2)
+    road.add_edge(1, 3)
+    road.add_edge(2, 3)
+    return road
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+        assert triangle.average_degree() == pytest.approx(2.0)
+
+    def test_duplicate_vertex_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.add_vertex(1, 9.0, 9.0)
+
+    def test_duplicate_edge_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.add_edge(2, 1)
+
+    def test_self_loop_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.add_edge(1, 1)
+
+    def test_edge_to_unknown_vertex_rejected(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.add_edge(1, 99)
+
+    def test_nonpositive_length_rejected(self, triangle):
+        triangle.add_vertex(4, 10.0, 10.0)
+        with pytest.raises(GraphConstructionError):
+            triangle.add_edge(1, 4, length=-2.0)
+
+    def test_default_length_is_euclidean(self, triangle):
+        assert triangle.edge_length(1, 2) == pytest.approx(3.0)
+        assert triangle.edge_length(2, 3) == pytest.approx(5.0)
+
+    def test_explicit_length_overrides(self):
+        road = RoadNetwork()
+        road.add_vertex(1, 0, 0)
+        road.add_vertex(2, 1, 0)
+        road.add_edge(1, 2, length=7.5)
+        assert road.edge_length(1, 2) == 7.5
+
+    def test_coincident_vertices_get_positive_epsilon_length(self):
+        road = RoadNetwork()
+        road.add_vertex(1, 5, 5)
+        road.add_vertex(2, 5, 5)
+        road.add_edge(1, 2)
+        assert road.edge_length(1, 2) > 0
+
+    def test_version_bumps_on_mutation(self):
+        road = RoadNetwork()
+        v0 = road.version
+        road.add_vertex(1, 0, 0)
+        road.add_vertex(2, 1, 1)
+        assert road.version > v0
+        v1 = road.version
+        road.add_edge(1, 2)
+        assert road.version > v1
+
+    def test_empty_graph_degree(self):
+        assert RoadNetwork().average_degree() == 0.0
+
+
+class TestAccessors:
+    def test_unknown_vertex_raises(self, triangle):
+        with pytest.raises(UnknownEntityError):
+            triangle.coords(42)
+        with pytest.raises(UnknownEntityError):
+            triangle.neighbors(42)
+
+    def test_unknown_edge_raises(self, triangle):
+        with pytest.raises(UnknownEntityError):
+            triangle.edge_length(1, 42)
+
+    def test_edges_iterated_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+
+    def test_neighbors(self, triangle):
+        assert set(triangle.neighbors(1)) == {2, 3}
+
+    def test_has_edge_symmetric(self, triangle):
+        assert triangle.has_edge(1, 2) and triangle.has_edge(2, 1)
+        assert not triangle.has_edge(1, 99)
+
+    def test_nearest_vertex(self, triangle):
+        assert triangle.nearest_vertex(2.9, 0.1) == 2
+        assert triangle.nearest_vertex(-1, -1) == 1
+
+    def test_nearest_vertex_on_empty_graph(self):
+        with pytest.raises(UnknownEntityError):
+            RoadNetwork().nearest_vertex(0, 0)
+
+
+class TestPositions:
+    def test_position_coords_interpolates(self, triangle):
+        pos = NetworkPosition(1, 2, 1.5)
+        pt = triangle.position_coords(pos)
+        assert (pt.x, pt.y) == (1.5, 0.0)
+
+    def test_position_at_endpoints(self, triangle):
+        assert triangle.position_coords(NetworkPosition(1, 2, 0.0)).as_tuple() == (0.0, 0.0)
+        assert triangle.position_coords(NetworkPosition(1, 2, 3.0)).as_tuple() == (3.0, 0.0)
+
+    def test_validate_position_rejects_bad_offset(self, triangle):
+        with pytest.raises(GraphConstructionError):
+            triangle.validate_position(NetworkPosition(1, 2, 99.0))
+
+    def test_validate_position_rejects_unknown_edge(self, triangle):
+        with pytest.raises(UnknownEntityError):
+            triangle.validate_position(NetworkPosition(1, 42, 0.0))
+
+    def test_reversed_orientation_coords(self, triangle):
+        forward = triangle.position_coords(NetworkPosition(1, 2, 1.0))
+        backward = triangle.position_coords(NetworkPosition(2, 1, 2.0))
+        assert forward.x == pytest.approx(backward.x)
+        assert forward.y == pytest.approx(backward.y)
+
+
+class TestConnectivity:
+    def test_triangle_connected(self, triangle):
+        assert triangle.is_connected()
+        assert triangle.connected_component(1) == [1, 2, 3]
+
+    def test_disconnected_components(self):
+        road = RoadNetwork()
+        for vid, (x, y) in enumerate([(0, 0), (1, 0), (10, 10), (11, 10)]):
+            road.add_vertex(vid, x, y)
+        road.add_edge(0, 1)
+        road.add_edge(2, 3)
+        assert not road.is_connected()
+        assert road.connected_component(0) == [0, 1]
+        assert road.connected_component(3) == [2, 3]
+
+    def test_single_vertex_connected(self):
+        road = RoadNetwork()
+        road.add_vertex(1, 0, 0)
+        assert road.is_connected()
+
+    def test_component_of_unknown_vertex(self, triangle):
+        with pytest.raises(UnknownEntityError):
+            triangle.connected_component(42)

@@ -1,0 +1,112 @@
+"""Dynamic R*-tree operations: k-nearest-neighbour search and deletion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry import MBR
+from repro.index.rstar import RStarTree
+
+coord = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+def build(pts, max_entries=6):
+    tree = RStarTree(max_entries=max_entries)
+    for i, (x, y) in enumerate(pts):
+        tree.insert(MBR.from_point((x, y)), i)
+    return tree
+
+
+class TestNearest:
+    def test_single_nearest(self):
+        tree = build([(0, 0), (10, 0), (0, 10), (50, 50)])
+        assert tree.nearest((9, 1), k=1) == [1]
+
+    def test_knn_matches_brute_force(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((150, 2)) * 100
+        tree = build([tuple(p) for p in pts])
+        for q in [(0, 0), (50, 50), (99, 1), (33, 66)]:
+            got = tree.nearest(q, k=9)
+            want = sorted(
+                range(150),
+                key=lambda i: (pts[i][0] - q[0]) ** 2 + (pts[i][1] - q[1]) ** 2,
+            )[:9]
+            assert set(got) == set(want)
+
+    def test_results_ordered_by_distance(self):
+        rng = np.random.default_rng(5)
+        pts = [tuple(p) for p in rng.random((60, 2)) * 100]
+        tree = build(pts)
+        q = (20.0, 80.0)
+        got = tree.nearest(q, k=10)
+        dists = [
+            (pts[i][0] - q[0]) ** 2 + (pts[i][1] - q[1]) ** 2 for i in got
+        ]
+        assert dists == sorted(dists)
+
+    def test_k_exceeds_size(self):
+        tree = build([(0, 0), (1, 1)])
+        assert set(tree.nearest((0, 0), k=10)) == {0, 1}
+
+    def test_empty_tree(self):
+        assert RStarTree().nearest((0, 0), k=3) == []
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            build([(0, 0)]).nearest((0, 0), k=0)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = build([(i, i) for i in range(20)])
+        assert tree.delete(MBR.from_point((5.0, 5.0)), 5)
+        assert tree.size == 19
+        assert 5 not in tree.all_payloads()
+        tree.check_invariants()
+
+    def test_delete_missing_returns_false(self):
+        tree = build([(0, 0)])
+        assert not tree.delete(MBR.from_point((9.0, 9.0)), 0)
+        assert not tree.delete(MBR.from_point((0.0, 0.0)), 42)
+        assert tree.size == 1
+
+    def test_delete_everything(self):
+        pts = [(i % 7 * 10.0, i // 7 * 10.0) for i in range(49)]
+        tree = build(pts, max_entries=4)
+        for i, p in enumerate(pts):
+            assert tree.delete(MBR.from_point(p), i)
+        assert tree.size == 0
+        assert tree.height == 1
+        tree.check_invariants()
+
+    def test_duplicate_points_deleted_individually(self):
+        tree = build([(1.0, 1.0)] * 6, max_entries=4)
+        assert tree.delete(MBR.from_point((1.0, 1.0)), 2)
+        assert tree.size == 5
+        assert 2 not in tree.all_payloads()
+        assert 3 in tree.all_payloads()
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        pts=st.lists(st.tuples(coord, coord), min_size=5, max_size=80),
+        seed=st.integers(0, 100),
+    )
+    def test_random_delete_sequences_keep_invariants(self, pts, seed):
+        tree = build(pts, max_entries=5)
+        rng = np.random.default_rng(seed)
+        order = list(rng.permutation(len(pts)))
+        victims = order[: len(pts) // 2]
+        for i in victims:
+            assert tree.delete(MBR.from_point(pts[i]), int(i))
+        tree.check_invariants()
+        survivors = sorted(set(range(len(pts))) - set(int(v) for v in victims))
+        assert sorted(tree.all_payloads()) == survivors
+        # Search still exact after the churn.
+        query = MBR((10, 10), (70, 70))
+        expected = sorted(
+            i for i in survivors
+            if 10 <= pts[i][0] <= 70 and 10 <= pts[i][1] <= 70
+        )
+        assert sorted(tree.search(query)) == expected

@@ -1,0 +1,75 @@
+"""Unit and property tests for the score functions (Eqs. 1-2, 15, 18)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scores import (
+    interest_score,
+    match_score,
+    match_score_bitvector,
+    min_match_over_users,
+)
+from repro.index.bitvector import KeywordBitVector
+
+interests = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=5, max_size=5,
+).map(np.asarray)
+keyword_sets = st.sets(st.integers(0, 4), max_size=5)
+
+
+class TestMatchScore:
+    def test_eq2_example(self):
+        """Table-1 style: u4's mass on topics covered by {restaurant, cafe}."""
+        u4 = np.asarray([0.9, 0.7, 0.7])
+        assert match_score(u4, {0, 2}) == pytest.approx(0.9 + 0.7)
+
+    def test_empty_keywords_scores_zero(self):
+        assert match_score(np.asarray([0.5, 0.5]), set()) == 0.0
+
+    def test_full_coverage_equals_total_mass(self):
+        w = np.asarray([0.2, 0.3, 0.5])
+        assert match_score(w, {0, 1, 2}) == pytest.approx(1.0)
+
+    @given(interests, keyword_sets, keyword_sets)
+    def test_monotone_in_keywords(self, w, a, b):
+        """Lemma 2: a superset of keywords never lowers the score."""
+        assert match_score(w, a | b) >= match_score(w, a) - 1e-12
+
+    @given(interests, keyword_sets)
+    def test_bounded_by_mass(self, w, keys):
+        assert 0.0 <= match_score(w, keys) <= float(w.sum()) + 1e-12
+
+
+class TestBitvectorScore:
+    @given(interests, keyword_sets, st.integers(1, 32))
+    def test_upper_bounds_exact_score(self, w, keys, num_bits):
+        """The property Lemma 6 depends on: hashing only inflates."""
+        vec = KeywordBitVector.from_keywords(keys, num_bits)
+        assert match_score_bitvector(w, vec) >= match_score(w, keys) - 1e-12
+
+    def test_wide_vector_is_exact(self):
+        w = np.asarray([0.4, 0.3, 0.2, 0.1, 0.0])
+        keys = {0, 3}
+        vec = KeywordBitVector.from_keywords(keys, 4096)
+        assert match_score_bitvector(w, vec) == pytest.approx(
+            match_score(w, keys)
+        )
+
+
+class TestMinMatch:
+    def test_takes_minimum(self):
+        users = [np.asarray([1.0, 0.0]), np.asarray([0.0, 1.0])]
+        assert min_match_over_users(users, {0}) == 0.0
+        assert min_match_over_users(users, {0, 1}) == pytest.approx(1.0)
+
+    def test_empty_users(self):
+        assert min_match_over_users([], {0}) == 0.0
+
+
+class TestInterestScoreReexport:
+    def test_same_function_as_socialnet(self):
+        from repro.socialnet.interests import interest_score as original
+
+        assert interest_score is original

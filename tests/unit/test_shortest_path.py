@@ -1,0 +1,191 @@
+"""Unit and property tests for Dijkstra and the distance oracle."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import NetworkPosition
+from repro.datagen.synthetic import generate_road_network
+from repro.exceptions import UnknownEntityError
+from repro.roadnet.shortest_path import (
+    DistanceOracle,
+    dijkstra,
+    multi_source_dijkstra,
+    position_distance_from_map,
+    position_seeds,
+)
+from tests.conftest import build_grid_road
+
+
+def to_networkx(road):
+    g = nx.Graph()
+    for u, v, length in road.edges():
+        g.add_edge(u, v, weight=length)
+    return g
+
+
+class TestDijkstra:
+    def test_grid_distances_match_networkx(self, grid_road):
+        ours = dijkstra(grid_road, 0)
+        reference = nx.single_source_dijkstra_path_length(
+            to_networkx(grid_road), 0
+        )
+        assert set(ours) == set(reference)
+        for v, d in reference.items():
+            assert ours[v] == pytest.approx(d)
+
+    def test_source_distance_is_zero(self, grid_road):
+        assert dijkstra(grid_road, 5)[5] == 0.0
+
+    def test_unknown_source_raises(self, grid_road):
+        with pytest.raises(UnknownEntityError):
+            dijkstra(grid_road, 999)
+
+    def test_max_distance_truncates(self, grid_road):
+        truncated = dijkstra(grid_road, 0, max_distance=15.0)
+        full = dijkstra(grid_road, 0)
+        assert set(truncated) == {v for v, d in full.items() if d <= 15.0}
+        for v, d in truncated.items():
+            assert d == pytest.approx(full[v])
+
+    def test_unreachable_vertices_absent(self):
+        from repro import RoadNetwork
+
+        road = RoadNetwork()
+        for vid, (x, y) in enumerate([(0, 0), (1, 0), (5, 5), (6, 5)]):
+            road.add_vertex(vid, x, y)
+        road.add_edge(0, 1)
+        road.add_edge(2, 3)
+        dist = dijkstra(road, 0)
+        assert set(dist) == {0, 1}
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), source=st.integers(0, 59))
+    def test_random_networks_match_networkx(self, seed, source):
+        rng = np.random.default_rng(seed)
+        road = generate_road_network(60, rng)
+        ours = dijkstra(road, source)
+        reference = nx.single_source_dijkstra_path_length(
+            to_networkx(road), source
+        )
+        assert set(ours) == set(reference)
+        for v, d in reference.items():
+            assert ours[v] == pytest.approx(d)
+
+
+class TestMultiSource:
+    def test_two_seeds_take_minimum(self, grid_road):
+        combined = multi_source_dijkstra(grid_road, [(0, 0.0), (15, 0.0)])
+        from_zero = dijkstra(grid_road, 0)
+        from_last = dijkstra(grid_road, 15)
+        for v in combined:
+            assert combined[v] == pytest.approx(
+                min(from_zero.get(v, math.inf), from_last.get(v, math.inf))
+            )
+
+    def test_initial_offsets_respected(self, grid_road):
+        dist = multi_source_dijkstra(grid_road, [(0, 3.0)])
+        assert dist[0] == 3.0
+        assert dist[1] == pytest.approx(13.0)
+
+    def test_empty_seed_list(self, grid_road):
+        assert multi_source_dijkstra(grid_road, []) == {}
+
+
+class TestPositionDistances:
+    def test_position_seeds_split_edge(self, grid_road):
+        pos = NetworkPosition(0, 1, 4.0)
+        seeds = dict(position_seeds(grid_road, pos))
+        assert seeds[0] == 4.0
+        assert seeds[1] == pytest.approx(6.0)
+
+    def test_same_edge_shortcut(self, grid_road):
+        oracle = DistanceOracle(grid_road)
+        a = NetworkPosition(0, 1, 2.0)
+        b = NetworkPosition(0, 1, 7.0)
+        assert oracle.distance("a", a, b) == pytest.approx(5.0)
+
+    def test_same_edge_reverse_orientation(self, grid_road):
+        oracle = DistanceOracle(grid_road)
+        a = NetworkPosition(0, 1, 2.0)
+        b = NetworkPosition(1, 0, 3.0)  # 7.0 from vertex 0
+        assert oracle.distance("a", a, b) == pytest.approx(5.0)
+
+    def test_cross_edge_distance(self, grid_road):
+        oracle = DistanceOracle(grid_road)
+        a = NetworkPosition(0, 1, 5.0)   # middle of bottom-left edge
+        b = NetworkPosition(0, 4, 5.0)   # middle of left vertical edge
+        assert oracle.distance("a", a, b) == pytest.approx(10.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        road = generate_road_network(40, rng)
+        edges = list(road.edges())
+        u1, v1, l1 = edges[int(rng.integers(len(edges)))]
+        u2, v2, l2 = edges[int(rng.integers(len(edges)))]
+        a = NetworkPosition(u1, v1, float(rng.random() * l1))
+        b = NetworkPosition(u2, v2, float(rng.random() * l2))
+        oracle = DistanceOracle(road)
+        assert oracle.distance("a", a, b) == pytest.approx(
+            oracle.distance("b", b, a), rel=1e-9, abs=1e-9
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_triangle_inequality(self, seed):
+        rng = np.random.default_rng(seed)
+        road = generate_road_network(40, rng)
+        edges = list(road.edges())
+        positions = []
+        for _ in range(3):
+            u, v, length = edges[int(rng.integers(len(edges)))]
+            positions.append(NetworkPosition(u, v, float(rng.random() * length)))
+        oracle = DistanceOracle(road)
+        ab = oracle.distance("a", positions[0], positions[1])
+        bc = oracle.distance("b", positions[1], positions[2])
+        ac = oracle.distance("a", positions[0], positions[2])
+        assert ac <= ab + bc + 1e-9
+
+
+class TestOracle:
+    def test_caching_avoids_repeat_searches(self, grid_road):
+        oracle = DistanceOracle(grid_road)
+        pos = NetworkPosition(0, 1, 1.0)
+        other = NetworkPosition(14, 15, 2.0)
+        oracle.distance("k", pos, other)
+        runs = oracle.searches_run
+        oracle.distance("k", pos, other)
+        assert oracle.searches_run == runs
+
+    def test_eviction_beyond_cache_size(self, grid_road):
+        oracle = DistanceOracle(grid_road, cache_size=2)
+        for key in ("a", "b", "c"):
+            oracle.distances_from(key, NetworkPosition(0, 1, 1.0))
+        assert oracle.searches_run == 3
+        oracle.distances_from("a", NetworkPosition(0, 1, 1.0))
+        assert oracle.searches_run == 4  # "a" was evicted
+
+    def test_clear(self, grid_road):
+        oracle = DistanceOracle(grid_road)
+        oracle.distances_from("a", NetworkPosition(0, 1, 1.0))
+        oracle.clear()
+        oracle.distances_from("a", NetworkPosition(0, 1, 1.0))
+        assert oracle.searches_run == 2
+
+    def test_unreachable_position_is_inf(self):
+        from repro import RoadNetwork
+
+        road = RoadNetwork()
+        for vid, (x, y) in enumerate([(0, 0), (1, 0), (5, 5), (6, 5)]):
+            road.add_vertex(vid, x, y)
+        road.add_edge(0, 1)
+        road.add_edge(2, 3)
+        oracle = DistanceOracle(road)
+        a = NetworkPosition(0, 1, 0.5)
+        b = NetworkPosition(2, 3, 0.5)
+        assert math.isinf(oracle.distance("a", a, b))

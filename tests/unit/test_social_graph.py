@@ -1,0 +1,141 @@
+"""Unit tests for the social network graph model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import NetworkPosition, SocialNetwork, User
+from repro.exceptions import GraphConstructionError, UnknownEntityError
+
+HOME = NetworkPosition(0, 1, 1.0)
+
+
+def make_user(uid: int, weights=(0.5, 0.5)) -> User:
+    return User(uid, np.asarray(weights, dtype=float), HOME)
+
+
+@pytest.fixture()
+def path_network() -> SocialNetwork:
+    """Users 0-1-2-3 in a path, plus isolated user 4."""
+    social = SocialNetwork()
+    for uid in range(5):
+        social.add_user(make_user(uid))
+    for a, b in [(0, 1), (1, 2), (2, 3)]:
+        social.add_friendship(a, b)
+    return social
+
+
+class TestUser:
+    def test_interests_frozen(self):
+        user = make_user(1)
+        with pytest.raises(ValueError):
+            user.interests[0] = 0.9
+
+    def test_out_of_range_interests_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            User(1, np.asarray([1.5, 0.0]), HOME)
+        with pytest.raises(GraphConstructionError):
+            User(1, np.asarray([-0.2, 0.0]), HOME)
+
+    def test_non_1d_interests_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            User(1, np.zeros((2, 2)), HOME)
+
+    def test_dimensions(self):
+        assert make_user(1, (0.1, 0.2, 0.3)).dimensions == 3
+
+    def test_tiny_float_noise_clipped(self):
+        user = User(1, np.asarray([1.0 + 1e-13, -1e-13]), HOME)
+        assert user.interests[0] == 1.0
+        assert user.interests[1] == 0.0
+
+
+class TestConstruction:
+    def test_duplicate_user_rejected(self, path_network):
+        with pytest.raises(GraphConstructionError):
+            path_network.add_user(make_user(0))
+
+    def test_duplicate_friendship_rejected(self, path_network):
+        with pytest.raises(GraphConstructionError):
+            path_network.add_friendship(1, 0)
+
+    def test_self_friendship_rejected(self, path_network):
+        with pytest.raises(GraphConstructionError):
+            path_network.add_friendship(2, 2)
+
+    def test_friendship_with_unknown_user_rejected(self, path_network):
+        with pytest.raises(GraphConstructionError):
+            path_network.add_friendship(0, 99)
+
+    def test_counts(self, path_network):
+        assert path_network.num_users == 5
+        assert path_network.num_friendships == 3
+        assert path_network.average_degree() == pytest.approx(6 / 5)
+
+    def test_empty_network_degree(self):
+        assert SocialNetwork().average_degree() == 0.0
+
+
+class TestAccessors:
+    def test_unknown_user_raises(self, path_network):
+        with pytest.raises(UnknownEntityError):
+            path_network.user(99)
+        with pytest.raises(UnknownEntityError):
+            path_network.friends(99)
+
+    def test_are_friends(self, path_network):
+        assert path_network.are_friends(0, 1)
+        assert path_network.are_friends(1, 0)
+        assert not path_network.are_friends(0, 3)
+
+    def test_users_iteration(self, path_network):
+        assert sorted(u.user_id for u in path_network.users()) == [0, 1, 2, 3, 4]
+
+
+class TestHopDistances:
+    def test_path_distances(self, path_network):
+        dist = path_network.hop_distances_from(0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_max_hops_truncation(self, path_network):
+        dist = path_network.hop_distances_from(0, max_hops=2)
+        assert dist == {0: 0, 1: 1, 2: 2}
+
+    def test_hop_distance_disconnected_is_inf(self, path_network):
+        assert math.isinf(path_network.hop_distance(0, 4))
+
+    def test_hop_distance_to_self(self, path_network):
+        assert path_network.hop_distance(2, 2) == 0
+
+    def test_unknown_source_raises(self, path_network):
+        with pytest.raises(UnknownEntityError):
+            path_network.hop_distances_from(99)
+        with pytest.raises(UnknownEntityError):
+            path_network.hop_distance(0, 99)
+
+
+class TestConnectivity:
+    def test_connected_subset_of_path(self, path_network):
+        assert path_network.is_connected_subset([0, 1, 2])
+        assert path_network.is_connected_subset([1, 2, 3])
+
+    def test_gap_breaks_induced_connectivity(self, path_network):
+        # 0 and 2 are both reachable in G_s but the induced subgraph
+        # {0, 2} has no edge: Definition 5 requires induced connectivity.
+        assert not path_network.is_connected_subset([0, 2])
+        assert not path_network.is_connected_subset([0, 2, 3])
+
+    def test_singleton_is_connected(self, path_network):
+        assert path_network.is_connected_subset([4])
+
+    def test_empty_subset_not_connected(self, path_network):
+        assert not path_network.is_connected_subset([])
+
+    def test_unknown_member_raises(self, path_network):
+        with pytest.raises(UnknownEntityError):
+            path_network.is_connected_subset([0, 99])
+
+    def test_connected_component(self, path_network):
+        assert path_network.connected_component(1) == [0, 1, 2, 3]
+        assert path_network.connected_component(4) == [4]

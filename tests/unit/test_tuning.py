@@ -1,0 +1,77 @@
+"""Tests for the data-driven parameter suggestion (Section 2.2)."""
+
+import pytest
+
+from repro import GPSSNQuery, GPSSNQueryProcessor, uni_dataset
+from repro.core.tuning import suggest_parameters
+from repro.exceptions import InvalidParameterError
+from repro.experiments.harness import sample_query_users
+
+
+@pytest.fixture(scope="module")
+def network():
+    return uni_dataset(
+        num_road_vertices=200, num_pois=70, num_users=200, seed=37
+    )
+
+
+class TestSuggestions:
+    def test_values_in_valid_ranges(self, network):
+        suggestion = suggest_parameters(network, percentile=75)
+        assert 0.0 <= suggestion.gamma <= 1.0
+        assert suggestion.theta >= 0.0
+        assert 0.5 <= suggestion.radius <= 4.0
+
+    def test_higher_percentile_stricter_gamma(self, network):
+        lax = suggest_parameters(network, percentile=25, seed=3)
+        strict = suggest_parameters(network, percentile=90, seed=3)
+        assert strict.gamma >= lax.gamma
+
+    def test_higher_percentile_lower_theta(self, network):
+        # theta uses the complementary percentile: asking for more
+        # feasible pairs means a lower threshold.
+        lax = suggest_parameters(network, percentile=25, seed=3)
+        strict = suggest_parameters(network, percentile=90, seed=3)
+        assert strict.theta <= lax.theta
+
+    def test_deterministic_by_seed(self, network):
+        a = suggest_parameters(network, seed=5)
+        b = suggest_parameters(network, seed=5)
+        assert a == b
+
+    def test_quartiles_reported_sorted(self, network):
+        suggestion = suggest_parameters(network)
+        for quartile in (
+            suggestion.interest_quartiles,
+            suggestion.matching_quartiles,
+            suggestion.poi_distance_quartiles,
+        ):
+            assert list(quartile) == sorted(quartile)
+
+    def test_bad_inputs_rejected(self, network):
+        with pytest.raises(InvalidParameterError):
+            suggest_parameters(network, percentile=0.0)
+        with pytest.raises(InvalidParameterError):
+            suggest_parameters(network, percentile=100.0)
+        with pytest.raises(InvalidParameterError):
+            suggest_parameters(network, num_samples=2)
+
+
+class TestSuggestedParametersAreUsable:
+    def test_median_percentile_yields_feasible_queries(self, network):
+        """The whole point of tuning: suggested thresholds should let a
+        reasonable share of queries find answers."""
+        suggestion = suggest_parameters(network, percentile=50, seed=1)
+        processor = GPSSNQueryProcessor(
+            network, num_road_pivots=3, num_social_pivots=3, seed=1
+        )
+        found = 0
+        for issuer in sample_query_users(network, 5, seed=2):
+            query = GPSSNQuery(
+                query_user=issuer, tau=3,
+                gamma=suggestion.gamma, theta=suggestion.theta,
+                radius=suggestion.radius,
+            )
+            answer, _ = processor.answer(query, max_groups=800)
+            found += answer.found
+        assert found >= 2
