@@ -1,0 +1,41 @@
+"""Per-phase timing breakdown of the query pipeline (observability).
+
+Not a paper figure: the span tracer's split of every query into
+traversal (social pruning, road sweep, witness filter) and refinement
+(Corollary 1-2 fixpoint, seed recheck, group enumeration). The paper's
+own evaluation discusses filtering-vs-refinement cost informally; this
+report makes the split a first-class, regenerable number so future
+performance work has a measured baseline.
+"""
+
+from benchmarks.conftest import (
+    BENCH_QUERIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    write_result,
+)
+from repro.experiments.figures import phase_breakdown
+from repro.experiments.harness import DATASET_NAMES
+
+
+def test_phase_breakdown(benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: phase_breakdown(BENCH_SCALE, BENCH_QUERIES, BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    write_result("phase_breakdown", headers, rows, "Per-phase timing")
+
+    assert len(rows) == len(DATASET_NAMES)
+    traverse_col = headers.index("traverse (ms)")
+    refine_col = headers.index("refine (ms)")
+    cpu_col = headers.index("cpu (ms)")
+    for row in rows:
+        name = row[0]
+        cpu, traverse, refine = row[cpu_col], row[traverse_col], row[refine_col]
+        # Both phases were actually timed ...
+        assert traverse > 0.0, name
+        assert refine >= 0.0, name
+        # ... and the top-level phases account for (almost) all of the
+        # reported CPU time — nothing substantial happens outside them.
+        assert traverse + refine <= cpu * 1.05 + 0.5, name
+        assert traverse + refine >= cpu * 0.5, name

@@ -32,6 +32,13 @@ from .experiments import figures as figure_drivers
 from .experiments.harness import DATASET_NAMES, ExperimentScale, build_dataset
 from .experiments.reporting import format_table
 from .io.bundle import load_network, save_network
+from .obs import (
+    Recorder,
+    format_stats_line,
+    phase_table,
+    prometheus_text,
+    write_trace_jsonl,
+)
 
 FIGURE_DRIVERS = {
     "table2": figure_drivers.table2_datasets,
@@ -49,6 +56,7 @@ FIGURE_DRIVERS = {
     "pivots": figure_drivers.appendix_pivots,
     "social-size": figure_drivers.appendix_social_size,
     "ablation": figure_drivers.ablation_pruning,
+    "phases": figure_drivers.phase_breakdown,
 }
 
 
@@ -89,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="use subset-sampling refinement with N sampled groups",
     )
     query.add_argument("--seed", type=int, default=7)
+    query.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the query and write it as JSON "
+        "lines to PATH; also prints the per-phase timing table",
+    )
+    query.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the query's metrics registry (counters, histograms) "
+        "to PATH in Prometheus text format",
+    )
 
     calib = sub.add_parser(
         "calibrate", help="print selectivity diagnostics of a bundle"
@@ -145,7 +163,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_query(args: argparse.Namespace) -> int:
     network = load_network(args.input)
-    processor = GPSSNQueryProcessor(network, seed=args.seed)
+    recorder = Recorder.traced() if args.trace else Recorder()
+    processor = GPSSNQueryProcessor(network, seed=args.seed, recorder=recorder)
     query = GPSSNQuery(
         query_user=args.user, tau=args.tau, gamma=args.gamma,
         theta=args.theta, radius=args.radius,
@@ -171,11 +190,15 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"#{rank}: S={sorted(answer.users)} R={sorted(answer.pois)} "
             f"maxdist={answer.max_distance:.4f}"
         )
-    print(
-        f"[cpu {stats.cpu_time_sec * 1000:.1f} ms, "
-        f"{stats.page_accesses} page accesses, "
-        f"{stats.groups_refined} groups refined]"
-    )
+    print(format_stats_line(stats))
+    if args.trace:
+        count = write_trace_jsonl(recorder.tracer.roots, args.trace)
+        print(phase_table(recorder.tracer.roots))
+        print(f"wrote {count} spans to {args.trace}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(prometheus_text(recorder.metrics))
+        print(f"wrote metrics to {args.metrics_out}")
     return 0
 
 

@@ -47,6 +47,7 @@ from ..index.pivots import (
 from ..index.road_index import AugmentedPOI, RoadIndex, RoadIndexNode
 from ..index.social_index import AugmentedUser, SocialIndex, SocialIndexNode
 from ..network import SpatialSocialNetwork
+from ..obs.registry import Recorder
 from ..roadnet.shortest_path import position_distance_from_map
 from .metrics import MetricScorer
 from .index_pruning import (
@@ -113,8 +114,14 @@ class GPSSNQueryProcessor:
         road_pivots: Optional[RoadPivotIndex] = None,
         social_pivots: Optional[SocialPivotIndex] = None,
         toggles: Optional[PruningToggles] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.toggles = toggles or PruningToggles()
+        # Default recorder: NullTracer (no span overhead) + live metrics
+        # registry (absorbed once per query, off the hot path). Swap in
+        # Recorder.traced() — or assign .recorder directly — to capture
+        # per-phase span trees.
+        self.recorder = recorder or Recorder()
         self.network = network
         rng = np.random.default_rng(seed)
         self.road_pivots = road_pivots or select_pivots_road(
@@ -148,7 +155,8 @@ class GPSSNQueryProcessor:
         time and :meth:`answer` refuses to serve stale structures.
         """
         fresh = GPSSNQueryProcessor(
-            self.network, toggles=self.toggles, **self._build_args
+            self.network, toggles=self.toggles, recorder=self.recorder,
+            **self._build_args
         )
         self.road_pivots = fresh.road_pivots
         self.social_pivots = fresh.social_pivots
@@ -162,6 +170,50 @@ class GPSSNQueryProcessor:
                 "the network changed after the indexes were built; call "
                 "rebuild() before answering further queries"
             )
+
+    # ------------------------------------------------------------------
+    # measurement plumbing shared by every entry point
+    # ------------------------------------------------------------------
+
+    def _begin_query(self) -> Tuple[QueryStatistics, int, int]:
+        """Reset per-query counters; snapshot the oracle's tallies."""
+        stats = QueryStatistics()
+        stats.pruning.total_users = self.network.social.num_users
+        stats.pruning.total_pois = self.network.num_pois
+        self.road_index.counter.reset()
+        self.social_index.counter.reset()
+        oracle = self.network.distances
+        return stats, oracle.searches_run, oracle.cache_hits
+
+    def _finish_query(
+        self,
+        stats: QueryStatistics,
+        qspan,
+        base_searches: int,
+        base_hits: int,
+        query: Optional[GPSSNQuery] = None,
+    ) -> None:
+        """Collect I/O + oracle deltas, phase times, and feed the recorder.
+
+        ``query`` enables the total-possible-pairs denominator (the
+        Figure-7(d) normalization); the sampled entry point omits it, as
+        it always has.
+        """
+        stats.page_accesses = (
+            self.road_index.counter.snapshot()
+            + self.social_index.counter.snapshot()
+        )
+        oracle = self.network.distances
+        stats.dijkstra_searches = oracle.searches_run - base_searches
+        stats.dijkstra_cache_hits = oracle.cache_hits - base_hits
+        if query is not None:
+            m = self.network.social.num_users
+            n = self.network.num_pois
+            stats.pruning.total_possible_pairs = float(
+                comb(max(m - 1, 0), min(query.tau - 1, max(m - 1, 0))) * n
+            )
+        stats.phase_times = qspan.child_totals()
+        self.recorder.record_query(stats)
 
     # ------------------------------------------------------------------
     # public API
@@ -195,33 +247,22 @@ class GPSSNQueryProcessor:
         if not self.network.social.has_user(query.query_user):
             raise UnknownEntityError(f"unknown query user {query.query_user}")
 
-        stats = QueryStatistics()
-        stats.pruning.total_users = self.network.social.num_users
-        stats.pruning.total_pois = self.network.num_pois
-        self.road_index.counter.reset()
-        self.social_index.counter.reset()
-        started = time.perf_counter()
+        stats, base_searches, base_hits = self._begin_query()
+        with self.recorder.span("query") as qspan:
+            started = time.perf_counter()
 
-        scorer = MetricScorer(query.metric)
-        s_cand, r_cand, delta = self._traverse(query, stats.pruning, scorer)
-        stats.candidate_users = len(s_cand)
-        stats.candidate_pois = len(r_cand)
+            scorer = MetricScorer(query.metric)
+            s_cand, r_cand, delta = self._traverse(query, stats.pruning, scorer)
+            stats.candidate_users = len(s_cand)
+            stats.candidate_pois = len(r_cand)
 
-        answers = self._refine(
-            query, s_cand, r_cand, stats, max_groups, scorer
-        )
-        answer = answers[0] if answers else GPSSNAnswer.empty()
+            answers = self._refine(
+                query, s_cand, r_cand, stats, max_groups, scorer
+            )
+            answer = answers[0] if answers else GPSSNAnswer.empty()
 
-        stats.cpu_time_sec = time.perf_counter() - started
-        stats.page_accesses = (
-            self.road_index.counter.snapshot()
-            + self.social_index.counter.snapshot()
-        )
-        m = self.network.social.num_users
-        n = self.network.num_pois
-        stats.pruning.total_possible_pairs = float(
-            comb(max(m - 1, 0), min(query.tau - 1, max(m - 1, 0))) * n
-        )
+            stats.cpu_time_sec = time.perf_counter() - started
+        self._finish_query(stats, qspan, base_searches, base_hits, query)
         return answer, stats
 
     def answer_topk(
@@ -250,34 +291,23 @@ class GPSSNQueryProcessor:
         if not self.network.social.has_user(query.query_user):
             raise UnknownEntityError(f"unknown query user {query.query_user}")
 
-        stats = QueryStatistics()
-        stats.pruning.total_users = self.network.social.num_users
-        stats.pruning.total_pois = self.network.num_pois
-        self.road_index.counter.reset()
-        self.social_index.counter.reset()
-        started = time.perf_counter()
+        stats, base_searches, base_hits = self._begin_query()
+        with self.recorder.span("query") as qspan:
+            started = time.perf_counter()
 
-        scorer = MetricScorer(query.metric)
-        s_cand, r_cand, _delta = self._traverse(
-            query, stats.pruning, scorer,
-            allow_delta_pruning=(k == 1),
-        )
-        stats.candidate_users = len(s_cand)
-        stats.candidate_pois = len(r_cand)
-        answers = self._refine(
-            query, s_cand, r_cand, stats, max_groups, scorer, k=k
-        )
+            scorer = MetricScorer(query.metric)
+            s_cand, r_cand, _delta = self._traverse(
+                query, stats.pruning, scorer,
+                allow_delta_pruning=(k == 1),
+            )
+            stats.candidate_users = len(s_cand)
+            stats.candidate_pois = len(r_cand)
+            answers = self._refine(
+                query, s_cand, r_cand, stats, max_groups, scorer, k=k
+            )
 
-        stats.cpu_time_sec = time.perf_counter() - started
-        stats.page_accesses = (
-            self.road_index.counter.snapshot()
-            + self.social_index.counter.snapshot()
-        )
-        m = self.network.social.num_users
-        n = self.network.num_pois
-        stats.pruning.total_possible_pairs = float(
-            comb(max(m - 1, 0), min(query.tau - 1, max(m - 1, 0))) * n
-        )
+            stats.cpu_time_sec = time.perf_counter() - started
+        self._finish_query(stats, qspan, base_searches, base_hits, query)
         return answers, stats
 
     def answer_sampled(
@@ -308,65 +338,66 @@ class GPSSNQueryProcessor:
         if not self.network.social.has_user(query.query_user):
             raise UnknownEntityError(f"unknown query user {query.query_user}")
 
-        stats = QueryStatistics()
-        stats.pruning.total_users = self.network.social.num_users
-        stats.pruning.total_pois = self.network.num_pois
-        self.road_index.counter.reset()
-        self.social_index.counter.reset()
-        started = time.perf_counter()
+        stats, base_searches, base_hits = self._begin_query()
+        with self.recorder.span("query") as qspan:
+            started = time.perf_counter()
 
-        scorer = MetricScorer(query.metric)
-        s_cand, r_cand, _delta = self._traverse(query, stats.pruning, scorer)
-        stats.candidate_users = len(s_cand)
-        stats.candidate_pois = len(r_cand)
+            scorer = MetricScorer(query.metric)
+            s_cand, r_cand, _delta = self._traverse(query, stats.pruning, scorer)
+            stats.candidate_users = len(s_cand)
+            stats.candidate_pois = len(r_cand)
 
-        network = self.network
-        social = network.social
-        uq_id = query.query_user
-        allowed = {au.user_id for au in s_cand} | {uq_id}
-        rng = np.random.default_rng(seed)
-        groups = sample_connected_groups(
-            network, uq_id, query.tau, query.gamma, rng, num_samples,
-            allowed=allowed, score_fn=scorer.score,
-        )
-
-        uq_user = social.user(uq_id)
-        uq_map = network.distances.distances_from(("user", uq_id), uq_user.home)
-        seed_dist = {
-            ap.poi_id: position_distance_from_map(
-                network.road, uq_map, ap.poi.position, uq_user.home
-            )
-            for ap in r_cand
-        }
-        seeds = sorted(seed_dist, key=seed_dist.get)
-
-        best_value = math.inf
-        best_pair = None
-        for group in groups:
-            stats.groups_refined += 1
-            dist_maps = group_distance_maps(network, group)
-            group_interests = [social.user(uid).interests for uid in group]
-            for poi_seed in seeds:
-                if seed_dist[poi_seed] >= best_value:
-                    break
-                stats.pruning.candidate_pairs_examined += 1
-                region_ids = self.road_index.region(poi_seed, query.radius)
-                result = best_region_for_seed(
-                    network, group_interests, dist_maps,
-                    poi_seed, region_ids, query.theta,
+            with self.recorder.span("refine"):
+                network = self.network
+                social = network.social
+                uq_id = query.query_user
+                allowed = {au.user_id for au in s_cand} | {uq_id}
+                rng = np.random.default_rng(seed)
+                groups = sample_connected_groups(
+                    network, uq_id, query.tau, query.gamma, rng, num_samples,
+                    allowed=allowed, score_fn=scorer.score,
                 )
-                if result is None:
-                    continue
-                pois, value = result
-                if value < best_value:
-                    best_value = value
-                    best_pair = (frozenset(group), pois)
 
-        stats.cpu_time_sec = time.perf_counter() - started
-        stats.page_accesses = (
-            self.road_index.counter.snapshot()
-            + self.social_index.counter.snapshot()
-        )
+                uq_user = social.user(uq_id)
+                uq_map = network.distances.distances_from(
+                    ("user", uq_id), uq_user.home
+                )
+                seed_dist = {
+                    ap.poi_id: position_distance_from_map(
+                        network.road, uq_map, ap.poi.position, uq_user.home
+                    )
+                    for ap in r_cand
+                }
+                seeds = sorted(seed_dist, key=seed_dist.get)
+
+                best_value = math.inf
+                best_pair = None
+                for group in groups:
+                    stats.groups_refined += 1
+                    dist_maps = group_distance_maps(network, group)
+                    group_interests = [
+                        social.user(uid).interests for uid in group
+                    ]
+                    for poi_seed in seeds:
+                        if seed_dist[poi_seed] >= best_value:
+                            break
+                        stats.pruning.candidate_pairs_examined += 1
+                        region_ids = self.road_index.region(
+                            poi_seed, query.radius
+                        )
+                        result = best_region_for_seed(
+                            network, group_interests, dist_maps,
+                            poi_seed, region_ids, query.theta,
+                        )
+                        if result is None:
+                            continue
+                        pois, value = result
+                        if value < best_value:
+                            best_value = value
+                            best_pair = (frozenset(group), pois)
+
+            stats.cpu_time_sec = time.perf_counter() - started
+        self._finish_query(stats, qspan, base_searches, base_hits)
         if best_pair is None:
             return GPSSNAnswer.empty(), stats
         return (
@@ -388,7 +419,24 @@ class GPSSNQueryProcessor:
         scorer: Optional[MetricScorer] = None,
         allow_delta_pruning: bool = True,
     ) -> Tuple[List[AugmentedUser], List[AugmentedPOI], float]:
+        with self.recorder.span("traverse") as tspan:
+            users, r_cand, delta = self._traverse_impl(
+                query, counters, scorer, allow_delta_pruning
+            )
+            tspan.set(
+                candidate_users=len(users), candidate_pois=len(r_cand)
+            )
+            return users, r_cand, delta
+
+    def _traverse_impl(
+        self,
+        query: GPSSNQuery,
+        counters: PruningCounters,
+        scorer: Optional[MetricScorer] = None,
+        allow_delta_pruning: bool = True,
+    ) -> Tuple[List[AugmentedUser], List[AugmentedPOI], float]:
         scorer = scorer or MetricScorer(query.metric)
+        rec = self.recorder
         # Top-k queries must keep every candidate whose region could be
         # among the k best; the best-so-far bound delta only witnesses
         # the single best pair, so delta-based pruning is suspended.
@@ -401,6 +449,7 @@ class GPSSNQueryProcessor:
         # line 1: S_cand starts at the I_S root, delta at +inf
         s_cand: List[SCandidate] = [self.social_index.root]
         delta = math.inf
+        witness_checks = 0  # Eq. 18 gate evaluations (reported as a metric)
         # lines 2-3: heap over I_R seeded with the root at key 0
         tick = 0  # heap tiebreaker
         heap: List[Tuple[float, int, RoadIndexNode]] = [(0.0, tick, self.road_index.root)]
@@ -446,6 +495,8 @@ class GPSSNQueryProcessor:
             that may remain in S? Checked on the seed's *subset* keywords
             (a valid lower bound of the region's coverage) against every
             surviving S_cand entry's interest floor."""
+            nonlocal witness_checks
+            witness_checks += 1
             if not floor_vectors:
                 return False
             return all(
@@ -511,68 +562,90 @@ class GPSSNQueryProcessor:
 
         # lines 4-26: level-synchronised descent of I_S and I_R
         for _level in range(self.social_index.height):
-            next_s: List[SCandidate] = []
-            for entry in s_cand:
-                if isinstance(entry, AugmentedUser):
-                    next_s.append(entry)  # already at object level
-                    continue
-                self.social_index.visit(entry)
-                if entry.is_leaf:
-                    for au in entry.users:
-                        if au.user_id == query.query_user:
-                            next_s.append(au)  # u_q is never pruned
-                            continue
-                        # Lemma 4: pivot-based hop lower bound (checked
-                        # first — it is the cheaper predicate)
-                        lb_hops = pivot_lower_bound(
-                            au.social_pivot_dists, uq_social_pivot
-                        )
-                        if self.toggles.social_distance and social_distance_prunable(
-                            lb_hops, query.tau
-                        ):
-                            counters.social_object_pruned += 1
-                            counters.social_pruned_by_distance += 1
-                            continue
-                        # Lemma 3: object-level interest pruning (under
-                        # the query's interest metric)
-                        if self.toggles.interest and scorer.score(
-                            uq.interests, au.user.interests
-                        ) < query.gamma:
-                            counters.social_object_pruned += 1
-                            counters.social_pruned_by_interest += 1
-                            continue
-                        next_s.append(au)
-                else:
-                    for child in entry.children:
-                        if self._node_holds_query_user(child, query.query_user):
-                            next_s.append(child)  # u_q's subtree survives
-                            continue
-                        # Lemma 9: hop-distance pruning (cheaper, first)
-                        lb_hops = lb_dist_sn_social_node(uq_social_pivot, child)
-                        if self.toggles.social_distance and social_node_distance_prunable(
-                            lb_hops, query.tau
-                        ):
-                            counters.social_index_pruned += child.num_users
-                            counters.social_pruned_by_distance += child.num_users
-                            continue
-                        # Lemma 8: interest-region pruning (metric-aware
-                        # upper bound over the node's interest MBR)
-                        if self.toggles.interest and scorer.node_prunable(
-                            child.interest_mbr, uq.interests, query.gamma
-                        ):
-                            counters.social_index_pruned += child.num_users
-                            counters.social_pruned_by_interest += child.num_users
-                            continue
-                        next_s.append(child)
-            s_cand = next_s
+            # one I_S level: Lemmas 3-4 (objects) and 8-9 (nodes)
+            with rec.span("traverse.social_pruning"):
+                next_s: List[SCandidate] = []
+                for entry in s_cand:
+                    if isinstance(entry, AugmentedUser):
+                        next_s.append(entry)  # already at object level
+                        continue
+                    self.social_index.visit(entry)
+                    if entry.is_leaf:
+                        for au in entry.users:
+                            if au.user_id == query.query_user:
+                                next_s.append(au)  # u_q is never pruned
+                                continue
+                            # Lemma 4: pivot-based hop lower bound (checked
+                            # first — it is the cheaper predicate)
+                            lb_hops = pivot_lower_bound(
+                                au.social_pivot_dists, uq_social_pivot
+                            )
+                            if self.toggles.social_distance and social_distance_prunable(
+                                lb_hops, query.tau
+                            ):
+                                counters.social_object_pruned += 1
+                                counters.social_pruned_by_distance += 1
+                                continue
+                            # Lemma 3: object-level interest pruning (under
+                            # the query's interest metric)
+                            if self.toggles.interest and scorer.score(
+                                uq.interests, au.user.interests
+                            ) < query.gamma:
+                                counters.social_object_pruned += 1
+                                counters.social_pruned_by_interest += 1
+                                continue
+                            next_s.append(au)
+                    else:
+                        for child in entry.children:
+                            if self._node_holds_query_user(child, query.query_user):
+                                next_s.append(child)  # u_q's subtree survives
+                                continue
+                            # Lemma 9: hop-distance pruning (cheaper, first)
+                            lb_hops = lb_dist_sn_social_node(uq_social_pivot, child)
+                            if self.toggles.social_distance and social_node_distance_prunable(
+                                lb_hops, query.tau
+                            ):
+                                counters.social_index_pruned += child.num_users
+                                counters.social_pruned_by_distance += child.num_users
+                                continue
+                            # Lemma 8: interest-region pruning (metric-aware
+                            # upper bound over the node's interest MBR)
+                            if self.toggles.interest and scorer.node_prunable(
+                                child.interest_mbr, uq.interests, query.gamma
+                            ):
+                                counters.social_index_pruned += child.num_users
+                                counters.social_pruned_by_interest += child.num_users
+                                continue
+                            next_s.append(child)
+                s_cand = next_s
 
-            # lines 11-26: one level of I_R under the refreshed S_cand bounds
+            # lines 11-26: one level of I_R under the refreshed S_cand
+            # bounds — Lemmas 1/6 (matching), 5/7 (distance), Eq. 18 gate
+            with rec.span("traverse.road_sweep"):
+                s_ubs = s_side_pivot_ubs()
+                floor = s_side_floor_vectors()
+                next_heap: List[Tuple[float, int, RoadIndexNode]] = []
+                while heap:
+                    key, _t, node = heapq.heappop(heap)
+                    if use_delta and key > delta:  # line 14: dominated
+                        counters.road_index_pruned += sum(
+                            h[2].num_pois for h in heap
+                        ) + node.num_pois
+                        counters.road_pruned_by_distance += sum(
+                            h[2].num_pois for h in heap
+                        ) + node.num_pois
+                        heap.clear()
+                        break
+                    process_road_entry(node, next_heap, s_ubs, floor)
+                heap = next_heap  # line 26
+
+        # lines 27-28: I_R may be deeper than I_S; drain it best-first
+        with rec.span("traverse.road_drain"):
             s_ubs = s_side_pivot_ubs()
             floor = s_side_floor_vectors()
-            next_heap: List[Tuple[float, int, RoadIndexNode]] = []
             while heap:
                 key, _t, node = heapq.heappop(heap)
-                if use_delta and key > delta:  # line 14: dominated
+                if use_delta and key > delta:
                     counters.road_index_pruned += sum(
                         h[2].num_pois for h in heap
                     ) + node.num_pois
@@ -581,24 +654,7 @@ class GPSSNQueryProcessor:
                     ) + node.num_pois
                     heap.clear()
                     break
-                process_road_entry(node, next_heap, s_ubs, floor)
-            heap = next_heap  # line 26
-
-        # lines 27-28: I_R may be deeper than I_S; drain it best-first
-        s_ubs = s_side_pivot_ubs()
-        floor = s_side_floor_vectors()
-        while heap:
-            key, _t, node = heapq.heappop(heap)
-            if use_delta and key > delta:
-                counters.road_index_pruned += sum(
-                    h[2].num_pois for h in heap
-                ) + node.num_pois
-                counters.road_pruned_by_distance += sum(
-                    h[2].num_pois for h in heap
-                ) + node.num_pois
-                heap.clear()
-                break
-            process_road_entry(node, None, s_ubs, floor)
+                process_road_entry(node, None, s_ubs, floor)
 
         users = [e for e in s_cand if isinstance(e, AugmentedUser)]
 
@@ -610,48 +666,51 @@ class GPSSNQueryProcessor:
         # lower bound of maxdist, since the seed belongs to its region —
         # exceeds the witness bound.
         if use_delta and users and r_cand:
-            s_ubs = s_side_pivot_ubs()
-            floor = s_side_floor_vectors()
-            network = self.network
-            witness = None
-            witness_key = math.inf
-            for ap in r_cand:
-                if witness_feasible(ap, floor):
-                    ub = ub_maxdist_road_node(
-                        s_ubs, ap.pivot_dists, query.radius
-                    )
-                    if ub < witness_key:
-                        witness_key = ub
-                        witness = ap
-            best_ub = delta
-            if witness is not None:
-                w_map = network.distances.distances_from(
-                    ("poi", witness.poi_id), witness.poi.position
-                )
-                exact_user_max = max(
-                    position_distance_from_map(
-                        network.road, w_map, au.user.home, witness.poi.position
-                    )
-                    for au in users
-                )
-                # Eq. 5: the second term max dist(o_i, o_j) over the
-                # witness region is at most the region radius r.
-                best_ub = min(best_ub, exact_user_max + query.radius)
-            if not math.isinf(best_ub):
-                uq_map = network.distances.distances_from(
-                    ("user", query.query_user), uq.home
-                )
-                kept = []
+            with rec.span("traverse.witness_filter"):
+                s_ubs = s_side_pivot_ubs()
+                floor = s_side_floor_vectors()
+                network = self.network
+                witness = None
+                witness_key = math.inf
                 for ap in r_cand:
-                    d_uq = position_distance_from_map(
-                        network.road, uq_map, ap.poi.position, uq.home
+                    if witness_feasible(ap, floor):
+                        ub = ub_maxdist_road_node(
+                            s_ubs, ap.pivot_dists, query.radius
+                        )
+                        if ub < witness_key:
+                            witness_key = ub
+                            witness = ap
+                best_ub = delta
+                if witness is not None:
+                    w_map = network.distances.distances_from(
+                        ("poi", witness.poi_id), witness.poi.position
                     )
-                    if d_uq > best_ub:
-                        counters.road_object_pruned += 1
-                        counters.road_pruned_by_distance += 1
-                    else:
-                        kept.append(ap)
-                r_cand = kept
+                    exact_user_max = max(
+                        position_distance_from_map(
+                            network.road, w_map, au.user.home,
+                            witness.poi.position
+                        )
+                        for au in users
+                    )
+                    # Eq. 5: the second term max dist(o_i, o_j) over the
+                    # witness region is at most the region radius r.
+                    best_ub = min(best_ub, exact_user_max + query.radius)
+                if not math.isinf(best_ub):
+                    uq_map = network.distances.distances_from(
+                        ("user", query.query_user), uq.home
+                    )
+                    kept = []
+                    for ap in r_cand:
+                        d_uq = position_distance_from_map(
+                            network.road, uq_map, ap.poi.position, uq.home
+                        )
+                        if d_uq > best_ub:
+                            counters.road_object_pruned += 1
+                            counters.road_pruned_by_distance += 1
+                        else:
+                            kept.append(ap)
+                    r_cand = kept
+        rec.metrics.inc("traverse.witness_checks", witness_checks)
         return users, r_cand, delta
 
     def _node_holds_query_user(
@@ -678,24 +737,45 @@ class GPSSNQueryProcessor:
         scorer: Optional[MetricScorer] = None,
         k: int = 1,
     ) -> List[GPSSNAnswer]:
+        with self.recorder.span("refine"):
+            return self._refine_impl(
+                query, s_cand, r_cand, stats, max_groups, scorer, k
+            )
+
+    def _refine_impl(
+        self,
+        query: GPSSNQuery,
+        s_cand: List[AugmentedUser],
+        r_cand: List[AugmentedPOI],
+        stats: QueryStatistics,
+        max_groups: Optional[int],
+        scorer: Optional[MetricScorer] = None,
+        k: int = 1,
+    ) -> List[GPSSNAnswer]:
         scorer = scorer or MetricScorer(query.metric)
+        rec = self.recorder
         network = self.network
         social = network.social
         uq_id = query.query_user
 
         # line 29: Corollary-2 user pruning, iterated to a fixpoint, on
         # top of an exact hop filter (tau-1 ball around u_q).
-        reachable = social.hop_distances_from(uq_id, max_hops=query.tau - 1)
-        survivors: List[AugmentedUser] = []
-        for au in s_cand:
-            if au.user_id == uq_id:
-                survivors.append(au)
-            elif au.user_id in reachable:
-                survivors.append(au)
-            else:
-                stats.pruning.social_object_pruned += 1
-                stats.pruning.social_pruned_by_distance += 1
-        survivors = self._corollary2_fixpoint(query, survivors, stats, scorer)
+        with rec.span("refine.corollary2"):
+            reachable = social.hop_distances_from(
+                uq_id, max_hops=query.tau - 1
+            )
+            survivors: List[AugmentedUser] = []
+            for au in s_cand:
+                if au.user_id == uq_id:
+                    survivors.append(au)
+                elif au.user_id in reachable:
+                    survivors.append(au)
+                else:
+                    stats.pruning.social_object_pruned += 1
+                    stats.pruning.social_pruned_by_distance += 1
+            survivors = self._corollary2_fixpoint(
+                query, survivors, stats, scorer
+            )
 
         allowed = {au.user_id for au in survivors}
         if uq_id not in allowed:
@@ -704,20 +784,23 @@ class GPSSNQueryProcessor:
             return []
 
         # line 30: exact matching/distance re-check of candidate POIs.
-        uq_user = social.user(uq_id)
-        uq_map = network.distances.distances_from(("user", uq_id), uq_user.home)
-        seed_dist: Dict[int, float] = {}
-        for ap in r_cand:
-            d = position_distance_from_map(
-                network.road, uq_map, ap.poi.position, uq_user.home
+        with rec.span("refine.seed_filter"):
+            uq_user = social.user(uq_id)
+            uq_map = network.distances.distances_from(
+                ("user", uq_id), uq_user.home
             )
-            # Exact Lemma-1 check on the seed's true superset keywords.
-            if match_score(uq_user.interests, ap.sup_keywords) < query.theta:
-                stats.pruning.road_object_pruned += 1
-                stats.pruning.road_pruned_by_matching += 1
-                continue
-            seed_dist[ap.poi_id] = d
-        seeds = sorted(seed_dist, key=seed_dist.get)
+            seed_dist: Dict[int, float] = {}
+            for ap in r_cand:
+                d = position_distance_from_map(
+                    network.road, uq_map, ap.poi.position, uq_user.home
+                )
+                # Exact Lemma-1 check on the seed's true superset keywords.
+                if match_score(uq_user.interests, ap.sup_keywords) < query.theta:
+                    stats.pruning.road_object_pruned += 1
+                    stats.pruning.road_pruned_by_matching += 1
+                    continue
+                seed_dist[ap.poi_id] = d
+            seeds = sorted(seed_dist, key=seed_dist.get)
 
         # line 31: enumerate groups, evaluate seeds with early termination.
         # `best` holds the running top-k distinct (S, R) pairs sorted by
@@ -730,36 +813,41 @@ class GPSSNQueryProcessor:
         def kth_value() -> float:
             return best[-1][0] if len(best) >= k else math.inf
 
-        groups = enumerate_connected_groups(
-            network, uq_id, query.tau, query.gamma,
-            allowed=allowed, limit=max_groups, score_fn=scorer.score,
-        )
-        for group in groups:
-            stats.groups_refined += 1
-            dist_maps = group_distance_maps(network, group)
-            group_interests = [social.user(uid).interests for uid in group]
-            frozen_group = frozenset(group)
-            for seed in seeds:
-                if seed_dist[seed] >= kth_value():
-                    break
-                stats.pruning.candidate_pairs_examined += 1
-                region_ids = self.road_index.region(seed, query.radius)
-                result = best_region_for_seed(
-                    network, group_interests, dist_maps,
-                    seed, region_ids, query.theta,
-                )
-                if result is None:
-                    continue
-                pois, value = result
-                pair_key = (frozen_group, pois)
-                if pair_key in seen_pairs or value >= kth_value():
-                    continue
-                seen_pairs.add(pair_key)
-                best.append((value, frozen_group, pois))
-                best.sort(key=lambda item: (item[0], sorted(item[1]), sorted(item[2])))
-                if len(best) > k:
-                    dropped = best.pop()
-                    seen_pairs.discard((dropped[1], dropped[2]))
+        with rec.span("refine.enumerate"):
+            groups = enumerate_connected_groups(
+                network, uq_id, query.tau, query.gamma,
+                allowed=allowed, limit=max_groups, score_fn=scorer.score,
+            )
+            for group in groups:
+                stats.groups_refined += 1
+                dist_maps = group_distance_maps(network, group)
+                group_interests = [social.user(uid).interests for uid in group]
+                frozen_group = frozenset(group)
+                for seed in seeds:
+                    if seed_dist[seed] >= kth_value():
+                        break
+                    stats.pruning.candidate_pairs_examined += 1
+                    region_ids = self.road_index.region(seed, query.radius)
+                    result = best_region_for_seed(
+                        network, group_interests, dist_maps,
+                        seed, region_ids, query.theta,
+                    )
+                    if result is None:
+                        continue
+                    pois, value = result
+                    pair_key = (frozen_group, pois)
+                    if pair_key in seen_pairs or value >= kth_value():
+                        continue
+                    seen_pairs.add(pair_key)
+                    best.append((value, frozen_group, pois))
+                    best.sort(
+                        key=lambda item: (
+                            item[0], sorted(item[1]), sorted(item[2])
+                        )
+                    )
+                    if len(best) > k:
+                        dropped = best.pop()
+                        seen_pairs.discard((dropped[1], dropped[2]))
 
         return [
             GPSSNAnswer(users=users, pois=pois, max_distance=value)

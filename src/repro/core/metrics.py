@@ -153,26 +153,26 @@ class MetricScorer:
                 return 1.0
             return min(1.0, float(np.dot(high, anchor)) / (nl * na))
         t = self.binarize_threshold
-        anchor_support = support(anchor, t)
-        max_support = support(high, t)
-        min_support = support(low, t)
         if self.metric is InterestMetric.JACCARD:
+            anchor_support = support(anchor, t)
+            max_support = support(high, t)
+            min_support = support(low, t)
             intersection_ub = len(max_support & anchor_support)
             union_lb = len(min_support | anchor_support)
             if union_lb == 0:
                 return 1.0 if intersection_ub else 0.0
             return min(1.0, intersection_ub / union_lb)
-        # HAMMING similarity upper bound
+        # HAMMING similarity upper bound. A topic is forced to differ
+        # when the anchor has it but the box cannot reach the threshold
+        # (high < t), or the anchor lacks it but the whole box has it
+        # (low >= t); everything else the box can match.
         d = anchor.shape[0]
         if d == 0:
             return 0.0
-        forced_diff = 0
-        for f in range(d):
-            in_anchor = f in anchor_support
-            if in_anchor and f not in max_support:
-                forced_diff += 1
-            elif not in_anchor and f in min_support:
-                forced_diff += 1
+        in_anchor = anchor >= t
+        forced_diff = int(np.count_nonzero(
+            (in_anchor & (high < t)) | (~in_anchor & (low >= t))
+        ))
         return 1.0 - forced_diff / d
 
     def node_prunable(self, box: MBR, anchor: np.ndarray, gamma: float) -> bool:

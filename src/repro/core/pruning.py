@@ -93,6 +93,12 @@ class PruningRegion:
             self.b_prime = anchor * scale
             self.case1 = self._norm_sq >= self.gamma
             self._degenerate = False
+        # When ||B||^2 == gamma, B lies exactly on the hyperplane and
+        # B' coincides with B, so the distance comparison cannot decide
+        # the halfplane; fall back to the direct dot-product test there.
+        self._on_plane = (
+            not self._degenerate and self._norm_sq == self.gamma
+        )
 
     # -- point test (Corollary 1) ---------------------------------------------
 
@@ -101,6 +107,8 @@ class PruningRegion:
         w = np.asarray(w, dtype=float)
         if self._degenerate:
             return self.gamma > 0.0
+        if self._on_plane:
+            return float(np.dot(w, self.anchor)) < self.gamma
         d_b = euclidean(w, self.b_point)
         d_bp = euclidean(w, self.b_prime)
         if self.case1:

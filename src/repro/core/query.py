@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from typing import Dict, FrozenSet, Optional
 
 from ..exceptions import InvalidParameterError
 from .metrics import InterestMetric
@@ -127,6 +127,13 @@ class QueryStatistics:
     candidate_pois: int = 0
     #: user groups actually enumerated during refinement
     groups_refined: int = 0
+    #: point-to-point Dijkstra searches run (oracle cache misses) and
+    #: searches served from the oracle's cache during this query
+    dijkstra_searches: int = 0
+    dijkstra_cache_hits: int = 0
+    #: wall time of the top-level phases (``traverse`` / ``refine``),
+    #: populated only when the processor's recorder has an active tracer
+    phase_times: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -437,3 +437,47 @@ def ablation_pruning(
             cand_users, cand_pois,
         ])
     return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Per-phase timing breakdown (observability layer; not a paper figure)
+# ---------------------------------------------------------------------------
+
+
+def phase_breakdown(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    num_queries: int = 3,
+    seed: int = 7,
+) -> Table:
+    """Mean per-query wall time of every pipeline phase, per dataset.
+
+    The span tracer's per-phase split of ``GPSSNQueryProcessor.answer``:
+    the two index-traversal sub-phases (social pruning by Lemmas 3-4/8-9
+    and the road sweep by Lemmas 1/5/6/7), the exact witness filter
+    (Eq. 5), and the three refinement sub-phases (Corollary 1-2
+    fixpoint, seed recheck, group enumeration). This is the measured
+    baseline a perf-focused change is judged against.
+    """
+    phases = [
+        ("traverse", "traverse (ms)"),
+        ("traverse.social_pruning", "social prune"),
+        ("traverse.road_sweep", "road sweep"),
+        ("traverse.witness_filter", "witness"),
+        ("refine", "refine (ms)"),
+        ("refine.corollary2", "corollary2"),
+        ("refine.seed_filter", "seed filter"),
+        ("refine.enumerate", "enumerate"),
+    ]
+    headers = ["dataset", "cpu (ms)"] + [label for _, label in phases]
+    rows: Rows = []
+    for name in DATASET_NAMES:
+        network = build_dataset(name, scale, seed=seed)
+        processor = make_processor(network)
+        result = _workload(processor, network, scale, num_queries, seed)
+        row: List[object] = [name, round(result.mean_cpu * 1000, 3)]
+        row.extend(
+            round(result.mean_phase(span_name) * 1000, 3)
+            for span_name, _ in phases
+        )
+        rows.append(row)
+    return headers, rows

@@ -30,6 +30,7 @@ from ..datagen.realworld import brightkite_california, gowalla_colorado
 from ..datagen.synthetic import uni_dataset, zipf_dataset
 from ..exceptions import InvalidParameterError
 from ..network import SpatialSocialNetwork
+from ..obs import MetricsRegistry, Recorder, aggregate_spans
 
 #: The four evaluation datasets of Section 6.1.
 DATASET_NAMES: Tuple[str, ...] = ("Bri+Cal", "Gow+Col", "UNI", "ZIPF")
@@ -172,6 +173,11 @@ class WorkloadResult:
     page_accesses: List[int] = field(default_factory=list)
     pruning: PruningCounters = field(default_factory=PruningCounters)
     groups_refined: int = 0
+    #: total seconds per span name over the whole workload (filled when
+    #: the workload ran with an active tracer — the default)
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    #: the metrics registry the workload recorded into
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def mean_cpu(self) -> float:
@@ -180,6 +186,12 @@ class WorkloadResult:
     @property
     def mean_io(self) -> float:
         return statistics.fmean(self.page_accesses) if self.page_accesses else 0.0
+
+    def mean_phase(self, name: str) -> float:
+        """Mean seconds per query spent in the spans named ``name``."""
+        if not self.num_queries:
+            return 0.0
+        return self.phase_times.get(name, 0.0) / self.num_queries
 
     def merge_counters(self, other: PruningCounters) -> None:
         p = self.pruning
@@ -206,18 +218,36 @@ def run_workload(
     radius: float = 2.0,
     max_groups: Optional[int] = 2000,
     label: str = "",
+    recorder: Optional[Recorder] = None,
 ) -> WorkloadResult:
-    """Run one query per issuer and aggregate the measurements."""
+    """Run one query per issuer and aggregate the measurements.
+
+    The workload runs under an active span tracer by default (pass a
+    ``recorder`` to supply your own, e.g. one with a ``NullTracer`` for
+    overhead-free timing runs); the per-phase totals land in
+    :attr:`WorkloadResult.phase_times` keyed by span name.
+    """
     result = WorkloadResult(label=label)
-    for uq in query_users:
-        query = GPSSNQuery(
-            query_user=uq, tau=tau, gamma=gamma, theta=theta, radius=radius
-        )
-        answer, stats = processor.answer(query, max_groups=max_groups)
-        result.num_queries += 1
-        result.answers_found += int(answer.found)
-        result.cpu_times.append(stats.cpu_time_sec)
-        result.page_accesses.append(stats.page_accesses)
-        result.groups_refined += stats.groups_refined
-        result.merge_counters(stats.pruning)
+    rec = recorder if recorder is not None else Recorder.traced()
+    result.metrics = rec.metrics
+    previous = processor.recorder
+    processor.recorder = rec
+    try:
+        for uq in query_users:
+            query = GPSSNQuery(
+                query_user=uq, tau=tau, gamma=gamma, theta=theta, radius=radius
+            )
+            answer, stats = processor.answer(query, max_groups=max_groups)
+            result.num_queries += 1
+            result.answers_found += int(answer.found)
+            result.cpu_times.append(stats.cpu_time_sec)
+            result.page_accesses.append(stats.page_accesses)
+            result.groups_refined += stats.groups_refined
+            result.merge_counters(stats.pruning)
+    finally:
+        processor.recorder = previous
+    result.phase_times = {
+        name: entry["total_sec"]
+        for name, entry in aggregate_spans(rec.tracer.roots).items()
+    }
     return result

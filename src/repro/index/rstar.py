@@ -84,6 +84,10 @@ class RStarTree:
         self.size = 0
         self._height = 1
         self._reinserted_levels: set = set()
+        #: nodes touched by search/nearest since construction (or the
+        #: last manual reset); the observability layer reads this to
+        #: report traversal effort without a buffer-manager simulation
+        self.node_visits = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -111,6 +115,7 @@ class RStarTree:
         stack = [self.root]
         while stack:
             node = stack.pop()
+            self.node_visits += 1
             if node.is_leaf:
                 results.extend(
                     e.payload for e in node.entries if e.mbr.intersects(query)
@@ -147,6 +152,7 @@ class RStarTree:
                 results.append(item.payload)
                 continue
             node = item
+            self.node_visits += 1
             members = node.entries if node.is_leaf else node.children
             for member in members:
                 mbr = member.mbr

@@ -23,6 +23,7 @@ from ..index.pivots import RoadPivotIndex, SocialPivotIndex
 from ..index.road_index import RoadIndex
 from ..index.social_index import SocialIndex
 from ..network import SpatialSocialNetwork
+from ..obs import Recorder
 
 PathLike = Union[str, Path]
 
@@ -90,6 +91,7 @@ def load_processor(
     processor = GPSSNQueryProcessor.__new__(GPSSNQueryProcessor)
     processor.toggles = toggles or PruningToggles()
     processor.network = network
+    processor.recorder = Recorder()
     processor.road_pivots = road_pivots
     processor.social_pivots = social_pivots
     processor.road_index = RoadIndex.from_snapshot(

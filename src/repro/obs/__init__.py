@@ -1,0 +1,42 @@
+"""Observability: hierarchical span tracing plus a metrics registry.
+
+The GP-SSN pipeline's headline numbers are all *measurements* — CPU
+time, page accesses, pruning power — and this package is the single
+place they flow through:
+
+* :mod:`repro.obs.tracer` — a hierarchical span tracer with a
+  context-manager API (:class:`Tracer`) and a zero-overhead
+  :class:`NullTracer` default, so the hot path pays nothing unless a
+  caller opts in;
+* :mod:`repro.obs.registry` — named counters, gauges, and timing
+  histograms (:class:`MetricsRegistry`), bundled with a tracer behind
+  one :class:`Recorder` object that the query processor threads through
+  its phases;
+* :mod:`repro.obs.exporters` — JSON-lines trace dumps, Prometheus-style
+  text, and human-readable per-phase tables.
+"""
+
+from .registry import Histogram, MetricsRegistry, Recorder
+from .tracer import NullTracer, Span, Tracer, aggregate_spans
+from .exporters import (
+    format_stats_line,
+    phase_table,
+    prometheus_text,
+    spans_to_jsonl,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Recorder",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+    "format_stats_line",
+    "phase_table",
+    "prometheus_text",
+    "spans_to_jsonl",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,172 @@
+"""Exporters for recorded traces and metrics.
+
+Three output shapes cover the consumers we have:
+
+* :func:`write_trace_jsonl` / :func:`spans_to_jsonl` — one JSON object
+  per span (id/parent links encode the tree), for offline analysis and
+  the ``gpssn query --trace`` flag;
+* :func:`prometheus_text` — the Prometheus text exposition format for a
+  :class:`~repro.obs.registry.MetricsRegistry` (``--metrics-out``);
+* :func:`phase_table` — a human-readable per-phase timing table, shared
+  by the CLI and the experiment harness.
+
+:func:`format_stats_line` is the one place the CLI's
+``[cpu … ms, … page accesses, …]`` summary is built, so interactive
+output and harness reports cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO, Dict, List, Optional, Sequence, Union
+
+from .registry import MetricsRegistry
+from .tracer import Span, aggregate_spans
+
+__all__ = [
+    "format_stats_line",
+    "phase_table",
+    "prometheus_text",
+    "spans_to_jsonl",
+    "write_trace_jsonl",
+]
+
+
+def format_stats_line(stats) -> str:
+    """The one-line query summary printed after every CLI query."""
+    return (
+        f"[cpu {stats.cpu_time_sec * 1000:.1f} ms, "
+        f"{stats.page_accesses} page accesses, "
+        f"{stats.groups_refined} groups refined]"
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines trace dump
+# ---------------------------------------------------------------------------
+
+
+def spans_to_jsonl(roots: Sequence[Span]) -> List[str]:
+    """Serialize a span forest to JSON lines (parents before children).
+
+    Each line carries ``id``, ``parent`` (``None`` for roots), ``name``,
+    ``start`` (seconds, relative to the earliest root so traces are
+    stable across runs), ``duration`` (seconds), and any attributes.
+    """
+    lines: List[str] = []
+    if not roots:
+        return lines
+    epoch = min(root.start for root in roots)
+    next_id = 0
+
+    def emit(span: Span, parent_id: Optional[int]) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        record: Dict[str, object] = {
+            "id": span_id,
+            "parent": parent_id,
+            "name": span.name,
+            "start": round(span.start - epoch, 9),
+            "duration": round(span.duration, 9),
+        }
+        if span.attributes:
+            record["attrs"] = span.attributes
+        lines.append(json.dumps(record))
+        for child in span.children:
+            emit(child, span_id)
+
+    for root in roots:
+        emit(root, None)
+    return lines
+
+
+def write_trace_jsonl(roots: Sequence[Span], out: Union[str, IO[str]]) -> int:
+    """Write the span forest to ``out`` (path or file); returns span count."""
+    lines = spans_to_jsonl(roots)
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if hasattr(out, "write"):
+        out.write(text)  # type: ignore[union-attr]
+    else:
+        with open(out, "w", encoding="utf-8") as fp:
+            fp.write(text)
+    return len(lines)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text format
+# ---------------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    return "gpssn_" + _NAME_RE.sub("_", name)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of a registry.
+
+    Counters and gauges map 1:1; each histogram becomes ``_count`` /
+    ``_sum`` plus ``quantile`` gauges for p50/p95 and a ``_max`` gauge.
+    """
+    out: List[str] = []
+    for name in sorted(registry.counters):
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} counter")
+        out.append(f"{prom} {registry.counters[name]:g}")
+    for name in sorted(registry.gauges):
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} gauge")
+        out.append(f"{prom} {registry.gauges[name]:g}")
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} summary")
+        out.append(f'{prom}{{quantile="0.5"}} {hist.p50:g}')
+        out.append(f'{prom}{{quantile="0.95"}} {hist.p95:g}')
+        out.append(f"{prom}_max {hist.max:g}")
+        out.append(f"{prom}_count {hist.count}")
+        out.append(f"{prom}_sum {hist.sum:g}")
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# ---------------------------------------------------------------------------
+# Per-phase timing table
+# ---------------------------------------------------------------------------
+
+
+def phase_table(
+    roots: Sequence[Span],
+    title: str = "Per-phase timing",
+    relative_to: str = "query",
+) -> str:
+    """Render the span forest as an aggregated per-phase table.
+
+    One row per span name with call count, total/mean milliseconds, and
+    the share of the total ``relative_to`` span time (the per-query root
+    by convention), sorted by descending total.
+    """
+    # Imported here, not at module top: the processor imports this
+    # package, and ``repro.experiments`` imports the processor — the
+    # cycle only resolves after both modules finish loading.
+    from ..experiments.reporting import format_table
+
+    stats = aggregate_spans(roots, relative_to=relative_to)
+    headers = ["phase", "calls", "total (ms)", "mean (ms)", "max (ms)", "share"]
+    rows = []
+    ordered = sorted(
+        stats.items(), key=lambda item: item[1]["total_sec"], reverse=True
+    )
+    for name, entry in ordered:
+        share = entry.get("share")
+        rows.append([
+            name,
+            int(entry["count"]),
+            round(entry["total_sec"] * 1000, 3),
+            round(entry["mean_sec"] * 1000, 3),
+            round(entry["max_sec"] * 1000, 3),
+            f"{share:.1%}" if share is not None else "-",
+        ])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,186 @@
+"""Named counters, gauges, and timing histograms behind one registry.
+
+The :class:`MetricsRegistry` is deliberately minimal — dictionaries of
+floats plus value-list histograms — because every number the paper
+reports is either a monotone tally (pruned objects, page accesses) or a
+per-query distribution (CPU time). The :class:`Recorder` bundles a
+registry with a tracer and is the single object the query processor
+threads through its phases; :meth:`Recorder.record_query` absorbs a
+finished query's :class:`~repro.core.query.QueryStatistics` — including
+every :class:`~repro.core.query.PruningCounters` field, verbatim — so
+the scattered ad-hoc plumbing of earlier revisions now has one sink.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .tracer import NullTracer, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..core.query import QueryStatistics
+
+__all__ = ["Histogram", "MetricsRegistry", "Recorder"]
+
+
+class Histogram:
+    """A value histogram reporting count/sum/mean and p50/p95/max.
+
+    Keeps raw observations (workloads here are thousands of queries at
+    most); percentiles use the nearest-rank rule on a sorted copy.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def __repr__(self) -> str:
+        return f"Histogram(n={self.count}, p50={self.p50:.4g}, max={self.max:.4g})"
+
+
+class MetricsRegistry:
+    """Named counters (monotone), gauges (last value), and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """A plain-data snapshot (JSON-serializable)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                    "p50": h.p50,
+                    "p95": h.p95,
+                    "max": h.max,
+                }
+                for name, h in self.histograms.items()
+            },
+        }
+
+
+class Recorder:
+    """One tracer + one metrics registry, threaded through the processor.
+
+    The default construction (``Recorder()``) pairs a
+    :class:`NullTracer` with a live registry: per-phase span timing is
+    off (zero hot-path overhead) while the cheap end-of-query metric
+    absorption stays on. Pass ``tracer=Tracer()`` to capture spans.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[object] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @classmethod
+    def traced(cls) -> "Recorder":
+        """A recorder with an active span tracer."""
+        return cls(tracer=Tracer())
+
+    @property
+    def active(self) -> bool:
+        """True when span tracing is on."""
+        return bool(getattr(self.tracer, "active", False))
+
+    def span(self, name: str):
+        return self.tracer.span(name)
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.inc(name, amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def record_query(self, stats: "QueryStatistics") -> None:
+        """Absorb one finished query's statistics into the registry.
+
+        Every :class:`PruningCounters` field lands under ``pruning.*``
+        unchanged (the fig7a-d powers recompute bit-identically from
+        these), the scalar measurements under ``query.*`` histograms,
+        and the Dijkstra/oracle tallies under ``dijkstra.*`` counters.
+        """
+        m = self.metrics
+        m.inc("query.count")
+        m.observe("query.cpu_time_sec", stats.cpu_time_sec)
+        m.observe("query.page_accesses", stats.page_accesses)
+        m.observe("query.candidate_users", stats.candidate_users)
+        m.observe("query.candidate_pois", stats.candidate_pois)
+        m.observe("query.groups_refined", stats.groups_refined)
+        m.inc("dijkstra.searches", stats.dijkstra_searches)
+        m.inc("dijkstra.cache_hits", stats.dijkstra_cache_hits)
+        for field in dataclasses.fields(stats.pruning):
+            m.inc(f"pruning.{field.name}", getattr(stats.pruning, field.name))
+        for phase, seconds in stats.phase_times.items():
+            m.observe(f"phase.{phase}", seconds)

@@ -1,0 +1,197 @@
+"""Hierarchical span tracing for the query pipeline.
+
+A *span* is one timed region of execution (monotonic clock, nested).
+The processor opens spans around its phases::
+
+    with tracer.span("traverse"):
+        with tracer.span("traverse.social_pruning"):
+            ...
+
+Two tracer implementations share the interface:
+
+* :class:`Tracer` records a forest of :class:`Span` trees (one root per
+  top-level region, usually one ``"query"`` span per query);
+* :class:`NullTracer` is the default on every processor: its
+  :meth:`~NullTracer.span` hands back one shared no-op context manager,
+  so an untraced query pays two attribute lookups per phase and nothing
+  per object — the hot path stays hot.
+
+Span durations are measured with :func:`time.perf_counter`; a child's
+interval always nests inside its parent's, and the sum of a span's
+children never exceeds the span itself (up to clock resolution).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Span", "Tracer", "NullTracer", "aggregate_spans"]
+
+
+class Span:
+    """One timed, named region; children are the regions opened inside it."""
+
+    __slots__ = ("name", "start", "end", "children", "attributes", "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer") -> None:
+        self.name = name
+        self.start = 0.0
+        self.end = 0.0
+        self.children: List["Span"] = []
+        self.attributes: Dict[str, object] = {}
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return max(self.end - self.start, 0.0)
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach key/value annotations (candidate counts, dataset, ...)."""
+        self.attributes.update(attrs)
+        return self
+
+    def child_totals(self) -> Dict[str, float]:
+        """Total duration of the direct children, aggregated by name."""
+        totals: Dict[str, float] = {}
+        for child in self.children:
+            totals[child.name] = totals.get(child.name, 0.0) + child.duration
+        return totals
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["Span", int]]:
+        """Yield ``(span, depth)`` over the subtree, parents first."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        self._tracer._pop(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration * 1000:.3f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Tracer:
+    """Records spans into a forest; one instance per traced run."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str) -> Span:
+        """A context manager timing one region named ``name``."""
+        return Span(name, self)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        popped = self._stack.pop()
+        if popped is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span nesting violated: closing {span.name!r} "
+                f"but {popped.name!r} is innermost"
+            )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    def clear(self) -> None:
+        """Drop recorded roots (the stack must be empty)."""
+        if self._stack:
+            raise RuntimeError("cannot clear a tracer with open spans")
+        self.roots = []
+
+    def iter_spans(self) -> Iterator[Tuple[Span, int]]:
+        """All recorded spans with depths, roots first."""
+        for root in self.roots:
+            yield from root.walk()
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    name = ""
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    children: Tuple[()] = ()
+    attributes: Dict[str, object] = {}
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def child_totals(self) -> Dict[str, float]:
+        return {}
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["_NullSpan", int]]:
+        return iter(())
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Zero-overhead tracer: every :meth:`span` is the same no-op object."""
+
+    active = False
+    roots: Tuple[()] = ()
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def clear(self) -> None:
+        return None
+
+    def iter_spans(self) -> Iterator[Tuple[Span, int]]:
+        return iter(())
+
+
+def aggregate_spans(
+    roots: Sequence[Span], relative_to: Optional[str] = None
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate a span forest by name.
+
+    Returns ``name -> {"count", "total_sec", "mean_sec", "max_sec"}``,
+    plus ``"share"`` (fraction of the total time of all spans named
+    ``relative_to``) when that anchor name is given and present.
+    """
+    stats: Dict[str, Dict[str, float]] = {}
+    for root in roots:
+        for span, _depth in root.walk():
+            entry = stats.setdefault(
+                span.name,
+                {"count": 0.0, "total_sec": 0.0, "mean_sec": 0.0, "max_sec": 0.0},
+            )
+            entry["count"] += 1
+            entry["total_sec"] += span.duration
+            entry["max_sec"] = max(entry["max_sec"], span.duration)
+    for entry in stats.values():
+        if entry["count"]:
+            entry["mean_sec"] = entry["total_sec"] / entry["count"]
+    if relative_to is not None and relative_to in stats:
+        base = stats[relative_to]["total_sec"]
+        for entry in stats.values():
+            entry["share"] = entry["total_sec"] / base if base > 0 else 0.0
+    return stats

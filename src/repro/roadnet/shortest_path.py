@@ -126,6 +126,10 @@ class DistanceOracle:
         self._cache: "OrderedDict[Hashable, Dict[int, float]]" = OrderedDict()
         #: number of Dijkstra runs actually executed (for tests/benchmarks)
         self.searches_run = 0
+        #: lookups served from the cache without a search; together with
+        #: ``searches_run`` this is the oracle's hit/miss breakdown, which
+        #: the query processor snapshots per query for its metrics
+        self.cache_hits = 0
 
     def distances_from(
         self, key: Hashable, pos: NetworkPosition
@@ -134,6 +138,7 @@ class DistanceOracle:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
+            self.cache_hits += 1
             return cached
         dist_map = multi_source_dijkstra(self.road, position_seeds(self.road, pos))
         self.searches_run += 1

@@ -123,3 +123,55 @@ class TestBoxUpperBounds:
         # max dot over box = 0.4: prunable at gamma 0.5, not at 0.3.
         assert scorer.node_prunable(box, anchor, 0.5)
         assert not scorer.node_prunable(box, anchor, 0.3)
+
+
+def _hamming_ub_loop(box, anchor, threshold):
+    """The pre-vectorization per-topic loop, kept as the reference."""
+    d = anchor.shape[0]
+    if d == 0:
+        return 0.0
+    forced_diff = 0
+    for f in range(d):
+        in_anchor = anchor[f] >= threshold
+        if in_anchor and box.high[f] < threshold:
+            forced_diff += 1
+        elif not in_anchor and box.low[f] >= threshold:
+            forced_diff += 1
+    return 1.0 - forced_diff / d
+
+
+class TestHammingVectorization:
+    """The numpy-mask HAMMING bound must equal the scalar loop exactly."""
+
+    @given(anchor=vectors, low=vectors, spread=vectors)
+    def test_identical_to_loop(self, anchor, low, spread):
+        high = np.minimum(low + spread, 1.0)
+        low = np.minimum(low, high)
+        box = MBR(list(low), list(high))
+        for threshold in (0.05, 0.1, 0.5, 1.0):
+            scorer = MetricScorer(
+                InterestMetric.HAMMING, binarize_threshold=threshold
+            )
+            assert scorer.ub_over_box(box, anchor) == _hamming_ub_loop(
+                box, anchor, threshold
+            )
+
+    def test_threshold_boundaries_exact(self):
+        # Values sitting exactly on the binarize threshold exercise the
+        # >=/< asymmetry of both implementations.
+        t = 0.5
+        scorer = MetricScorer(InterestMetric.HAMMING, binarize_threshold=t)
+        anchor = np.asarray([0.5, 0.5, 0.0, 0.0])
+        box = MBR([0.0, 0.5, 0.5, 0.0], [0.4, 0.5, 0.9, 0.4])
+        got = scorer.ub_over_box(box, anchor)
+        # topic 0: anchor has it, high 0.4 < t  -> forced diff
+        # topic 1: anchor has it, high 0.5 >= t -> matchable
+        # topic 2: anchor lacks it, low 0.5 >= t -> forced diff
+        # topic 3: anchor lacks it, low 0 < t   -> matchable
+        assert got == pytest.approx(1.0 - 2 / 4)
+        assert got == _hamming_ub_loop(box, anchor, t)
+
+    def test_zero_dimension(self):
+        scorer = MetricScorer(InterestMetric.HAMMING)
+        box = MBR([], [])
+        assert scorer.ub_over_box(box, np.asarray([])) == 0.0

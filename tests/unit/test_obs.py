@@ -1,0 +1,316 @@
+"""Unit tests for the observability layer (tracer, registry, exporters)."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.core.query import PruningCounters, QueryStatistics
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    NullTracer,
+    Recorder,
+    Tracer,
+    aggregate_spans,
+    format_stats_line,
+    phase_table,
+    prometheus_text,
+    spans_to_jsonl,
+    write_trace_jsonl,
+)
+
+
+class TestTracer:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_durations_are_positive_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert inner.duration >= 0.002
+        assert outer.duration >= inner.duration
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set(candidates=7, dataset="UNI")
+        assert tracer.roots[0].attributes == {"candidates": 7, "dataset": "UNI"}
+
+    def test_child_totals_aggregates_by_name(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("phase"):
+                pass
+            with tracer.span("phase"):
+                pass
+            with tracer.span("other"):
+                pass
+        totals = tracer.roots[0].child_totals()
+        assert set(totals) == {"phase", "other"}
+        assert totals["phase"] >= 0.0
+
+    def test_clear_refuses_open_spans(self):
+        tracer = Tracer()
+        span = tracer.span("open")
+        span.__enter__()
+        with pytest.raises(RuntimeError):
+            tracer.clear()
+        span.__exit__(None, None, None)
+        tracer.clear()
+        assert tracer.roots == []
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("anything") as span:
+            span.set(ignored=True)
+        assert list(tracer.iter_spans()) == []
+        assert tracer.roots == ()
+        assert span.child_totals() == {}
+        assert not tracer.active
+
+    def test_null_tracer_returns_shared_span(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_aggregate_spans(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("query"):
+                with tracer.span("work"):
+                    pass
+        stats = aggregate_spans(tracer.roots, relative_to="query")
+        assert stats["query"]["count"] == 3
+        assert stats["work"]["count"] == 3
+        assert stats["query"]["share"] == pytest.approx(1.0)
+        assert 0.0 <= stats["work"]["share"] <= 1.0
+        assert stats["work"]["total_sec"] <= stats["query"]["total_sec"]
+
+
+class TestHistogram:
+    def test_percentiles_on_known_values(self):
+        hist = Histogram()
+        for v in range(1, 101):  # 1..100
+            hist.observe(v)
+        assert hist.count == 100
+        assert hist.p50 == 50
+        assert hist.p95 == 95
+        assert hist.max == 100
+        assert hist.mean == pytest.approx(50.5)
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.p50 == 0.0
+        assert hist.p95 == 0.0
+        assert hist.max == 0.0
+        assert hist.mean == 0.0
+
+    def test_single_value(self):
+        hist = Histogram()
+        hist.observe(42.0)
+        assert hist.p50 == 42.0
+        assert hist.p95 == 42.0
+
+    def test_invalid_percentile(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counter("a") == 5
+        assert reg.counter("missing") == 0
+
+    def test_gauges_keep_last_value(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 1.5)
+        reg.set_gauge("g", 2.5)
+        assert reg.gauges["g"] == 2.5
+
+    def test_histograms_created_on_demand(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0)
+        reg.observe("h", 3.0)
+        assert reg.histograms["h"].count == 2
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.observe("h", 1.0)
+        reg.set_gauge("g", 1.0)
+        reg.reset()
+        assert not reg.counters and not reg.gauges and not reg.histograms
+
+    def test_as_dict_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 0.5)
+        reg.observe("h", 1.0)
+        snapshot = json.loads(json.dumps(reg.as_dict()))
+        assert snapshot["counters"]["c"] == 2
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+
+class TestRecorder:
+    def test_default_recorder_is_untraced_but_metered(self):
+        rec = Recorder()
+        assert not rec.active
+        assert isinstance(rec.metrics, MetricsRegistry)
+
+    def test_traced_recorder(self):
+        rec = Recorder.traced()
+        assert rec.active
+        with rec.span("s"):
+            pass
+        assert [r.name for r in rec.tracer.roots] == ["s"]
+
+    def test_record_query_absorbs_pruning_counters_verbatim(self):
+        rec = Recorder()
+        stats = QueryStatistics(
+            cpu_time_sec=0.25,
+            page_accesses=17,
+            pruning=PruningCounters(
+                social_index_pruned=5,
+                social_object_pruned=3,
+                road_index_pruned=11,
+                total_users=100,
+                total_pois=50,
+                candidate_pairs_examined=9,
+            ),
+            candidate_users=4,
+            candidate_pois=6,
+            groups_refined=2,
+            dijkstra_searches=8,
+            dijkstra_cache_hits=20,
+        )
+        rec.record_query(stats)
+        m = rec.metrics
+        assert m.counter("query.count") == 1
+        assert m.counter("pruning.social_index_pruned") == 5
+        assert m.counter("pruning.social_object_pruned") == 3
+        assert m.counter("pruning.road_index_pruned") == 11
+        assert m.counter("pruning.total_users") == 100
+        assert m.counter("pruning.candidate_pairs_examined") == 9
+        assert m.counter("dijkstra.searches") == 8
+        assert m.counter("dijkstra.cache_hits") == 20
+        assert m.histograms["query.cpu_time_sec"].max == 0.25
+        assert m.histograms["query.page_accesses"].max == 17
+
+    def test_record_query_accumulates_across_queries(self):
+        rec = Recorder()
+        for _ in range(3):
+            stats = QueryStatistics(
+                pruning=PruningCounters(social_index_pruned=2)
+            )
+            rec.record_query(stats)
+        assert rec.metrics.counter("query.count") == 3
+        assert rec.metrics.counter("pruning.social_index_pruned") == 6
+
+
+class TestExporters:
+    def _forest(self):
+        tracer = Tracer()
+        with tracer.span("query") as q:
+            q.set(dataset="UNI")
+            with tracer.span("traverse"):
+                pass
+            with tracer.span("refine"):
+                pass
+        return tracer.roots
+
+    def test_jsonl_is_valid_and_linked(self):
+        roots = self._forest()
+        lines = spans_to_jsonl(roots)
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 3
+        root = records[0]
+        assert root["parent"] is None
+        assert root["name"] == "query"
+        assert root["attrs"] == {"dataset": "UNI"}
+        by_id = {r["id"]: r for r in records}
+        for rec in records[1:]:
+            assert rec["parent"] in by_id
+            parent = by_id[rec["parent"]]
+            # children start inside the parent's interval
+            assert rec["start"] >= parent["start"]
+            assert rec["duration"] <= parent["duration"] + 1e-6
+
+    def test_jsonl_roundtrip_through_file(self, tmp_path):
+        roots = self._forest()
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(roots, str(path))
+        assert count == 3
+        loaded = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["name"] for r in loaded] == ["query", "traverse", "refine"]
+
+    def test_write_to_file_object(self):
+        buf = io.StringIO()
+        write_trace_jsonl(self._forest(), buf)
+        assert buf.getvalue().count("\n") == 3
+
+    def test_empty_forest(self):
+        assert spans_to_jsonl([]) == []
+        buf = io.StringIO()
+        assert write_trace_jsonl([], buf) == 0
+        assert buf.getvalue() == ""
+
+    def test_prometheus_text_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("pruning.social_index_pruned", 12)
+        reg.set_gauge("index.height", 3)
+        reg.observe("query.cpu_time_sec", 0.5)
+        reg.observe("query.cpu_time_sec", 1.5)
+        text = prometheus_text(reg)
+        assert "# TYPE gpssn_pruning_social_index_pruned counter" in text
+        assert "gpssn_pruning_social_index_pruned 12" in text
+        assert "# TYPE gpssn_index_height gauge" in text
+        assert 'gpssn_query_cpu_time_sec{quantile="0.5"}' in text
+        assert "gpssn_query_cpu_time_sec_count 2" in text
+        assert "gpssn_query_cpu_time_sec_sum 2" in text
+
+    def test_prometheus_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_phase_table_lists_every_phase(self):
+        table = phase_table(self._forest())
+        assert "query" in table
+        assert "traverse" in table
+        assert "refine" in table
+        assert "share" in table
+        assert "100.0%" in table  # the query row relative to itself
+
+    def test_format_stats_line(self):
+        stats = QueryStatistics(
+            cpu_time_sec=0.0123, page_accesses=45, groups_refined=6
+        )
+        line = format_stats_line(stats)
+        assert line == "[cpu 12.3 ms, 45 page accesses, 6 groups refined]"

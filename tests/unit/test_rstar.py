@@ -76,6 +76,15 @@ class TestSearch:
         tree = build_tree([(i, 0) for i in range(10)])
         assert tree.search(MBR((0, 50), (10, 60))) == []
 
+    def test_node_visits_counted(self):
+        tree = build_tree([(i, i) for i in range(50)], max_entries=4)
+        before = tree.node_visits
+        tree.search(MBR((0, 0), (10, 10)))
+        after_search = tree.node_visits
+        assert after_search > before  # at least the root was visited
+        tree.nearest((25.0, 25.0))
+        assert tree.node_visits > after_search
+
 
 class TestStructure:
     def test_page_ids_unique_and_dense(self):

@@ -159,8 +159,10 @@ class TestOracle:
         other = NetworkPosition(14, 15, 2.0)
         oracle.distance("k", pos, other)
         runs = oracle.searches_run
+        hits = oracle.cache_hits
         oracle.distance("k", pos, other)
         assert oracle.searches_run == runs
+        assert oracle.cache_hits == hits + 1
 
     def test_eviction_beyond_cache_size(self, grid_road):
         oracle = DistanceOracle(grid_road, cache_size=2)
