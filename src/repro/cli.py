@@ -22,6 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .config import DISTANCE_ENGINES
 from .core.algorithm import GPSSNQueryProcessor
 from .core.metrics import InterestMetric
 from .core.query import GPSSNQuery
@@ -89,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--radius", type=float, default=2.0)
     query.add_argument(
         "--metric", choices=[m.value for m in InterestMetric], default="dot"
+    )
+    query.add_argument(
+        "--distance-engine", choices=list(DISTANCE_ENGINES), default="plain",
+        help="dist_RN engine: plain Dijkstra, the CSR array kernel, or "
+        "the contraction hierarchy (offline preprocessing, fastest "
+        "point-to-point queries)",
     )
     query.add_argument("--topk", type=int, default=1)
     query.add_argument("--max-groups", type=int, default=None)
@@ -164,7 +171,10 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_query(args: argparse.Namespace) -> int:
     network = load_network(args.input)
     recorder = Recorder.traced() if args.trace else Recorder()
-    processor = GPSSNQueryProcessor(network, seed=args.seed, recorder=recorder)
+    processor = GPSSNQueryProcessor(
+        network, seed=args.seed, recorder=recorder,
+        distance_engine=args.distance_engine,
+    )
     query = GPSSNQuery(
         query_user=args.user, tau=args.tau, gamma=args.gamma,
         theta=args.theta, radius=args.radius,

@@ -42,6 +42,20 @@ PIVOT_VALUES: Tuple[int, ...] = (2, 3, 5, 7, 10)
 #: same coordinate units.
 DATA_SPACE_SIZE: float = 100.0
 
+#: Selectable ``dist_RN`` engines (see :mod:`repro.roadnet.engines`):
+#: the plain dict-walking Dijkstra, the CSR array kernel, and the
+#: contraction hierarchy.
+DISTANCE_ENGINES: Tuple[str, ...] = ("plain", "csr", "ch")
+
+#: Default LRU capacity (source maps) of a standalone
+#: :class:`~repro.roadnet.shortest_path.DistanceOracle`.
+DEFAULT_DISTANCE_CACHE_SIZE: int = 1024
+
+#: Default LRU capacity of the oracle shared through a
+#: :class:`~repro.network.SpatialSocialNetwork` — larger, because every
+#: index build and query phase funnels through the one shared oracle.
+NETWORK_DISTANCE_CACHE_SIZE: int = 4096
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -65,8 +79,23 @@ class ExperimentConfig:
     r_min: float = 0.5
     r_max: float = 4.0
     seed: int = 7
+    #: which dist_RN engine the experiment runs on (Table-3 results are
+    #: engine-invariant; only the measured cost changes)
+    distance_engine: str = "plain"
+    #: LRU capacity of the shared distance oracle
+    distance_cache_size: int = NETWORK_DISTANCE_CACHE_SIZE
 
     def __post_init__(self) -> None:
+        if self.distance_engine not in DISTANCE_ENGINES:
+            raise InvalidParameterError(
+                f"unknown distance engine {self.distance_engine!r}; "
+                f"expected one of {DISTANCE_ENGINES}"
+            )
+        if self.distance_cache_size < 1:
+            raise InvalidParameterError(
+                f"distance_cache_size must be >= 1, got "
+                f"{self.distance_cache_size}"
+            )
         if not 0.0 <= self.gamma <= 1.0 * self.num_keywords:
             raise InvalidParameterError(f"gamma out of range: {self.gamma}")
         if not 0.0 <= self.theta:

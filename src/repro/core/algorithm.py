@@ -115,8 +115,14 @@ class GPSSNQueryProcessor:
         social_pivots: Optional[SocialPivotIndex] = None,
         toggles: Optional[PruningToggles] = None,
         recorder: Optional[Recorder] = None,
+        distance_engine: Optional[str] = None,
     ) -> None:
         self.toggles = toggles or PruningToggles()
+        # Engine selection happens before index construction so the
+        # offline region sweeps already run on the chosen kernel; None
+        # keeps whatever engine the network is already using.
+        if distance_engine is not None:
+            network.use_distance_engine(distance_engine)
         # Default recorder: NullTracer (no span overhead) + live metrics
         # registry (absorbed once per query, off the hot path). Swap in
         # Recorder.traced() — or assign .recorder directly — to capture
@@ -145,6 +151,7 @@ class GPSSNQueryProcessor:
             num_social_pivots=num_social_pivots,
             r_min=r_min, r_max=r_max,
             max_entries=max_entries, leaf_size=leaf_size, seed=seed,
+            distance_engine=distance_engine,
         )
 
     def rebuild(self) -> None:
@@ -206,6 +213,11 @@ class GPSSNQueryProcessor:
         oracle = self.network.distances
         stats.dijkstra_searches = oracle.searches_run - base_searches
         stats.dijkstra_cache_hits = oracle.cache_hits - base_hits
+        metrics = self.recorder.metrics
+        metrics.set_gauge("dijkstra.cache_hit_rate", oracle.hit_rate)
+        engine = oracle.engine
+        for stat_name, value in engine.stats().items():
+            metrics.set_gauge(f"dist_engine.{engine.name}.{stat_name}", value)
         if query is not None:
             m = self.network.social.num_users
             n = self.network.num_pois

@@ -24,6 +24,7 @@ from ..index.road_index import RoadIndex
 from ..index.social_index import SocialIndex
 from ..network import SpatialSocialNetwork
 from ..obs import Recorder
+from ..roadnet.engines import CHEngine
 
 PathLike = Union[str, Path]
 
@@ -32,7 +33,18 @@ FORMAT_VERSION = 1
 
 
 def save_processor(path: PathLike, processor: GPSSNQueryProcessor) -> None:
-    """Serialize a built processor's indexes to ``path`` (JSON)."""
+    """Serialize a built processor's indexes to ``path`` (JSON).
+
+    When the network runs on the ``ch`` distance engine, the contraction
+    hierarchy (the other expensive offline artifact) is persisted
+    alongside the R*-tree snapshots — forcing the build now if it has
+    not been triggered yet, so a loaded store never re-pays
+    preprocessing.
+    """
+    engine = processor.network.distances.engine
+    engine_doc = {"name": engine.name}
+    if isinstance(engine, CHEngine):
+        engine_doc["ch"] = engine.snapshot()
     document = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -41,6 +53,7 @@ def save_processor(path: PathLike, processor: GPSSNQueryProcessor) -> None:
         "r_max": processor.r_max,
         "road_index": processor.road_index.snapshot(),
         "social_index": processor.social_index.snapshot(),
+        "distance_engine": engine_doc,
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)
@@ -81,6 +94,17 @@ def load_processor(
             "rebuild the indexes instead of loading the store"
         )
 
+    engine_doc = document.get("distance_engine")
+    if engine_doc is not None:
+        name = engine_doc["name"]
+        if name == "ch" and "ch" in engine_doc:
+            network.distances.engine = CHEngine.from_snapshot(
+                network.road, engine_doc["ch"]
+            )
+            network.distances.clear()
+        else:
+            network.use_distance_engine(name)
+
     road_snapshot = document["road_index"]
     social_snapshot = document["social_index"]
     road_pivots = RoadPivotIndex(network.road, road_snapshot["pivots"])
@@ -108,5 +132,8 @@ def load_processor(
         num_social_pivots=social_pivots.num_pivots,
         r_min=processor.r_min, r_max=processor.r_max,
         max_entries=16, leaf_size=social_snapshot["leaf_size"], seed=0,
+        distance_engine=(
+            engine_doc["name"] if engine_doc is not None else None
+        ),
     )
     return processor

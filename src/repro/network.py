@@ -15,7 +15,9 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .config import NETWORK_DISTANCE_CACHE_SIZE
 from .exceptions import GraphConstructionError, UnknownEntityError
+from .roadnet.engines import DistanceEngine, make_engine
 from .roadnet.graph import RoadNetwork
 from .roadnet.poi import POI
 from .roadnet.shortest_path import DistanceOracle
@@ -31,7 +33,8 @@ class SpatialSocialNetwork:
         social: SocialNetwork,
         pois: Sequence[POI],
         num_keywords: int,
-        distance_cache_size: int = 4096,
+        distance_cache_size: int = NETWORK_DISTANCE_CACHE_SIZE,
+        distance_engine: str = "plain",
     ) -> None:
         self.road = road
         self.social = social
@@ -58,7 +61,27 @@ class SpatialSocialNetwork:
         self._poi_version = 0
         #: shared oracle for dist_RN lookups; keys are ("user", id) and
         #: ("poi", id) so users and POIs never collide.
-        self.distances = DistanceOracle(road, cache_size=distance_cache_size)
+        self.distances = DistanceOracle(
+            road,
+            cache_size=distance_cache_size,
+            engine=make_engine(distance_engine, road),
+        )
+
+    def use_distance_engine(self, name: str) -> DistanceEngine:
+        """Switch the shared oracle to the named ``dist_RN`` engine.
+
+        A no-op when the engine of that name is already active (so a
+        rebuilt processor does not throw away CH preprocessing);
+        otherwise the cached maps are dropped together with the old
+        engine — distances are engine-invariant, but mixing kernels
+        inside one cache would blur the per-engine measurements.
+        """
+        if self.distances.engine.name == name:
+            return self.distances.engine
+        engine = make_engine(name, self.road)
+        self.distances.engine = engine
+        self.distances.clear()
+        return engine
 
     # -- mutation (bumps version counters so indexes can detect staleness) ----
 

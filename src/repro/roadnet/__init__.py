@@ -7,13 +7,26 @@ Public surface:
 * :class:`~repro.roadnet.graph.NetworkPosition` — a point on an edge,
   where users live and POIs sit;
 * :class:`~repro.roadnet.poi.POI` — a point of interest with keywords;
-* :class:`~repro.roadnet.shortest_path.DistanceOracle` — cached Dijkstra
-  distances (``dist_RN``) between network positions.
+* :class:`~repro.roadnet.shortest_path.DistanceOracle` — cached
+  ``dist_RN`` distances between network positions;
+* the pluggable distance engines (:mod:`repro.roadnet.engines`): the
+  plain Dijkstra, the :class:`~repro.roadnet.csr.CSRGraph` array kernel,
+  and the :class:`~repro.roadnet.ch.ContractionHierarchy`.
 """
 
+from .ch import ContractionHierarchy
+from .csr import CSRGraph
+from .engines import (
+    CHEngine,
+    CSREngine,
+    DistanceEngine,
+    ENGINE_NAMES,
+    PlainEngine,
+    make_engine,
+)
 from .graph import NetworkPosition, RoadNetwork
 from .poi import POI
-from .shortest_path import DistanceOracle, dijkstra
+from .shortest_path import DistanceOracle, bidirectional_dijkstra, dijkstra
 
 __all__ = [
     "RoadNetwork",
@@ -21,4 +34,13 @@ __all__ = [
     "POI",
     "DistanceOracle",
     "dijkstra",
+    "bidirectional_dijkstra",
+    "CSRGraph",
+    "ContractionHierarchy",
+    "DistanceEngine",
+    "PlainEngine",
+    "CSREngine",
+    "CHEngine",
+    "make_engine",
+    "ENGINE_NAMES",
 ]

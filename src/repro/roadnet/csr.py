@@ -1,0 +1,224 @@
+"""Compressed-sparse-row snapshot of a road network + array kernels.
+
+The dict-of-dicts adjacency of :class:`~repro.roadnet.graph.RoadNetwork`
+is ideal for construction, validation, and mutation, but the Dijkstra
+inner loop pays for it: every neighbor expansion hashes a vertex id,
+allocates a dict-items view, and chases pointers. :class:`CSRGraph`
+freezes the adjacency into three flat arrays — ``indptr``, ``indices``,
+``weights``, the standard compressed-sparse-row layout — with a dense
+``0..n-1`` remap of vertex ids, so the inner loop is integer slicing
+over flat lists. When scipy is importable, whole single-source searches
+are handed to ``scipy.sparse.csgraph.dijkstra``'s C implementation
+instead (graphs below :data:`SCIPY_MIN_VERTICES` stay on the Python
+kernel, where the per-call marshalling would dominate).
+
+The snapshot records the road network's version counter at build time;
+:class:`~repro.roadnet.engines.CSREngine` rebuilds it lazily when the
+underlying graph mutates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..exceptions import UnknownEntityError
+from .graph import RoadNetwork
+
+try:  # pragma: no cover - exercised indirectly via the scipy path
+    from scipy.sparse import csr_matrix as _csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _scipy_dijkstra
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - CI always has scipy
+    _csr_matrix = None
+    _scipy_dijkstra = None
+    HAVE_SCIPY = False
+
+#: Below this vertex count the Python list kernel beats the scipy call
+#: (two C calls + row marshalling per seeded search).
+SCIPY_MIN_VERTICES = 256
+
+
+class CSRGraph:
+    """An immutable CSR image of a :class:`RoadNetwork`.
+
+    Vertex ids are remapped to dense internal indices ``0..n-1`` in the
+    road network's iteration order; ``ids[i]`` recovers the original id
+    and ``index_of`` maps back. Arrays are kept both as numpy (for the
+    scipy path and any vectorized consumer) and as plain Python lists
+    (the heap kernel is measurably faster on unboxed list access).
+    """
+
+    __slots__ = (
+        "ids", "index_of", "indptr", "indices", "weights",
+        "_indptr_l", "_indices_l", "_weights_l",
+        "road_version", "_sp_matrix", "kernel_runs", "scipy_runs",
+    )
+
+    def __init__(self, road: RoadNetwork) -> None:
+        ids: List[int] = list(road.vertices())
+        index_of: Dict[int, int] = {vid: i for i, vid in enumerate(ids)}
+        n = len(ids)
+        indptr: List[int] = [0] * (n + 1)
+        for i, vid in enumerate(ids):
+            indptr[i + 1] = indptr[i] + len(road.neighbors(vid))
+        m = indptr[n]
+        indices: List[int] = [0] * m
+        weights: List[float] = [0.0] * m
+        pos = 0
+        for vid in ids:
+            for nbr, w in road.neighbors(vid).items():
+                indices[pos] = index_of[nbr]
+                weights[pos] = w
+                pos += 1
+        self.ids = ids
+        self.index_of = index_of
+        self._indptr_l = indptr
+        self._indices_l = indices
+        self._weights_l = weights
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.road_version = road.version
+        self._sp_matrix = None
+        #: number of Python-kernel searches run (for tests/benchmarks)
+        self.kernel_runs = 0
+        #: number of scipy C-kernel searches run
+        self.scipy_runs = 0
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._indices_l) // 2
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"version={self.road_version})"
+        )
+
+    # -- seed handling -------------------------------------------------------
+
+    def internal_seeds(
+        self, seeds: Iterable[Tuple[int, float]]
+    ) -> List[Tuple[int, float]]:
+        """Translate ``(vertex_id, d0)`` seeds to internal indices."""
+        out: List[Tuple[int, float]] = []
+        for vid, d0 in seeds:
+            try:
+                out.append((self.index_of[vid], d0))
+            except KeyError:
+                raise UnknownEntityError(f"unknown road vertex {vid}") from None
+        return out
+
+    # -- kernels -------------------------------------------------------------
+
+    def kernel(
+        self,
+        seeds: Sequence[Tuple[int, float]],
+        max_distance: float = math.inf,
+        targets: Optional[Set[int]] = None,
+    ) -> Dict[int, float]:
+        """Binary-heap Dijkstra over the CSR arrays (internal indices).
+
+        Args:
+            seeds: ``(internal_index, initial_distance)`` pairs.
+            max_distance: truncation bound (inclusive).
+            targets: optional set of internal indices; the search stops
+                early once every target is settled (point-to-point use).
+
+        Returns:
+            ``internal_index -> distance`` for every settled/reached
+            vertex within the bound.
+        """
+        self.kernel_runs += 1
+        indptr = self._indptr_l
+        indices = self._indices_l
+        weights = self._weights_l
+        inf = math.inf
+        dist: Dict[int, float] = {}
+        heap: List[Tuple[float, int]] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        for idx, d0 in seeds:
+            if d0 <= max_distance and d0 < dist.get(idx, inf):
+                dist[idx] = d0
+                push(heap, (d0, idx))
+        pending = set(targets) if targets is not None else None
+        while heap:
+            d, u = pop(heap)
+            if d > dist.get(u, inf):
+                continue
+            if pending is not None:
+                pending.discard(u)
+                if not pending:
+                    break
+            for j in range(indptr[u], indptr[u + 1]):
+                v = indices[j]
+                nd = d + weights[j]
+                if nd <= max_distance and nd < dist.get(v, inf):
+                    dist[v] = nd
+                    push(heap, (nd, v))
+        return dist
+
+    def _matrix(self):
+        if self._sp_matrix is None:
+            n = self.num_vertices
+            self._sp_matrix = _csr_matrix(
+                (self.weights, self.indices, self.indptr), shape=(n, n)
+            )
+        return self._sp_matrix
+
+    def _scipy_sssp(
+        self,
+        seeds: Sequence[Tuple[int, float]],
+        max_distance: float,
+    ) -> Dict[int, float]:
+        """Seeded multi-source SSSP as a min-reduction over scipy rows.
+
+        ``min_k (d0_k + dist_from_seed_k(x))`` equals the seeded
+        multi-source result; each row is one C Dijkstra with its limit
+        tightened by the seed's initial offset.
+        """
+        best = None
+        for idx, d0 in seeds:
+            limit = max_distance - d0
+            if limit < 0:
+                continue
+            self.scipy_runs += 1
+            row = _scipy_dijkstra(
+                self._matrix(), directed=True, indices=idx, limit=limit
+            )
+            row = row + d0
+            best = row if best is None else np.minimum(best, row)
+        if best is None:
+            return {}
+        ids = self.ids
+        return {
+            ids[int(i)]: float(best[i])
+            for i in np.flatnonzero(np.isfinite(best))
+        }
+
+    def sssp(
+        self,
+        seeds: Iterable[Tuple[int, float]],
+        max_distance: float = math.inf,
+    ) -> Dict[int, float]:
+        """Seeded SSSP over original vertex ids (drop-in for the dict
+        kernel's :func:`~repro.roadnet.shortest_path.multi_source_dijkstra`).
+        """
+        internal = self.internal_seeds(seeds)
+        if HAVE_SCIPY and self.num_vertices >= SCIPY_MIN_VERTICES:
+            return self._scipy_sssp(internal, max_distance)
+        out = self.kernel(internal, max_distance)
+        ids = self.ids
+        return {ids[i]: d for i, d in out.items()}

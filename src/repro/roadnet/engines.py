@@ -1,0 +1,266 @@
+"""Pluggable distance engines behind ``dist_RN``.
+
+Every GP-SSN phase bottoms out in road-network distances: region
+materialization ``⊙(o_i, r)`` / ``⊙(o_i, 2r)``, the ``maxdist_RN(S, R)``
+objective, and the traversal/refinement distance pruning. A
+:class:`DistanceEngine` is the strategy object that answers those
+requests; three implementations trade preprocessing for query speed:
+
+``plain``
+    The seed behavior: binary-heap Dijkstra over the dict-of-dicts
+    adjacency. No preprocessing, no staleness to manage.
+
+``csr``
+    A :class:`~repro.roadnet.csr.CSRGraph` snapshot. Full and bounded
+    SSSP sweeps run on the flat-array kernel (or scipy's C Dijkstra on
+    larger graphs); point-to-point queries stop as soon as both target
+    endpoints settle.
+
+``ch``
+    A :class:`~repro.roadnet.ch.ContractionHierarchy` built on the CSR
+    snapshot. Point-to-point ``dist_RN`` runs as a bidirectional upward
+    search (microseconds after preprocessing); bounded region sweeps —
+    where a truncated search is already cheap and the hierarchy cannot
+    help — fall through to the CSR kernel.
+
+Engines snapshot the road network lazily and rebuild whenever its
+version counter moves, so a mutated network never serves stale
+distances. Select one by name via :func:`make_engine`, the
+``distance_engine`` knobs on :class:`~repro.network.SpatialSocialNetwork`
+/ :class:`~repro.core.algorithm.GPSSNQueryProcessor`, or the CLI's
+``--distance-engine`` flag.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import DISTANCE_ENGINES
+from ..exceptions import IndexStateError, InvalidParameterError
+from .ch import ContractionHierarchy
+from .csr import CSRGraph
+from .graph import NetworkPosition, RoadNetwork
+from .shortest_path import (
+    direct_edge_distance,
+    multi_source_dijkstra,
+    position_distance_from_map,
+    position_seeds,
+)
+
+#: The selectable engine names (single source of truth lives in
+#: :data:`repro.config.DISTANCE_ENGINES`), in ascending preprocessing cost.
+ENGINE_NAMES: Tuple[str, ...] = DISTANCE_ENGINES
+
+
+class DistanceEngine:
+    """Strategy interface for ``dist_RN`` computations.
+
+    Subclasses answer two request shapes:
+
+    * :meth:`sssp` — a seeded (optionally truncated) vertex-distance
+      map, the workhorse behind cached oracle maps and region sweeps;
+    * :meth:`point_to_point` — one exact position-to-position distance,
+      with no map materialized.
+    """
+
+    name = "abstract"
+
+    def __init__(self, road: RoadNetwork) -> None:
+        self.road = road
+
+    def sssp(
+        self,
+        seeds: Iterable[Tuple[int, float]],
+        max_distance: float = math.inf,
+    ) -> Dict[int, float]:
+        """``vertex_id -> distance`` map from ``(vertex, d0)`` seeds."""
+        raise NotImplementedError
+
+    def point_to_point(
+        self, pos_a: NetworkPosition, pos_b: NetworkPosition
+    ) -> float:
+        """Exact ``dist_RN`` between two network positions."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, float]:
+        """Engine-specific observability counters (may be empty)."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PlainEngine(DistanceEngine):
+    """The seed dict-walking Dijkstra, unchanged (the correctness oracle)."""
+
+    name = "plain"
+
+    def sssp(
+        self,
+        seeds: Iterable[Tuple[int, float]],
+        max_distance: float = math.inf,
+    ) -> Dict[int, float]:
+        return multi_source_dijkstra(self.road, seeds, max_distance)
+
+    def point_to_point(
+        self, pos_a: NetworkPosition, pos_b: NetworkPosition
+    ) -> float:
+        # Exactly the oracle's cache-miss path: one full seeded Dijkstra
+        # from pos_a, then endpoint lookups for pos_b.
+        dist_map = multi_source_dijkstra(
+            self.road, position_seeds(self.road, pos_a)
+        )
+        return position_distance_from_map(self.road, dist_map, pos_b, pos_a)
+
+
+class CSREngine(DistanceEngine):
+    """Flat-array Dijkstra over a lazily (re)built CSR snapshot."""
+
+    name = "csr"
+
+    def __init__(self, road: RoadNetwork) -> None:
+        super().__init__(road)
+        self._graph: Optional[CSRGraph] = None
+
+    def graph(self) -> CSRGraph:
+        """The CSR snapshot, rebuilt when the road network mutated."""
+        if self._graph is None or self._graph.road_version != self.road.version:
+            self._graph = CSRGraph(self.road)
+            self._invalidate_derived()
+        return self._graph
+
+    def _invalidate_derived(self) -> None:
+        """Hook for subclasses holding structures derived from the CSR."""
+
+    def sssp(
+        self,
+        seeds: Iterable[Tuple[int, float]],
+        max_distance: float = math.inf,
+    ) -> Dict[int, float]:
+        return self.graph().sssp(seeds, max_distance)
+
+    def _position_seeds_internal(
+        self, graph: CSRGraph, pos: NetworkPosition
+    ) -> List[Tuple[int, float]]:
+        length = self.road.edge_length(pos.u, pos.v)
+        return graph.internal_seeds(
+            [(pos.u, pos.offset), (pos.v, max(length - pos.offset, 0.0))]
+        )
+
+    def point_to_point(
+        self, pos_a: NetworkPosition, pos_b: NetworkPosition
+    ) -> float:
+        graph = self.graph()
+        seeds = self._position_seeds_internal(graph, pos_a)
+        iu = graph.index_of[pos_b.u]
+        iv = graph.index_of[pos_b.v]
+        dist = graph.kernel(seeds, targets={iu, iv})
+        length = self.road.edge_length(pos_b.u, pos_b.v)
+        inf = math.inf
+        best = min(
+            dist.get(iu, inf) + pos_b.offset,
+            dist.get(iv, inf) + (length - pos_b.offset),
+            direct_edge_distance(self.road, pos_a, pos_b),
+        )
+        return best
+
+    def stats(self) -> Dict[str, float]:
+        if self._graph is None:
+            return {}
+        return {
+            "kernel_runs": float(self._graph.kernel_runs),
+            "scipy_runs": float(self._graph.scipy_runs),
+        }
+
+
+class CHEngine(CSREngine):
+    """Contraction-hierarchy point-to-point on top of the CSR snapshot.
+
+    The hierarchy is built (or restored from a persisted snapshot) on
+    first use and rebuilt when the road network mutates. SSSP maps and
+    bounded region sweeps go to the CSR kernel — the paper's ``2r``
+    sweeps are truncated searches the hierarchy cannot shortcut.
+    """
+
+    name = "ch"
+
+    def __init__(self, road: RoadNetwork) -> None:
+        super().__init__(road)
+        self._ch: Optional[ContractionHierarchy] = None
+
+    def _invalidate_derived(self) -> None:
+        self._ch = None
+
+    def hierarchy(self) -> ContractionHierarchy:
+        graph = self.graph()  # may invalidate a stale self._ch
+        if self._ch is None:
+            self._ch = ContractionHierarchy.build(graph)
+        return self._ch
+
+    def point_to_point(
+        self, pos_a: NetworkPosition, pos_b: NetworkPosition
+    ) -> float:
+        ch = self.hierarchy()
+        graph = self._graph
+        seeds_a = self._position_seeds_internal(graph, pos_a)
+        seeds_b = self._position_seeds_internal(graph, pos_b)
+        best = ch.query(seeds_a, seeds_b)
+        direct = direct_edge_distance(self.road, pos_a, pos_b)
+        return best if best <= direct else direct
+
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        if self._ch is not None:
+            out.update(
+                shortcuts_added=float(self._ch.shortcuts_added),
+                preprocess_seconds=float(self._ch.preprocess_seconds),
+                upward_settles=float(self._ch.query_settles),
+            )
+        return out
+
+    # -- persistence (wired through repro.io.index_store) -------------------
+
+    def snapshot(self) -> dict:
+        """Serializable image of the preprocessed hierarchy."""
+        graph = self.graph()
+        ch = self.hierarchy()
+        return {
+            "road_version": graph.road_version,
+            "ids": list(graph.ids),
+            "hierarchy": ch.snapshot(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, road: RoadNetwork, data: dict) -> "CHEngine":
+        """Revive a persisted hierarchy without re-running preprocessing.
+
+        Raises :class:`IndexStateError` when the snapshot was built
+        against a different road network (version or vertex remap
+        mismatch) — rebuild instead of loading in that case.
+        """
+        engine = cls(road)
+        graph = engine.graph()
+        if (
+            int(data["road_version"]) != graph.road_version
+            or [int(i) for i in data["ids"]] != graph.ids
+        ):
+            raise IndexStateError(
+                "contraction-hierarchy snapshot does not match the current "
+                "road network; rebuild the engine instead of loading it"
+            )
+        engine._ch = ContractionHierarchy.from_snapshot(data["hierarchy"])
+        return engine
+
+
+def make_engine(name: str, road: RoadNetwork) -> DistanceEngine:
+    """Construct a distance engine by name (``plain`` | ``csr`` | ``ch``)."""
+    if name == "plain":
+        return PlainEngine(road)
+    if name == "csr":
+        return CSREngine(road)
+    if name == "ch":
+        return CHEngine(road)
+    raise InvalidParameterError(
+        f"unknown distance engine {name!r}; expected one of {ENGINE_NAMES}"
+    )

@@ -10,8 +10,12 @@ The paper's query processing needs three flavours of network distance:
   homes and POIs), served by :class:`DistanceOracle` with memoized
   per-source searches.
 
-All searches are plain binary-heap Dijkstra; edge weights are road segment
-lengths.
+The searches here are plain binary-heap Dijkstra over the dict-of-dicts
+adjacency; edge weights are road segment lengths. Faster engines (a CSR
+array kernel, a contraction hierarchy) live in
+:mod:`repro.roadnet.engines` and plug into :class:`DistanceOracle` via
+its ``engine`` parameter — the functions in this module stay the
+reference ("plain") implementation every engine is validated against.
 """
 
 from __future__ import annotations
@@ -19,10 +23,14 @@ from __future__ import annotations
 import heapq
 import math
 from collections import OrderedDict
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Tuple
 
+from ..config import DEFAULT_DISTANCE_CACHE_SIZE
 from ..exceptions import UnknownEntityError
 from .graph import NetworkPosition, RoadNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .engines import DistanceEngine
 
 
 def dijkstra(
@@ -88,6 +96,29 @@ def position_seeds(
     return [(pos.u, pos.offset), (pos.v, max(length - pos.offset, 0.0))]
 
 
+def direct_edge_distance(
+    road: RoadNetwork,
+    pos_a: NetworkPosition,
+    pos_b: NetworkPosition,
+) -> float:
+    """Along-edge walking distance between two positions on one edge.
+
+    Returns ``math.inf`` when the positions do not share an edge. Edge
+    orientation is normalized once: ``pos_a``'s offset is re-measured
+    from ``pos_b.u`` when the two positions name the endpoints in
+    opposite order. A self-loop edge (``u == v``) leaves the offset
+    direction ambiguous, so both ways around the loop are considered.
+    """
+    if frozenset((pos_a.u, pos_a.v)) != frozenset((pos_b.u, pos_b.v)):
+        return math.inf
+    length = road.edge_length(pos_b.u, pos_b.v)
+    if pos_b.u == pos_b.v:
+        delta = abs(pos_a.offset - pos_b.offset)
+        return min(delta, length - delta)
+    a = pos_a.offset if pos_a.u == pos_b.u else length - pos_a.offset
+    return abs(a - pos_b.offset)
+
+
 def position_distance_from_map(
     road: RoadNetwork,
     dist_map: Dict[int, float],
@@ -98,38 +129,63 @@ def position_distance_from_map(
 
     The distance to an on-edge position is the best of reaching either
     endpoint and walking along the edge. When ``source_pos`` lies on the
-    *same* edge, the direct along-edge walk ``|offset_a - offset_b|`` is
-    also considered (the vertex detour may overestimate it).
+    *same* edge, the direct along-edge walk is also considered (the
+    vertex detour may overestimate it); see :func:`direct_edge_distance`
+    for the orientation/self-loop handling.
     """
     length = road.edge_length(pos.u, pos.v)
     via_u = dist_map.get(pos.u, math.inf) + pos.offset
     via_v = dist_map.get(pos.v, math.inf) + (length - pos.offset)
     best = min(via_u, via_v)
-    if source_pos is not None and {source_pos.u, source_pos.v} == {pos.u, pos.v}:
-        a = source_pos.offset if source_pos.u == pos.u else length - source_pos.offset
-        best = min(best, abs(a - pos.offset))
+    if source_pos is not None:
+        best = min(best, direct_edge_distance(road, source_pos, pos))
     return best
 
 
 class DistanceOracle:
     """Memoized point-to-point road-network distances.
 
-    Runs one (optionally truncated) Dijkstra per distinct source position
-    and caches the resulting vertex-distance map under a caller-supplied
-    key (usually the user/POI id), evicting least-recently-used entries
-    beyond ``cache_size``.
+    Runs one search per distinct source position and caches the
+    resulting vertex-distance map under a caller-supplied key (usually
+    the user/POI id), evicting least-recently-used entries beyond
+    ``cache_size`` (``None`` picks
+    :data:`repro.config.DEFAULT_DISTANCE_CACHE_SIZE`).
+
+    The search itself is delegated to a
+    :class:`~repro.roadnet.engines.DistanceEngine` (default: the plain
+    dict-walking Dijkstra); :meth:`point_to_point` additionally exposes
+    the engine's one-shot distance path for callers that will not reuse
+    a source map.
     """
 
-    def __init__(self, road: RoadNetwork, cache_size: int = 1024) -> None:
+    def __init__(
+        self,
+        road: RoadNetwork,
+        cache_size: Optional[int] = None,
+        engine: Optional["DistanceEngine"] = None,
+    ) -> None:
         self.road = road
-        self.cache_size = cache_size
+        self.cache_size = (
+            DEFAULT_DISTANCE_CACHE_SIZE if cache_size is None else cache_size
+        )
+        if engine is None:
+            from .engines import PlainEngine  # deferred: engines imports us
+
+            engine = PlainEngine(road)
+        self.engine = engine
         self._cache: "OrderedDict[Hashable, Dict[int, float]]" = OrderedDict()
-        #: number of Dijkstra runs actually executed (for tests/benchmarks)
+        #: number of full searches actually executed (for tests/benchmarks)
         self.searches_run = 0
         #: lookups served from the cache without a search; together with
         #: ``searches_run`` this is the oracle's hit/miss breakdown, which
         #: the query processor snapshots per query for its metrics
         self.cache_hits = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of map requests served from the cache (0 when idle)."""
+        total = self.searches_run + self.cache_hits
+        return self.cache_hits / total if total else 0.0
 
     def distances_from(
         self, key: Hashable, pos: NetworkPosition
@@ -140,7 +196,7 @@ class DistanceOracle:
             self._cache.move_to_end(key)
             self.cache_hits += 1
             return cached
-        dist_map = multi_source_dijkstra(self.road, position_seeds(self.road, pos))
+        dist_map = self.engine.sssp(position_seeds(self.road, pos))
         self.searches_run += 1
         self._cache[key] = dist_map
         if len(self._cache) > self.cache_size:
@@ -155,11 +211,25 @@ class DistanceOracle:
     ) -> float:
         """``dist_RN`` between two network positions.
 
-        The Dijkstra tree is rooted at ``pos_a`` (cached under ``key_a``);
-        ``pos_b`` only needs the endpoint lookups.
+        The search tree is rooted at ``pos_a`` (cached under ``key_a``);
+        ``pos_b`` only needs the endpoint lookups. Use this when many
+        targets share a source — the cached map amortizes; for one-shot
+        pairs prefer :meth:`point_to_point`.
         """
         dist_map = self.distances_from(key_a, pos_a)
         return position_distance_from_map(self.road, dist_map, pos_b, pos_a)
+
+    def point_to_point(
+        self, pos_a: NetworkPosition, pos_b: NetworkPosition
+    ) -> float:
+        """One exact ``dist_RN`` via the engine's direct path, uncached.
+
+        Under the ``ch`` engine this is a microsecond-scale bidirectional
+        upward search; under ``csr`` a target-truncated kernel sweep;
+        under ``plain`` a full Dijkstra (the cache-miss cost of
+        :meth:`distance` without polluting the cache).
+        """
+        return self.engine.point_to_point(pos_a, pos_b)
 
     def clear(self) -> None:
         self._cache.clear()

@@ -72,6 +72,51 @@ class TestRoundTrip:
         assert isinstance(answers, list)
 
 
+class TestDistanceEnginePersistence:
+    def test_ch_preprocessing_survives_roundtrip(self, tmp_path):
+        from repro.roadnet.engines import CHEngine
+
+        network = uni_dataset(
+            num_road_vertices=90, num_pois=30, num_users=60, seed=27
+        )
+        processor = GPSSNQueryProcessor(
+            network, num_road_pivots=3, num_social_pivots=3, seed=27,
+            distance_engine="ch",
+        )
+        path = tmp_path / "ch-store.json"
+        save_processor(path, processor)
+        built = network.distances.engine
+        assert isinstance(built, CHEngine)
+        shortcuts = built.hierarchy().shortcuts_added
+
+        # Load into an identically constructed network (as a fresh
+        # process would) — the hierarchy must revive, not rebuild.
+        fresh = uni_dataset(
+            num_road_vertices=90, num_pois=30, num_users=60, seed=27
+        )
+        revived = load_processor(path, fresh)
+        engine = fresh.distances.engine
+        assert isinstance(engine, CHEngine)
+        assert engine._ch is not None  # restored, no lazy build pending
+        assert engine._ch.shortcuts_added == shortcuts
+
+        query = GPSSNQuery(
+            query_user=3, tau=3, gamma=0.3, theta=0.3, radius=2.0
+        )
+        a, _ = processor.answer(query)
+        b, _ = revived.answer(query)
+        assert a.found == b.found
+        if a.found:
+            assert a.max_distance == pytest.approx(b.max_distance)
+            assert a.users == b.users and a.pois == b.pois
+
+    def test_plain_store_keeps_plain_engine(self, setup, tmp_path):
+        network, processor, path = setup
+        revived = load_processor(path, network)
+        assert network.distances.engine.name == "plain"
+        assert revived._build_args["distance_engine"] == "plain"
+
+
 class TestValidation:
     def test_mutated_network_rejected(self, setup, tmp_path):
         network, processor, _ = setup

@@ -1,0 +1,128 @@
+"""Property tests: every distance engine agrees with plain Dijkstra.
+
+The plain dict-walking Dijkstra is the correctness oracle; the CSR
+kernel and the contraction hierarchy must reproduce it to within
+floating-point noise (1e-9) on arbitrary road networks, arbitrary
+on-edge positions, truncation bounds, and disconnected pairs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import NetworkPosition, RoadNetwork
+from repro.datagen.synthetic import generate_road_network
+from repro.roadnet.csr import CSRGraph
+from repro.roadnet.engines import make_engine
+from repro.roadnet.shortest_path import (
+    bidirectional_dijkstra,
+    dijkstra,
+    multi_source_dijkstra,
+)
+
+ATOL = 1e-9
+
+
+def random_positions(road, rng, count):
+    edges = list(road.edges())
+    out = []
+    for _ in range(count):
+        u, v, length = edges[int(rng.integers(len(edges)))]
+        # Mix interior points with exact endpoints (offset 0 / length)
+        # and reversed orientations — the historical trouble spots.
+        roll = rng.random()
+        if roll < 0.15:
+            offset = 0.0
+        elif roll < 0.3:
+            offset = length
+        else:
+            offset = float(rng.random() * length)
+        if rng.random() < 0.5:
+            u, v, offset = v, u, length - offset
+        out.append(NetworkPosition(u, v, offset))
+    return out
+
+
+def two_component_road(rng, half=12):
+    """Two disjoint random road networks merged under one id space."""
+    road = RoadNetwork()
+    for component in range(2):
+        part = generate_road_network(half, rng)
+        base = component * half
+        for vid in part.vertices():
+            point = part.coords(vid)
+            road.add_vertex(base + vid, point.x + component * 1000.0, point.y)
+        for u, v, length in part.edges():
+            road.add_edge(base + u, base + v, length)
+    return road
+
+
+class TestEngineAgreement:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_point_to_point_all_engines(self, seed):
+        rng = np.random.default_rng(seed)
+        road = generate_road_network(50, rng)
+        engines = [make_engine(name, road) for name in ("plain", "csr", "ch")]
+        for a, b in zip(
+            random_positions(road, rng, 8), random_positions(road, rng, 8)
+        ):
+            got = [engine.point_to_point(a, b) for engine in engines]
+            for other in got[1:]:
+                assert other == pytest.approx(got[0], abs=ATOL)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_disconnected_pairs_are_inf_everywhere(self, seed):
+        rng = np.random.default_rng(seed)
+        road = two_component_road(rng)
+        a = random_positions(road, rng, 1)[0]
+        b = a
+        while (b.u < 12) == (a.u < 12):  # resample until components differ
+            b = random_positions(road, rng, 1)[0]
+        for name in ("plain", "csr", "ch"):
+            assert math.isinf(make_engine(name, road).point_to_point(a, b))
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 500), bound=st.floats(0.0, 60.0))
+    def test_csr_sssp_matches_dict_kernel(self, seed, bound):
+        rng = np.random.default_rng(seed)
+        road = generate_road_network(50, rng)
+        ids = list(road.vertices())
+        seeds = [
+            (ids[int(rng.integers(len(ids)))], float(rng.random() * 3))
+            for _ in range(3)
+        ]
+        ours = CSRGraph(road).sssp(seeds, bound)
+        reference = multi_source_dijkstra(road, seeds, bound)
+        assert set(ours) == set(reference)
+        for v, d in reference.items():
+            assert ours[v] == pytest.approx(d, abs=ATOL)
+
+
+class TestBidirectional:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_matches_dijkstra(self, seed):
+        rng = np.random.default_rng(seed)
+        road = generate_road_network(50, rng)
+        ids = list(road.vertices())
+        source = ids[int(rng.integers(len(ids)))]
+        reference = dijkstra(road, source)
+        for _ in range(5):
+            target = ids[int(rng.integers(len(ids)))]
+            got = bidirectional_dijkstra(road, source, target)
+            want = reference.get(target, math.inf)
+            if math.isinf(want):
+                assert math.isinf(got)
+            else:
+                assert got == pytest.approx(want, abs=ATOL)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_disconnected_is_inf(self, seed):
+        rng = np.random.default_rng(seed)
+        road = two_component_road(rng)
+        assert math.isinf(bidirectional_dijkstra(road, 0, 12))

@@ -1,0 +1,199 @@
+"""Unit tests for the CSR snapshot and its Dijkstra kernels."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import NetworkPosition, RoadNetwork
+from repro.datagen.synthetic import generate_road_network
+from repro.exceptions import InvalidParameterError, UnknownEntityError
+from repro.roadnet.csr import CSRGraph, HAVE_SCIPY
+from repro.roadnet.engines import (
+    CSREngine,
+    DistanceEngine,
+    ENGINE_NAMES,
+    PlainEngine,
+    make_engine,
+)
+from repro.roadnet.shortest_path import (
+    DistanceOracle,
+    multi_source_dijkstra,
+    position_seeds,
+)
+from tests.conftest import build_grid_road
+
+
+@pytest.fixture(scope="module")
+def random_road():
+    return generate_road_network(80, np.random.default_rng(3))
+
+
+class TestCSRGraphShape:
+    def test_vertex_and_edge_counts(self, grid_road):
+        csr = CSRGraph(grid_road)
+        assert csr.num_vertices == grid_road.num_vertices
+        assert csr.num_edges == grid_road.num_edges
+        assert len(csr.indptr) == csr.num_vertices + 1
+        assert int(csr.indptr[-1]) == len(csr.indices) == len(csr.weights)
+
+    def test_remap_is_a_bijection(self, random_road):
+        csr = CSRGraph(random_road)
+        assert sorted(csr.ids) == sorted(random_road.vertices())
+        for i, vid in enumerate(csr.ids):
+            assert csr.index_of[vid] == i
+
+    def test_rows_match_adjacency(self, random_road):
+        csr = CSRGraph(random_road)
+        for vid in random_road.vertices():
+            i = csr.index_of[vid]
+            row = {
+                csr.ids[int(csr.indices[j])]: float(csr.weights[j])
+                for j in range(int(csr.indptr[i]), int(csr.indptr[i + 1]))
+            }
+            assert row == pytest.approx(random_road.neighbors(vid))
+
+    def test_version_recorded(self, random_road):
+        assert CSRGraph(random_road).road_version == random_road.version
+
+    def test_unknown_seed_raises(self, grid_road):
+        csr = CSRGraph(grid_road)
+        with pytest.raises(UnknownEntityError):
+            csr.internal_seeds([(999, 0.0)])
+
+
+class TestKernelEquivalence:
+    """The flat-array kernel is a drop-in for multi_source_dijkstra."""
+
+    def assert_sssp_matches(self, road, seeds, max_distance=math.inf):
+        csr = CSRGraph(road)
+        ours = csr.sssp(seeds, max_distance)
+        reference = multi_source_dijkstra(road, seeds, max_distance)
+        assert set(ours) == set(reference)
+        for v, d in reference.items():
+            assert ours[v] == pytest.approx(d, abs=1e-9)
+
+    def test_full_sweep_grid(self, grid_road):
+        self.assert_sssp_matches(grid_road, [(0, 0.0)])
+
+    def test_full_sweep_random(self, random_road):
+        first = next(iter(random_road.vertices()))
+        self.assert_sssp_matches(random_road, [(first, 0.0)])
+
+    def test_seeded_multi_source(self, random_road):
+        ids = list(random_road.vertices())
+        seeds = [(ids[0], 1.5), (ids[7], 0.25), (ids[20], 3.0)]
+        self.assert_sssp_matches(random_road, seeds)
+
+    def test_bounded_sweep(self, random_road):
+        ids = list(random_road.vertices())
+        self.assert_sssp_matches(random_road, [(ids[4], 0.5)], max_distance=22.0)
+
+    def test_empty_seeds(self, grid_road):
+        assert CSRGraph(grid_road).sssp([]) == {}
+
+    def test_disconnected_component_absent(self):
+        road = RoadNetwork()
+        for vid, (x, y) in enumerate([(0, 0), (1, 0), (5, 5), (6, 5)]):
+            road.add_vertex(vid, x, y)
+        road.add_edge(0, 1)
+        road.add_edge(2, 3)
+        assert set(CSRGraph(road).sssp([(0, 0.0)])) == {0, 1}
+
+    def test_targets_stop_early(self, grid_road):
+        csr = CSRGraph(grid_road)
+        full = csr.kernel([(csr.index_of[0], 0.0)])
+        target = csr.index_of[1]
+        partial = csr.kernel([(csr.index_of[0], 0.0)], targets={target})
+        assert partial[target] == pytest.approx(full[target])
+        # The far corner (distance 60) must not have been settled on the
+        # way to an adjacent target.
+        assert len(partial) < len(full)
+
+    @pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+    def test_scipy_path_matches_kernel(self, random_road):
+        csr = CSRGraph(random_road)
+        ids = list(random_road.vertices())
+        seeds = [(ids[2], 0.75), (ids[11], 0.0)]
+        for bound in (math.inf, 18.0):
+            via_scipy = csr._scipy_sssp(csr.internal_seeds(seeds), bound)
+            reference = multi_source_dijkstra(random_road, seeds, bound)
+            assert set(via_scipy) == set(reference)
+            for v, d in reference.items():
+                assert via_scipy[v] == pytest.approx(d, abs=1e-9)
+
+    @pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+    def test_scipy_engaged_above_threshold(self, monkeypatch):
+        import repro.roadnet.csr as csr_mod
+
+        road = build_grid_road()
+        csr = CSRGraph(road)
+        monkeypatch.setattr(csr_mod, "SCIPY_MIN_VERTICES", 4)
+        csr.sssp([(0, 0.0)])
+        assert csr.scipy_runs > 0
+
+
+class TestCSREngine:
+    def test_point_to_point_matches_plain(self, random_road):
+        engine = CSREngine(random_road)
+        plain = PlainEngine(random_road)
+        rng = np.random.default_rng(11)
+        edges = list(random_road.edges())
+        for _ in range(30):
+            u1, v1, l1 = edges[int(rng.integers(len(edges)))]
+            u2, v2, l2 = edges[int(rng.integers(len(edges)))]
+            a = NetworkPosition(u1, v1, float(rng.random() * l1))
+            b = NetworkPosition(u2, v2, float(rng.random() * l2))
+            assert engine.point_to_point(a, b) == pytest.approx(
+                plain.point_to_point(a, b), abs=1e-9
+            )
+
+    def test_rebuild_on_mutation(self):
+        road = build_grid_road()
+        engine = CSREngine(road)
+        first = engine.graph()
+        assert engine.graph() is first  # same version: cached
+        road.add_vertex(99, -10.0, -10.0)
+        road.add_edge(0, 99, 10.0)
+        second = engine.graph()
+        assert second is not first
+        assert second.road_version == road.version
+        dist = engine.sssp([(99, 0.0)])
+        assert dist[0] == pytest.approx(10.0)
+
+    def test_stats_counters(self, grid_road):
+        engine = CSREngine(grid_road)
+        assert engine.stats() == {}  # nothing built yet
+        engine.sssp([(0, 0.0)])
+        stats = engine.stats()
+        assert stats["kernel_runs"] + stats["scipy_runs"] >= 1
+
+    def test_oracle_delegates_to_engine(self, grid_road):
+        engine = CSREngine(grid_road)
+        oracle = DistanceOracle(grid_road, engine=engine)
+        pos = NetworkPosition(0, 1, 1.0)
+        via_oracle = oracle.distances_from("k", pos)
+        direct = engine.sssp(position_seeds(grid_road, pos))
+        assert via_oracle == pytest.approx(direct)
+        assert engine.stats()["kernel_runs"] >= 2
+
+
+class TestMakeEngine:
+    def test_names(self, grid_road):
+        for name in ENGINE_NAMES:
+            engine = make_engine(name, grid_road)
+            assert isinstance(engine, DistanceEngine)
+            assert engine.name == name
+
+    def test_unknown_name_rejected(self, grid_road):
+        with pytest.raises(InvalidParameterError):
+            make_engine("quantum", grid_road)
+
+    def test_config_validates_engine_name(self):
+        from repro.config import ExperimentConfig
+
+        assert ExperimentConfig(distance_engine="ch").distance_engine == "ch"
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(distance_engine="quantum")
+        with pytest.raises(InvalidParameterError):
+            ExperimentConfig(distance_cache_size=0)

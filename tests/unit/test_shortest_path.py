@@ -13,6 +13,7 @@ from repro.exceptions import UnknownEntityError
 from repro.roadnet.shortest_path import (
     DistanceOracle,
     dijkstra,
+    direct_edge_distance,
     multi_source_dijkstra,
     position_distance_from_map,
     position_seeds,
@@ -152,6 +153,56 @@ class TestPositionDistances:
         assert ac <= ab + bc + 1e-9
 
 
+class TestDirectEdgeDistance:
+    """Regression tests for the same-edge special case of ``dist_RN``."""
+
+    def test_same_orientation(self, grid_road):
+        a = NetworkPosition(0, 1, 2.0)
+        b = NetworkPosition(0, 1, 7.5)
+        assert direct_edge_distance(grid_road, a, b) == pytest.approx(5.5)
+
+    def test_reversed_orientation(self, grid_road):
+        # The same two physical points, named from opposite endpoints:
+        # offset 2 from vertex 0 vs offset 3 from vertex 1 (= 7 from 0).
+        a = NetworkPosition(0, 1, 2.0)
+        b = NetworkPosition(1, 0, 3.0)
+        assert direct_edge_distance(grid_road, a, b) == pytest.approx(5.0)
+        assert direct_edge_distance(grid_road, b, a) == pytest.approx(5.0)
+
+    def test_reversed_orientation_same_point(self, grid_road):
+        a = NetworkPosition(0, 1, 4.0)
+        b = NetworkPosition(1, 0, 6.0)  # identical physical point
+        assert direct_edge_distance(grid_road, a, b) == pytest.approx(0.0)
+
+    def test_different_edges_are_inf(self, grid_road):
+        a = NetworkPosition(0, 1, 2.0)
+        b = NetworkPosition(1, 2, 2.0)
+        assert math.isinf(direct_edge_distance(grid_road, a, b))
+
+    def test_self_loop_takes_shorter_way_around(self):
+        # RoadNetwork.add_edge rejects self-loops, so inject one directly
+        # to pin down the documented ambiguity handling: offsets on a
+        # loop have no canonical direction, so both ways around count.
+        from repro import RoadNetwork
+
+        road = RoadNetwork()
+        road.add_vertex(0, 0.0, 0.0)
+        road._adj[0][0] = 12.0
+        a = NetworkPosition(0, 0, 2.0)
+        b = NetworkPosition(0, 0, 9.0)
+        # |2 - 9| = 7 one way, 12 - 7 = 5 the other.
+        assert direct_edge_distance(road, a, b) == pytest.approx(5.0)
+        assert direct_edge_distance(road, b, a) == pytest.approx(5.0)
+
+    def test_oracle_distance_uses_direct_walk_when_reversed(self, grid_road):
+        # Endpoint detours give min(2+7, 8+3) = 9; the direct walk is 5.
+        oracle = DistanceOracle(grid_road)
+        a = NetworkPosition(0, 1, 2.0)
+        b = NetworkPosition(1, 0, 3.0)
+        assert oracle.distance("a", a, b) == pytest.approx(5.0)
+        assert oracle.point_to_point(a, b) == pytest.approx(5.0)
+
+
 class TestOracle:
     def test_caching_avoids_repeat_searches(self, grid_road):
         oracle = DistanceOracle(grid_road)
@@ -178,6 +229,34 @@ class TestOracle:
         oracle.clear()
         oracle.distances_from("a", NetworkPosition(0, 1, 1.0))
         assert oracle.searches_run == 2
+
+    def test_default_cache_size_from_config(self, grid_road):
+        from repro.config import DEFAULT_DISTANCE_CACHE_SIZE
+
+        oracle = DistanceOracle(grid_road)
+        assert oracle.cache_size == DEFAULT_DISTANCE_CACHE_SIZE
+        assert DistanceOracle(grid_road, cache_size=3).cache_size == 3
+
+    def test_hit_rate(self, grid_road):
+        oracle = DistanceOracle(grid_road)
+        assert oracle.hit_rate == 0.0  # idle oracle: no division by zero
+        pos = NetworkPosition(0, 1, 1.0)
+        oracle.distances_from("k", pos)
+        assert oracle.hit_rate == 0.0
+        oracle.distances_from("k", pos)
+        assert oracle.hit_rate == pytest.approx(0.5)
+        oracle.distances_from("k", pos)
+        assert oracle.hit_rate == pytest.approx(2 / 3)
+
+    def test_point_to_point_bypasses_cache(self, grid_road):
+        oracle = DistanceOracle(grid_road)
+        a = NetworkPosition(0, 1, 5.0)
+        b = NetworkPosition(0, 4, 5.0)
+        got = oracle.point_to_point(a, b)
+        assert got == pytest.approx(oracle.distance("a", a, b))
+        # The one-shot path never touched the hit/miss accounting.
+        assert oracle.cache_hits == 0
+        assert oracle.searches_run == 1  # only the distance() call
 
     def test_unreachable_position_is_inf(self):
         from repro import RoadNetwork
