@@ -28,7 +28,8 @@ def test_fig7a(benchmark, pruning_workloads):
 
     assert len(rows) == len(DATASET_NAMES)
     for row in rows:
-        name, s_idx, s_obj, s_all, r_idx, r_obj, r_all = row
+        name, s_idx, s_obj, s_all, r_idx, r_obj, r_all = row[:7]
+        s_idx_n, s_obj_n, r_idx_n, r_obj_n = row[7:]
         # Every power is a valid fraction.
         for value in (s_idx, s_obj, s_all, r_idx, r_obj, r_all):
             assert 0.0 <= value <= 1.0
@@ -36,3 +37,9 @@ def test_fig7a(benchmark, pruning_workloads):
         assert s_all >= 0.5, name
         # Road pruning removes a nontrivial share of POIs.
         assert r_all >= 0.1, name
+        # The funnel counts agree with the power columns: a family with
+        # nonzero power pruned at least one candidate, and vice versa.
+        assert (s_idx_n > 0) == (s_idx > 0), name
+        assert (s_obj_n > 0) == (s_obj > 0), name
+        assert (r_idx_n > 0) == (r_idx > 0), name
+        assert (r_obj_n > 0) == (r_obj > 0), name

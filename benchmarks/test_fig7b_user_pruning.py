@@ -24,7 +24,7 @@ def test_fig7b(benchmark, pruning_workloads):
     write_result("fig7b_user_pruning", headers, rows, "Figure 7(b)")
 
     assert len(rows) == len(DATASET_NAMES)
-    for name, distance, interest in rows:
+    for name, distance, interest, distance_n, interest_n in rows:
         # Both rules fire on every dataset.
         assert distance > 0.03, name
         assert interest > 0.3, name
@@ -32,3 +32,5 @@ def test_fig7b(benchmark, pruning_workloads):
         assert interest > distance, name
         # Combined they stay a valid fraction of the user population.
         assert distance + interest <= 1.0 + 1e-9, name
+        # Funnel counts mirror the dominance ordering.
+        assert interest_n > distance_n > 0, name

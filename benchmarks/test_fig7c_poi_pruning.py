@@ -29,6 +29,9 @@ def test_fig7c(benchmark, pruning_workloads):
     # Both rules fire in aggregate across datasets.
     assert total_distance > 0.05
     assert total_matching > 0.4
-    for name, distance, matching in rows:
+    for name, distance, matching, distance_n, matching_n in rows:
         assert 0.0 <= distance <= 1.0 and 0.0 <= matching <= 1.0
         assert matching > 0.1, name
+        # The matching family's funnel count fires wherever its power does.
+        assert (matching_n > 0) == (matching > 0), name
+        assert (distance_n > 0) == (distance > 0), name

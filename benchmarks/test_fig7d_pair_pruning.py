@@ -25,5 +25,8 @@ def test_fig7d(benchmark, pruning_workloads):
     write_result("fig7d_pair_pruning", headers, rows, "Figure 7(d)")
 
     assert len(rows) == len(DATASET_NAMES)
-    for name, power in rows:
+    for name, power, visited, pruned in rows:
         assert float(power) > 0.9999, name
+        # The refine.pairs funnel was recorded and never over-counts.
+        assert visited > 0, name
+        assert 0 <= pruned <= visited, name

@@ -1,0 +1,151 @@
+"""Pruning-funnel trajectory benchmark + regression-guard wiring.
+
+Runs the shared Figure-7 workload (all four datasets, seeded) with the
+EXPLAIN recorder on, writes ``results/BENCH_pruning_funnel.json`` —
+per-rule prune counts plus query latency — and proves the guard closes:
+``scripts/check_bench_regression.py`` accepts the fresh run against the
+committed baseline and rejects a doctored one that claims twice the
+pruning power.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+from benchmarks.conftest import (
+    BENCH_QUERIES,
+    BENCH_SCALE,
+    BENCH_SEED,
+    RESULTS_DIR,
+    write_result,
+)
+
+BASELINE_PATH = RESULTS_DIR / "BENCH_pruning_funnel.json"
+CHECKER_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression", CHECKER_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _build_payload(workloads) -> dict:
+    datasets = {}
+    for name, result in sorted(workloads.items()):
+        datasets[name] = {
+            "rule_counts": {
+                rule: count
+                for rule, count in sorted(result.rule_counts.items())
+                if count > 0
+            },
+            "phases": {
+                phase: {
+                    key: entry[key]
+                    for key in ("visited", "survived", "pruned")
+                }
+                for phase, entry in result.funnel.items()
+            },
+            "mean_cpu_sec": result.mean_cpu,
+            "mean_io_pages": result.mean_io,
+        }
+    return {
+        "schema": "gpssn.bench.pruning_funnel/1",
+        "scale": {
+            "road_vertices": BENCH_SCALE.road_vertices,
+            "num_pois": BENCH_SCALE.num_pois,
+            "num_users": BENCH_SCALE.num_users,
+            "max_groups": BENCH_SCALE.max_groups,
+        },
+        "num_queries": BENCH_QUERIES,
+        "seed": BENCH_SEED,
+        "datasets": datasets,
+    }
+
+
+def test_pruning_funnel_baseline(benchmark, pruning_workloads):
+    payload = _build_payload(pruning_workloads)
+
+    # The funnel invariant holds for every phase of every dataset.
+    for name, result in pruning_workloads.items():
+        assert result.funnel, name
+        for phase, entry in result.funnel.items():
+            rule_sum = sum(
+                r["pruned"] for r in entry.get("rules", {}).values()
+            )
+            assert entry["pruned"] == rule_sum, (name, phase)
+            assert entry["visited"] == entry["survived"] + entry["pruned"], (
+                name,
+                phase,
+            )
+        assert sum(result.rule_counts.values()) > 0, name
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    write_result(
+        "pruning_funnel",
+        ["dataset", "visited", "pruned", "rules firing", "mean cpu (ms)"],
+        [
+            [
+                name,
+                sum(p["visited"] for p in entry["phases"].values()),
+                sum(p["pruned"] for p in entry["phases"].values()),
+                len(entry["rule_counts"]),
+                round(entry["mean_cpu_sec"] * 1000, 3),
+            ]
+            for name, entry in payload["datasets"].items()
+        ],
+        "Pruning funnel baseline (Fig. 7 workload, explain recorder on)",
+    )
+
+    # A fresh run compared against itself always passes the guard.
+    checker = _load_checker()
+    assert checker.compare(payload, payload) == []
+
+    benchmark(lambda: checker.compare(payload, payload))
+
+
+def test_regression_checker_fails_on_doctored_baseline(
+    tmp_path, pruning_workloads
+):
+    """The guard's acceptance bar: doubling the baseline's prune counts
+    (i.e. pretending we used to prune twice as much) must make the
+    checker exit nonzero, and an identical baseline must pass."""
+    checker = _load_checker()
+    payload = _build_payload(pruning_workloads)
+
+    current = tmp_path / "current.json"
+    current.write_text(json.dumps(payload) + "\n")
+
+    honest = tmp_path / "honest.json"
+    honest.write_text(json.dumps(payload) + "\n")
+    assert checker.main(
+        ["--baseline", str(honest), "--current", str(current)]
+    ) == 0
+
+    doctored_payload = copy.deepcopy(payload)
+    for entry in doctored_payload["datasets"].values():
+        entry["rule_counts"] = {
+            rule: count * 2 for rule, count in entry["rule_counts"].items()
+        }
+    doctored = tmp_path / "doctored.json"
+    doctored.write_text(json.dumps(doctored_payload) + "\n")
+    assert checker.main(
+        ["--baseline", str(doctored), "--current", str(current)]
+    ) == 1
+
+    # Small-count rules stay exempt: below --min-count nothing can fail.
+    assert checker.compare(
+        doctored_payload, payload, min_count=10**9
+    ) == []

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Guard the pruning-power trajectory of the benchmark suite.
+
+Compares a freshly generated ``BENCH_pruning_funnel.json`` against the
+committed baseline and fails (exit 1) when any pruning rule lost more
+than ``--threshold`` (default 20%) of its prune count on any dataset —
+the signature of a silently weakened bound. Latency drift is reported
+but never fails the check: wall-clock is machine-dependent, pruning
+counts are not (the workload is seeded).
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline benchmarks/results/BENCH_pruning_funnel.json \
+        --current  /tmp/BENCH_pruning_funnel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+#: Rules with fewer baseline prunes than this are skipped: a swing of a
+#: handful of candidates is enumeration noise, not a lost lemma.
+MIN_BASELINE_COUNT = 10
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    threshold: float = 0.2,
+    min_count: int = MIN_BASELINE_COUNT,
+) -> List[str]:
+    """Return one message per regression (empty list = check passes)."""
+    failures: List[str] = []
+    base_sets = baseline.get("datasets", {})
+    cur_sets = current.get("datasets", {})
+    for dataset, base_entry in sorted(base_sets.items()):
+        cur_entry = cur_sets.get(dataset)
+        if cur_entry is None:
+            failures.append(f"{dataset}: missing from current run")
+            continue
+        base_rules = base_entry.get("rule_counts", {})
+        cur_rules = cur_entry.get("rule_counts", {})
+        for rule, base_count in sorted(base_rules.items()):
+            if base_count < min_count:
+                continue
+            cur_count = cur_rules.get(rule, 0)
+            loss = (base_count - cur_count) / base_count
+            if loss > threshold:
+                failures.append(
+                    f"{dataset}/{rule}: pruning power lost "
+                    f"{loss:.1%} ({base_count} -> {cur_count})"
+                )
+    return failures
+
+
+def latency_report(baseline: dict, current: dict) -> List[str]:
+    """Informational per-dataset latency drift lines (never failing)."""
+    lines: List[str] = []
+    base_sets = baseline.get("datasets", {})
+    cur_sets = current.get("datasets", {})
+    for dataset in sorted(base_sets):
+        base_cpu = base_sets[dataset].get("mean_cpu_sec")
+        cur_cpu = cur_sets.get(dataset, {}).get("mean_cpu_sec")
+        if not base_cpu or not cur_cpu:
+            continue
+        lines.append(
+            f"{dataset}: mean cpu {base_cpu * 1000:.2f} ms -> "
+            f"{cur_cpu * 1000:.2f} ms ({cur_cpu / base_cpu - 1:+.1%})"
+        )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when per-rule pruning counts regress vs baseline."
+    )
+    parser.add_argument(
+        "--baseline", required=True,
+        help="committed BENCH_pruning_funnel.json",
+    )
+    parser.add_argument(
+        "--current", required=True,
+        help="BENCH_pruning_funnel.json from the current run",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="maximum tolerated fractional prune-count loss (default 0.2)",
+    )
+    parser.add_argument(
+        "--min-count", type=int, default=MIN_BASELINE_COUNT,
+        help="ignore rules with fewer baseline prunes than this",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as fp:
+        baseline = json.load(fp)
+    with open(args.current, encoding="utf-8") as fp:
+        current = json.load(fp)
+
+    for line in latency_report(baseline, current):
+        print(f"[latency] {line}")
+
+    failures = compare(
+        baseline, current, threshold=args.threshold,
+        min_count=args.min_count,
+    )
+    if failures:
+        for message in failures:
+            print(f"REGRESSION {message}", file=sys.stderr)
+        print(
+            f"{len(failures)} pruning regression(s) beyond "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print("pruning funnel within threshold of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Six subcommands cover the everyday workflow:
+Seven subcommands cover the everyday workflow:
 
 * ``gpssn generate`` — build a synthetic or simulated-real spatial-social
   network and save it as a JSON bundle;
 * ``gpssn stats`` — print Table-2-style statistics of a bundle;
 * ``gpssn query`` — answer a GP-SSN query (optionally top-k or sampled)
   against a bundle;
+* ``gpssn explain`` — answer the same query with the pruning funnel
+  recorded and print the EXPLAIN ANALYZE report (``--json`` for the
+  machine-readable document);
 * ``gpssn calibrate`` — selectivity diagnostics of a bundle;
 * ``gpssn tune`` — suggest (gamma, theta, r) from the data
   distributions (the paper's Section-2.2 percentile rule);
@@ -35,6 +38,8 @@ from .experiments.reporting import format_table
 from .io.bundle import load_network, save_network
 from .obs import (
     Recorder,
+    explain_report,
+    explain_to_json,
     format_stats_line,
     phase_table,
     prometheus_text,
@@ -61,6 +66,42 @@ FIGURE_DRIVERS = {
 }
 
 
+def _add_query_args(parser: argparse.ArgumentParser) -> None:
+    """The query-shaped argument set shared by ``query`` and ``explain``."""
+    parser.add_argument("--input", required=True)
+    parser.add_argument("--user", type=int, required=True)
+    parser.add_argument("--tau", type=int, default=5)
+    parser.add_argument("--gamma", type=float, default=0.5)
+    parser.add_argument("--theta", type=float, default=0.5)
+    parser.add_argument("--radius", type=float, default=2.0)
+    parser.add_argument(
+        "--metric", choices=[m.value for m in InterestMetric], default="dot"
+    )
+    parser.add_argument(
+        "--distance-engine", choices=list(DISTANCE_ENGINES), default="plain",
+        help="dist_RN engine: plain Dijkstra, the CSR array kernel, or "
+        "the contraction hierarchy (offline preprocessing, fastest "
+        "point-to-point queries)",
+    )
+    parser.add_argument("--topk", type=int, default=1)
+    parser.add_argument("--max-groups", type=int, default=None)
+    parser.add_argument(
+        "--sampled", type=int, default=None, metavar="N",
+        help="use subset-sampling refinement with N sampled groups",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the query and write it as JSON "
+        "lines to PATH; also prints the per-phase timing table",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the query's metrics registry (counters, histograms) "
+        "to PATH in Prometheus text format",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="gpssn",
@@ -82,37 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--input", required=True)
 
     query = sub.add_parser("query", help="answer a GP-SSN query")
-    query.add_argument("--input", required=True)
-    query.add_argument("--user", type=int, required=True)
-    query.add_argument("--tau", type=int, default=5)
-    query.add_argument("--gamma", type=float, default=0.5)
-    query.add_argument("--theta", type=float, default=0.5)
-    query.add_argument("--radius", type=float, default=2.0)
-    query.add_argument(
-        "--metric", choices=[m.value for m in InterestMetric], default="dot"
+    _add_query_args(query)
+
+    explain = sub.add_parser(
+        "explain",
+        help="answer a GP-SSN query with the pruning funnel recorded "
+        "and print the EXPLAIN ANALYZE report",
     )
-    query.add_argument(
-        "--distance-engine", choices=list(DISTANCE_ENGINES), default="plain",
-        help="dist_RN engine: plain Dijkstra, the CSR array kernel, or "
-        "the contraction hierarchy (offline preprocessing, fastest "
-        "point-to-point queries)",
-    )
-    query.add_argument("--topk", type=int, default=1)
-    query.add_argument("--max-groups", type=int, default=None)
-    query.add_argument(
-        "--sampled", type=int, default=None, metavar="N",
-        help="use subset-sampling refinement with N sampled groups",
-    )
-    query.add_argument("--seed", type=int, default=7)
-    query.add_argument(
-        "--trace", metavar="PATH", default=None,
-        help="record a span trace of the query and write it as JSON "
-        "lines to PATH; also prints the per-phase timing table",
-    )
-    query.add_argument(
-        "--metrics-out", metavar="PATH", default=None,
-        help="write the query's metrics registry (counters, histograms) "
-        "to PATH in Prometheus text format",
+    _add_query_args(explain)
+    explain.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable explain document instead of "
+        "the tree report",
     )
 
     calib = sub.add_parser(
@@ -168,13 +190,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_query(args: argparse.Namespace) -> int:
-    network = load_network(args.input)
-    recorder = Recorder.traced() if args.trace else Recorder()
-    processor = GPSSNQueryProcessor(
-        network, seed=args.seed, recorder=recorder,
-        distance_engine=args.distance_engine,
-    )
+def _recorder_from_args(
+    args: argparse.Namespace, explaining: bool = False
+) -> Recorder:
+    """One recorder-construction path for ``query`` and ``explain``.
+
+    ``explain`` always records spans + funnel; ``query`` records spans
+    only when ``--trace`` asks for them, else stays at the zero-overhead
+    default.
+    """
+    if explaining:
+        return Recorder.explaining()
+    if args.trace:
+        return Recorder.traced()
+    return Recorder()
+
+
+def _execute_query(processor: GPSSNQueryProcessor, args: argparse.Namespace):
+    """Dispatch to the right entry point; returns ``(answers, stats)``."""
     query = GPSSNQuery(
         query_user=args.user, tau=args.tau, gamma=args.gamma,
         theta=args.theta, radius=args.radius,
@@ -192,7 +225,24 @@ def cmd_query(args: argparse.Namespace) -> int:
     else:
         answer, stats = processor.answer(query, max_groups=args.max_groups)
         answers = [answer] if answer.found else []
+    return answers, stats
 
+
+def _emit_recorder_outputs(
+    recorder: Recorder, args: argparse.Namespace
+) -> None:
+    """The ``--trace`` / ``--metrics-out`` side outputs both commands share."""
+    if args.trace:
+        count = write_trace_jsonl(recorder.tracer.roots, args.trace)
+        print(phase_table(recorder.tracer.roots))
+        print(f"wrote {count} spans to {args.trace}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fp:
+            fp.write(prometheus_text(recorder.metrics, recorder.explain))
+        print(f"wrote metrics to {args.metrics_out}")
+
+
+def _print_answers(answers) -> None:
     if not answers:
         print("no (S, R) pair satisfies the GP-SSN predicates")
     for rank, answer in enumerate(answers, start=1):
@@ -200,15 +250,36 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"#{rank}: S={sorted(answer.users)} R={sorted(answer.pois)} "
             f"maxdist={answer.max_distance:.4f}"
         )
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    recorder = _recorder_from_args(args)
+    processor = GPSSNQueryProcessor(
+        network, seed=args.seed, recorder=recorder,
+        distance_engine=args.distance_engine,
+    )
+    answers, stats = _execute_query(processor, args)
+    _print_answers(answers)
     print(format_stats_line(stats))
-    if args.trace:
-        count = write_trace_jsonl(recorder.tracer.roots, args.trace)
-        print(phase_table(recorder.tracer.roots))
-        print(f"wrote {count} spans to {args.trace}")
-    if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as fp:
-            fp.write(prometheus_text(recorder.metrics))
-        print(f"wrote metrics to {args.metrics_out}")
+    _emit_recorder_outputs(recorder, args)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    network = load_network(args.input)
+    recorder = _recorder_from_args(args, explaining=True)
+    processor = GPSSNQueryProcessor(
+        network, seed=args.seed, recorder=recorder,
+        distance_engine=args.distance_engine,
+    )
+    answers, stats = _execute_query(processor, args)
+    if args.json:
+        print(explain_to_json(recorder.explain, stats=stats))
+    else:
+        _print_answers(answers)
+        print(explain_report(recorder.explain, stats=stats))
+    _emit_recorder_outputs(recorder, args)
     return 0
 
 
@@ -258,6 +329,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": cmd_generate,
         "stats": cmd_stats,
         "query": cmd_query,
+        "explain": cmd_explain,
         "figure": cmd_figure,
         "calibrate": cmd_calibrate,
         "tune": cmd_tune,

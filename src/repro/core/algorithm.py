@@ -53,9 +53,9 @@ from .metrics import MetricScorer
 from .index_pruning import (
     lb_dist_sn_social_node,
     lb_maxdist_road_node,
-    road_node_matching_prunable,
     social_node_distance_prunable,
     ub_match_score_poi,
+    ub_match_score_road_node,
     ub_maxdist_road_node,
 )
 from .pruning import matching_score_prunable, social_distance_prunable
@@ -360,6 +360,10 @@ class GPSSNQueryProcessor:
             stats.candidate_pois = len(r_cand)
 
             with self.recorder.span("refine"):
+                ex = (
+                    self.recorder.explain
+                    if self.recorder.explain.active else None
+                )
                 network = self.network
                 social = network.social
                 uq_id = query.query_user
@@ -390,9 +394,19 @@ class GPSSNQueryProcessor:
                     group_interests = [
                         social.user(uid).interests for uid in group
                     ]
-                    for poi_seed in seeds:
+                    if ex is not None:
+                        ex.visit("refine.pairs", len(seeds))
+                    for seed_rank, poi_seed in enumerate(seeds):
                         if seed_dist[poi_seed] >= best_value:
+                            if ex is not None:
+                                ex.prune(
+                                    "refine.pairs", "pair.distance",
+                                    len(seeds) - seed_rank,
+                                    seed_dist[poi_seed] - best_value,
+                                )
                             break
+                        if ex is not None:
+                            ex.survive("refine.pairs")
                         stats.pruning.candidate_pairs_examined += 1
                         region_ids = self.road_index.region(
                             poi_seed, query.radius
@@ -449,11 +463,19 @@ class GPSSNQueryProcessor:
     ) -> Tuple[List[AugmentedUser], List[AugmentedPOI], float]:
         scorer = scorer or MetricScorer(query.metric)
         rec = self.recorder
+        # The funnel hooks sit inside the hot loops, so they are guarded
+        # by one None check instead of a no-op method call: with explain
+        # off (the default) the traversal pays a single local-variable
+        # branch per pruning decision.
+        ex = rec.explain if rec.explain.active else None
         # Top-k queries must keep every candidate whose region could be
         # among the k best; the best-so-far bound delta only witnesses
         # the single best pair, so delta-based pruning is suspended.
         use_delta = self.toggles.road_distance and allow_delta_pruning
         social = self.network.social
+        if ex is not None:
+            ex.visit("traverse.social", social.num_users)
+            ex.visit("traverse.road", self.network.num_pois)
         uq = social.user(query.query_user)
         uq_social_pivot = self.social_pivots.distances(query.query_user)
         uq_road_pivot = self.road_pivots.distances(uq.home)
@@ -528,12 +550,17 @@ class GPSSNQueryProcessor:
             if node.is_leaf:
                 for ap in node.pois:
                     # line 17: matching score pruning w.r.t. u_q (Lemma 1)
-                    if self.toggles.matching and matching_score_prunable(
-                        ub_match_score_poi(uq.interests, ap), query.theta
-                    ):
-                        counters.road_object_pruned += 1
-                        counters.road_pruned_by_matching += 1
-                        continue
+                    if self.toggles.matching:
+                        ub_ms = ub_match_score_poi(uq.interests, ap)
+                        if matching_score_prunable(ub_ms, query.theta):
+                            counters.road_object_pruned += 1
+                            counters.road_pruned_by_matching += 1
+                            if ex is not None:
+                                ex.prune(
+                                    "traverse.road", "obj.poi_matching",
+                                    margin=query.theta - ub_ms,
+                                )
+                            continue
                     # line 18: distance pruning w.r.t. S_cand (Lemma 5)
                     lb = lb_maxdist_road_node(
                         uq_road_pivot, ap.pivot_dists, ap.pivot_dists
@@ -541,6 +568,11 @@ class GPSSNQueryProcessor:
                     if use_delta and lb > delta:
                         counters.road_object_pruned += 1
                         counters.road_pruned_by_distance += 1
+                        if ex is not None:
+                            ex.prune(
+                                "traverse.road", "obj.poi_distance",
+                                margin=lb - delta,
+                            )
                         continue
                     # lines 19-20: keep the POI, tighten delta
                     r_cand.append(ap)
@@ -553,12 +585,17 @@ class GPSSNQueryProcessor:
             else:
                 for child in node.children:
                     # line 23: matching score pruning (Lemma 6)
-                    if self.toggles.matching and road_node_matching_prunable(
-                        uq.interests, child, query.theta
-                    ):
-                        counters.road_index_pruned += child.num_pois
-                        counters.road_pruned_by_matching += child.num_pois
-                        continue
+                    if self.toggles.matching:
+                        ub_ms = ub_match_score_road_node(uq.interests, child)
+                        if matching_score_prunable(ub_ms, query.theta):
+                            counters.road_index_pruned += child.num_pois
+                            counters.road_pruned_by_matching += child.num_pois
+                            if ex is not None:
+                                ex.prune(
+                                    "traverse.road", "idx.road_matching",
+                                    child.num_pois, query.theta - ub_ms,
+                                )
+                            continue
                     # line 24: distance pruning (Lemma 7 via Eq. 17 and delta)
                     lb = lb_maxdist_road_node(
                         uq_road_pivot, child.lb_pivot_dists, child.ub_pivot_dists
@@ -566,6 +603,11 @@ class GPSSNQueryProcessor:
                     if use_delta and lb > delta:
                         counters.road_index_pruned += child.num_pois
                         counters.road_pruned_by_distance += child.num_pois
+                        if ex is not None:
+                            ex.prune(
+                                "traverse.road", "idx.road_distance",
+                                child.num_pois, lb - delta,
+                            )
                         continue
                     # line 25: defer to the next level's heap
                     tick += 1
@@ -597,15 +639,28 @@ class GPSSNQueryProcessor:
                             ):
                                 counters.social_object_pruned += 1
                                 counters.social_pruned_by_distance += 1
+                                if ex is not None:
+                                    ex.prune(
+                                        "traverse.social", "obj.social_hops",
+                                        margin=lb_hops - query.tau,
+                                    )
                                 continue
                             # Lemma 3: object-level interest pruning (under
                             # the query's interest metric)
-                            if self.toggles.interest and scorer.score(
-                                uq.interests, au.user.interests
-                            ) < query.gamma:
-                                counters.social_object_pruned += 1
-                                counters.social_pruned_by_interest += 1
-                                continue
+                            if self.toggles.interest:
+                                sc = scorer.score(
+                                    uq.interests, au.user.interests
+                                )
+                                if sc < query.gamma:
+                                    counters.social_object_pruned += 1
+                                    counters.social_pruned_by_interest += 1
+                                    if ex is not None:
+                                        ex.prune(
+                                            "traverse.social",
+                                            "obj.social_interest",
+                                            margin=query.gamma - sc,
+                                        )
+                                    continue
                             next_s.append(au)
                     else:
                         for child in entry.children:
@@ -619,15 +674,30 @@ class GPSSNQueryProcessor:
                             ):
                                 counters.social_index_pruned += child.num_users
                                 counters.social_pruned_by_distance += child.num_users
+                                if ex is not None:
+                                    ex.prune(
+                                        "traverse.social", "idx.social_hops",
+                                        child.num_users,
+                                        lb_hops - query.tau,
+                                    )
                                 continue
                             # Lemma 8: interest-region pruning (metric-aware
                             # upper bound over the node's interest MBR)
-                            if self.toggles.interest and scorer.node_prunable(
-                                child.interest_mbr, uq.interests, query.gamma
-                            ):
-                                counters.social_index_pruned += child.num_users
-                                counters.social_pruned_by_interest += child.num_users
-                                continue
+                            if self.toggles.interest:
+                                ub_int = scorer.ub_over_box(
+                                    child.interest_mbr, uq.interests
+                                )
+                                if ub_int < query.gamma:
+                                    counters.social_index_pruned += child.num_users
+                                    counters.social_pruned_by_interest += child.num_users
+                                    if ex is not None:
+                                        ex.prune(
+                                            "traverse.social",
+                                            "idx.social_interest",
+                                            child.num_users,
+                                            query.gamma - ub_int,
+                                        )
+                                    continue
                             next_s.append(child)
                 s_cand = next_s
 
@@ -640,12 +710,16 @@ class GPSSNQueryProcessor:
                 while heap:
                     key, _t, node = heapq.heappop(heap)
                     if use_delta and key > delta:  # line 14: dominated
-                        counters.road_index_pruned += sum(
+                        dominated = sum(
                             h[2].num_pois for h in heap
                         ) + node.num_pois
-                        counters.road_pruned_by_distance += sum(
-                            h[2].num_pois for h in heap
-                        ) + node.num_pois
+                        counters.road_index_pruned += dominated
+                        counters.road_pruned_by_distance += dominated
+                        if ex is not None:
+                            ex.prune(
+                                "traverse.road", "idx.road_distance",
+                                dominated, key - delta,
+                            )
                         heap.clear()
                         break
                     process_road_entry(node, next_heap, s_ubs, floor)
@@ -658,12 +732,16 @@ class GPSSNQueryProcessor:
             while heap:
                 key, _t, node = heapq.heappop(heap)
                 if use_delta and key > delta:
-                    counters.road_index_pruned += sum(
+                    dominated = sum(
                         h[2].num_pois for h in heap
                     ) + node.num_pois
-                    counters.road_pruned_by_distance += sum(
-                        h[2].num_pois for h in heap
-                    ) + node.num_pois
+                    counters.road_index_pruned += dominated
+                    counters.road_pruned_by_distance += dominated
+                    if ex is not None:
+                        ex.prune(
+                            "traverse.road", "idx.road_distance",
+                            dominated, key - delta,
+                        )
                     heap.clear()
                     break
                 process_road_entry(node, None, s_ubs, floor)
@@ -719,10 +797,18 @@ class GPSSNQueryProcessor:
                         if d_uq > best_ub:
                             counters.road_object_pruned += 1
                             counters.road_pruned_by_distance += 1
+                            if ex is not None:
+                                ex.prune(
+                                    "traverse.road", "obj.poi_witness",
+                                    margin=d_uq - best_ub,
+                                )
                         else:
                             kept.append(ap)
                     r_cand = kept
         rec.metrics.inc("traverse.witness_checks", witness_checks)
+        if ex is not None:
+            ex.survive("traverse.social", len(users))
+            ex.survive("traverse.road", len(r_cand))
         return users, r_cand, delta
 
     def _node_holds_query_user(
@@ -766,6 +852,7 @@ class GPSSNQueryProcessor:
     ) -> List[GPSSNAnswer]:
         scorer = scorer or MetricScorer(query.metric)
         rec = self.recorder
+        ex = rec.explain if rec.explain.active else None
         network = self.network
         social = network.social
         uq_id = query.query_user
@@ -773,6 +860,8 @@ class GPSSNQueryProcessor:
         # line 29: Corollary-2 user pruning, iterated to a fixpoint, on
         # top of an exact hop filter (tau-1 ball around u_q).
         with rec.span("refine.corollary2"):
+            if ex is not None:
+                ex.visit("refine.users", len(s_cand))
             reachable = social.hop_distances_from(
                 uq_id, max_hops=query.tau - 1
             )
@@ -785,9 +874,13 @@ class GPSSNQueryProcessor:
                 else:
                     stats.pruning.social_object_pruned += 1
                     stats.pruning.social_pruned_by_distance += 1
+                    if ex is not None:
+                        ex.prune("refine.users", "refine.social_hops")
             survivors = self._corollary2_fixpoint(
-                query, survivors, stats, scorer
+                query, survivors, stats, scorer, explain=ex
             )
+            if ex is not None:
+                ex.survive("refine.users", len(survivors))
 
         allowed = {au.user_id for au in survivors}
         if uq_id not in allowed:
@@ -797,6 +890,8 @@ class GPSSNQueryProcessor:
 
         # line 30: exact matching/distance re-check of candidate POIs.
         with rec.span("refine.seed_filter"):
+            if ex is not None:
+                ex.visit("refine.seeds", len(r_cand))
             uq_user = social.user(uq_id)
             uq_map = network.distances.distances_from(
                 ("user", uq_id), uq_user.home
@@ -807,12 +902,20 @@ class GPSSNQueryProcessor:
                     network.road, uq_map, ap.poi.position, uq_user.home
                 )
                 # Exact Lemma-1 check on the seed's true superset keywords.
-                if match_score(uq_user.interests, ap.sup_keywords) < query.theta:
+                ms = match_score(uq_user.interests, ap.sup_keywords)
+                if ms < query.theta:
                     stats.pruning.road_object_pruned += 1
                     stats.pruning.road_pruned_by_matching += 1
+                    if ex is not None:
+                        ex.prune(
+                            "refine.seeds", "refine.seed_matching",
+                            margin=query.theta - ms,
+                        )
                     continue
                 seed_dist[ap.poi_id] = d
             seeds = sorted(seed_dist, key=seed_dist.get)
+            if ex is not None:
+                ex.survive("refine.seeds", len(seeds))
 
         # line 31: enumerate groups, evaluate seeds with early termination.
         # `best` holds the running top-k distinct (S, R) pairs sorted by
@@ -829,15 +932,27 @@ class GPSSNQueryProcessor:
             groups = enumerate_connected_groups(
                 network, uq_id, query.tau, query.gamma,
                 allowed=allowed, limit=max_groups, score_fn=scorer.score,
+                explain=ex,
             )
             for group in groups:
                 stats.groups_refined += 1
                 dist_maps = group_distance_maps(network, group)
                 group_interests = [social.user(uid).interests for uid in group]
                 frozen_group = frozenset(group)
-                for seed in seeds:
-                    if seed_dist[seed] >= kth_value():
+                if ex is not None:
+                    ex.visit("refine.pairs", len(seeds))
+                for seed_rank, seed in enumerate(seeds):
+                    kth = kth_value()
+                    if seed_dist[seed] >= kth:
+                        if ex is not None:
+                            ex.prune(
+                                "refine.pairs", "pair.distance",
+                                len(seeds) - seed_rank,
+                                seed_dist[seed] - kth,
+                            )
                         break
+                    if ex is not None:
+                        ex.survive("refine.pairs")
                     stats.pruning.candidate_pairs_examined += 1
                     region_ids = self.road_index.region(seed, query.radius)
                     result = best_region_for_seed(
@@ -872,6 +987,7 @@ class GPSSNQueryProcessor:
         candidates: List[AugmentedUser],
         stats: QueryStatistics,
         scorer: Optional[MetricScorer] = None,
+        explain=None,
     ) -> List[AugmentedUser]:
         """Corollary 2 applied until no more users fall out.
 
@@ -907,6 +1023,14 @@ class GPSSNQueryProcessor:
             removed_set = set(removed_idx)
             stats.pruning.social_object_pruned += len(removed_idx)
             stats.pruning.social_pruned_by_interest += len(removed_idx)
+            if explain is not None:
+                for i in removed_idx:
+                    # Margin = hostile count beyond the Corollary-2
+                    # threshold (how over-determined the removal was).
+                    explain.prune(
+                        "refine.users", "refine.corollary2",
+                        margin=float(hostile[i] - threshold),
+                    )
             current = [
                 au for i, au in enumerate(current) if i not in removed_set
             ]

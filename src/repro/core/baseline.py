@@ -25,6 +25,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..exceptions import UnknownEntityError
 from ..network import SpatialSocialNetwork
+from ..obs.registry import Recorder
 from ..roadnet.shortest_path import position_distance_from_map
 from .metrics import MetricScorer
 from .query import GPSSNAnswer, GPSSNQuery, QueryStatistics
@@ -55,8 +56,13 @@ class BaselineCostEstimate:
 class BaselineProcessor:
     """Index-free exhaustive GP-SSN evaluation."""
 
-    def __init__(self, network: SpatialSocialNetwork) -> None:
+    def __init__(
+        self,
+        network: SpatialSocialNetwork,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
         self.network = network
+        self.recorder = recorder or Recorder()
 
     # -- exact evaluation (ground truth for tests) ---------------------------
 
@@ -84,15 +90,24 @@ class BaselineProcessor:
         seeds = network.poi_ids()
 
         scorer = MetricScorer(query.metric)
+        # The baseline's funnel is the contrast case: the group
+        # enumeration still rejects incompatible extensions (a
+        # predicate, not a pruning shortcut), but every surviving
+        # (group, seed) pair is examined — refine.pairs prunes nothing.
+        rec = self.recorder
+        ex = rec.explain if rec.explain.active else None
         for group in enumerate_connected_groups(
             network, query.query_user, query.tau, query.gamma,
-            limit=max_groups, score_fn=scorer.score,
+            limit=max_groups, score_fn=scorer.score, explain=ex,
         ):
             stats.groups_refined += 1
             dist_maps = group_distance_maps(network, group)
             interests = [
                 network.social.user(uid).interests for uid in group
             ]
+            if ex is not None:
+                ex.visit("refine.pairs", len(seeds))
+                ex.survive("refine.pairs", len(seeds))
             for seed in seeds:
                 stats.pruning.candidate_pairs_examined += 1
                 region_ids = network.pois_within(seed, query.radius)
@@ -121,6 +136,7 @@ class BaselineProcessor:
         # packed records), so I/O scales with work done, as in the paper.
         objects_touched = stats.groups_refined * (query.tau + n)
         stats.page_accesses = math.ceil(objects_touched / 32)
+        rec.record_query(stats)
         if best_pair is None:
             return GPSSNAnswer.empty(), stats
         return (
@@ -157,13 +173,18 @@ class BaselineProcessor:
         seen: set = set()
         seeds = network.poi_ids()
         scorer = MetricScorer(query.metric)
+        rec = self.recorder
+        ex = rec.explain if rec.explain.active else None
         for group in enumerate_connected_groups(
             network, query.query_user, query.tau, query.gamma,
-            limit=max_groups, score_fn=scorer.score,
+            limit=max_groups, score_fn=scorer.score, explain=ex,
         ):
             stats.groups_refined += 1
             dist_maps = group_distance_maps(network, group)
             interests = [network.social.user(uid).interests for uid in group]
+            if ex is not None:
+                ex.visit("refine.pairs", len(seeds))
+                ex.survive("refine.pairs", len(seeds))
             for seed in seeds:
                 stats.pruning.candidate_pairs_examined += 1
                 region_ids = network.pois_within(seed, query.radius)
@@ -189,6 +210,7 @@ class BaselineProcessor:
         )
         objects_touched = stats.groups_refined * (query.tau + n)
         stats.page_accesses = math.ceil(objects_touched / 32)
+        rec.record_query(stats)
         answers = [
             GPSSNAnswer(users=users, pois=pois, max_distance=value)
             for value, users, pois in best

@@ -205,3 +205,43 @@ def lb_dist_sn_social_node(
 def social_node_distance_prunable(lb_hops: float, tau: int) -> bool:
     """Lemma 9: prune ``e_S`` when ``lb_dist_SN(u_q, e_S) >= tau``."""
     return lb_hops >= tau
+
+
+# ---------------------------------------------------------------------------
+# Explain rule registry (index level)
+# ---------------------------------------------------------------------------
+
+#: Stable rule IDs for the index-level (subtree) pruning decisions; see
+#: :data:`repro.core.pruning.OBJECT_RULES` for the margin convention.
+#: Prune counts for these rules are in *objects under the discarded
+#: subtree* (POIs or users), matching PruningCounters semantics, so the
+#: funnel invariant holds at object granularity.
+INDEX_RULES = {
+    "idx.road_matching": {
+        "lemma": "Lemma 6 / Eq. 15",
+        "figure": "Fig. 7a/7c",
+        "margin_unit": "theta - ub_match_score",
+        "description": "road-index node keyword-superset matching bound "
+        "misses theta",
+    },
+    "idx.road_distance": {
+        "lemma": "Lemma 7 / Eqs. 16-17",
+        "figure": "Fig. 7a/7c",
+        "margin_unit": "lb_maxdist - delta",
+        "description": "road-index node distance lower bound exceeds the "
+        "best-pair upper bound delta",
+    },
+    "idx.social_interest": {
+        "lemma": "Lemma 8",
+        "figure": "Fig. 7a/7b",
+        "margin_unit": "gamma - ub_interest_score",
+        "description": "social-index node interest MBR lies entirely in "
+        "PR(u_q)",
+    },
+    "idx.social_hops": {
+        "lemma": "Lemma 9 / Eq. 19",
+        "figure": "Fig. 7a/7b",
+        "margin_unit": "lb_hops - tau",
+        "description": "social-index node pivot-gap hop bound reaches tau",
+    },
+}

@@ -223,3 +223,82 @@ def lb_maxdist_via_query_user(query_poi_dists: Sequence[float]) -> float:
     if not query_poi_dists:
         return 0.0
     return max(query_poi_dists)
+
+
+# ---------------------------------------------------------------------------
+# Explain rule registry (object level)
+# ---------------------------------------------------------------------------
+
+#: Stable rule IDs for the object-level pruning decisions, used by the
+#: explain funnel (:mod:`repro.obs.funnel`). Each entry records which
+#: paper lemma/equation the rule implements, which Fig. 7 ablation panel
+#: isolates it, and the unit of its bound-tightness margin. The margin
+#: convention is uniform: *how far past its threshold the failing bound
+#: was*, so a recorded margin is always >= 0 and larger means the prune
+#: was "easier" (the bound had slack; thresholds could be loosened).
+OBJECT_RULES = {
+    "obj.poi_matching": {
+        "lemma": "Lemma 1 (via Lemma 2)",
+        "figure": "Fig. 7c",
+        "margin_unit": "theta - ub_match_score",
+        "description": "POI superset matching score misses theta",
+    },
+    "obj.poi_distance": {
+        "lemma": "Lemma 5 / Eq. 6",
+        "figure": "Fig. 7c",
+        "margin_unit": "lb_dist - delta",
+        "description": "POI distance lower bound exceeds the best-pair "
+        "upper bound delta",
+    },
+    "obj.poi_witness": {
+        "lemma": "Lemma 5 / Eqs. 5-6",
+        "figure": "Fig. 7d",
+        "margin_unit": "dist(u_q, o) - best_ub",
+        "description": "candidate POI dominated by the witness pair's "
+        "Eq. 5 upper bound",
+    },
+    "obj.social_interest": {
+        "lemma": "Lemma 3 / Corollary 1",
+        "figure": "Fig. 7b",
+        "margin_unit": "gamma - interest_score",
+        "description": "pairwise interest score with u_q misses gamma",
+    },
+    "obj.social_hops": {
+        "lemma": "Lemma 4",
+        "figure": "Fig. 7b",
+        "margin_unit": "lb_hops - tau",
+        "description": "social hop lower bound reaches tau",
+    },
+    "refine.social_hops": {
+        "lemma": "Lemma 4 (exact hops)",
+        "figure": "Fig. 7b",
+        "margin_unit": "hops - (tau - 1)",
+        "description": "exact BFS hop distance exceeds tau - 1",
+    },
+    "refine.corollary2": {
+        "lemma": "Corollary 2",
+        "figure": "Fig. 7a/7b",
+        "margin_unit": "hostile_count - threshold",
+        "description": "user lies in >= |S'| - tau + 1 pruning regions",
+    },
+    "refine.seed_matching": {
+        "lemma": "Lemma 1 (exact recheck)",
+        "figure": "Fig. 7c",
+        "margin_unit": "theta - match_score",
+        "description": "exact matching score of the seed POI misses theta",
+    },
+    "pair.distance": {
+        "lemma": "Lemma 5 / Eq. 6",
+        "figure": "Fig. 7d",
+        "margin_unit": "lb_maxdist - kth_best",
+        "description": "seed's distance lower bound dominated by the "
+        "current top-k worst answer",
+    },
+    "group.interest": {
+        "lemma": "Lemma 3 (pairwise, during enumeration)",
+        "figure": "Fig. 7b",
+        "margin_unit": "count only",
+        "description": "group extension rejected: candidate pairwise-"
+        "incompatible with a current member",
+    },
+}

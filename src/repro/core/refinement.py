@@ -49,6 +49,7 @@ def enumerate_connected_groups(
     allowed: Optional[Set[int]] = None,
     limit: Optional[int] = None,
     score_fn=None,
+    explain=None,
 ) -> Iterator[FrozenSet[int]]:
     """Yield connected ``tau``-groups containing ``query_user``.
 
@@ -68,6 +69,12 @@ def enumerate_connected_groups(
         score_fn: pairwise interest score; defaults to the paper's dot
             product (Eq. 1). Pass a :class:`~repro.core.metrics.MetricScorer`
             bound method for the alternative metrics.
+        explain: optional :class:`~repro.obs.funnel.ExplainRecorder`
+            (pass ``None``, not a NullExplain, to keep the loop free of
+            hook calls). Each frontier-extension decision lands in the
+            ``refine.groups`` funnel: visited per candidate considered,
+            pruned under ``group.interest`` when pairwise-incompatible,
+            survived when the extension is taken.
 
     Yields:
         ``frozenset`` groups of exactly ``tau`` user ids.
@@ -118,11 +125,17 @@ def enumerate_connected_groups(
         for idx, candidate in enumerate(frontier):
             if limit is not None and yielded >= limit:
                 return
+            if explain is not None:
+                explain.visit("refine.groups")
             if not compatible(candidate, group):
                 # A pairwise-incompatible candidate stays incompatible in
                 # every supergroup: ban it for deeper levels of this branch.
                 local_banned.add(candidate)
+                if explain is not None:
+                    explain.prune("refine.groups", "group.interest")
                 continue
+            if explain is not None:
+                explain.survive("refine.groups")
             new_group = group + (candidate,)
             new_banned = local_banned | {candidate}
             new_frontier = [c for c in frontier[idx + 1:] if c not in new_banned]

@@ -30,6 +30,7 @@ from ..index.pivots import (
     select_pivots_social,
 )
 from ..network import SpatialSocialNetwork
+from ..obs.registry import Recorder
 from ..roadnet.shortest_path import position_distance_from_map
 from .metrics import MetricScorer
 from .pruning import social_distance_prunable
@@ -61,7 +62,9 @@ class ScanProcessor:
         seed: int = 7,
         road_pivots: Optional[RoadPivotIndex] = None,
         social_pivots: Optional[SocialPivotIndex] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
+        self.recorder = recorder or Recorder()
         self.network = network
         rng = np.random.default_rng(seed)
         self.road_pivots = road_pivots or select_pivots_road(
@@ -97,10 +100,14 @@ class ScanProcessor:
         stats.pruning.total_pois = network.num_pois
         started = time.perf_counter()
         scorer = MetricScorer(query.metric)
+        rec = self.recorder
+        ex = rec.explain if rec.explain.active else None
         uq = network.social.user(query.query_user)
         uq_social = self._user_social_dists[query.query_user]
 
         # --- user scan: Lemmas 3 and 4 over every user -----------------
+        if ex is not None:
+            ex.visit("scan.users", network.social.num_users)
         candidates = []
         for user in network.social.users():
             if user.user_id == query.query_user:
@@ -112,21 +119,44 @@ class ScanProcessor:
             if social_distance_prunable(lb_hops, query.tau):
                 stats.pruning.social_object_pruned += 1
                 stats.pruning.social_pruned_by_distance += 1
+                if ex is not None:
+                    ex.prune(
+                        "scan.users", "obj.social_hops",
+                        margin=lb_hops - query.tau,
+                    )
                 continue
-            if scorer.score(uq.interests, user.interests) < query.gamma:
+            sc = scorer.score(uq.interests, user.interests)
+            if sc < query.gamma:
                 stats.pruning.social_object_pruned += 1
                 stats.pruning.social_pruned_by_interest += 1
+                if ex is not None:
+                    ex.prune(
+                        "scan.users", "obj.social_interest",
+                        margin=query.gamma - sc,
+                    )
                 continue
             candidates.append(user.user_id)
+        if ex is not None:
+            ex.survive("scan.users", len(candidates))
 
         # --- POI scan: Lemma 1 over every POI ---------------------------
+        if ex is not None:
+            ex.visit("scan.pois", len(self._poi_sup))
         seeds = []
         for poi_id, sup in self._poi_sup.items():
-            if match_score(uq.interests, sup) < query.theta:
+            ms = match_score(uq.interests, sup)
+            if ms < query.theta:
                 stats.pruning.road_object_pruned += 1
                 stats.pruning.road_pruned_by_matching += 1
+                if ex is not None:
+                    ex.prune(
+                        "scan.pois", "obj.poi_matching",
+                        margin=query.theta - ms,
+                    )
                 continue
             seeds.append(poi_id)
+        if ex is not None:
+            ex.survive("scan.pois", len(seeds))
 
         # sequential-scan I/O: every user + POI record read once
         objects_read = network.social.num_users + network.num_pois
@@ -151,14 +181,24 @@ class ScanProcessor:
         for group in enumerate_connected_groups(
             network, query.query_user, query.tau, query.gamma,
             allowed=set(candidates), limit=max_groups,
-            score_fn=scorer.score,
+            score_fn=scorer.score, explain=ex,
         ):
             stats.groups_refined += 1
             dist_maps = group_distance_maps(network, group)
             interests = [network.social.user(u).interests for u in group]
-            for seed in ordered_seeds:
+            if ex is not None:
+                ex.visit("refine.pairs", len(ordered_seeds))
+            for seed_rank, seed in enumerate(ordered_seeds):
                 if seed_dist[seed] >= best_value:
+                    if ex is not None:
+                        ex.prune(
+                            "refine.pairs", "pair.distance",
+                            len(ordered_seeds) - seed_rank,
+                            seed_dist[seed] - best_value,
+                        )
                     break
+                if ex is not None:
+                    ex.survive("refine.pairs")
                 stats.pruning.candidate_pairs_examined += 1
                 region_ids = network.pois_within(seed, query.radius)
                 result = best_region_for_seed(
@@ -178,6 +218,7 @@ class ScanProcessor:
         stats.pruning.total_possible_pairs = float(
             comb(max(m - 1, 0), min(query.tau - 1, max(m - 1, 0))) * n
         )
+        rec.record_query(stats)
         if best_pair is None:
             return GPSSNAnswer.empty(), stats
         return (

@@ -104,16 +104,25 @@ def fig7a_index_object_pruning(
     seed: int = 7,
     workloads: Optional[Dict[str, object]] = None,
 ) -> Table:
-    """Figure 7(a): index-level vs object-level pruning power."""
+    """Figure 7(a): index-level vs object-level pruning power.
+
+    The four trailing ``n`` columns are absolute prune *counts* from the
+    candidate funnel (summed over the workload's queries), split the
+    same way the powers are: index-level rules (Lemmas 6-9) vs
+    object-level rules (Lemmas 1, 3-5, including the refinement-stage
+    object prunes the counters also absorb).
+    """
     workloads = workloads or _pruning_workloads(scale, num_queries, seed)
     headers = [
         "dataset",
         "social index", "social object", "social overall",
         "road index", "road object", "road overall",
+        "social idx n", "social obj n", "road idx n", "road obj n",
     ]
     rows: Rows = []
     for name in DATASET_NAMES:
-        p = workloads[name].pruning
+        w = workloads[name]
+        p = w.pruning
         s_idx, s_obj = p.social_index_power(), p.social_object_power()
         r_idx, r_obj = p.road_index_power(), p.road_object_power()
         rows.append([
@@ -122,6 +131,16 @@ def fig7a_index_object_pruning(
             round(s_idx + (1 - s_idx) * s_obj, 4),
             round(r_idx, 4), round(r_obj, 4),
             round(r_idx + (1 - r_idx) * r_obj, 4),
+            w.pruned_by("idx.social_hops", "idx.social_interest"),
+            w.pruned_by(
+                "obj.social_hops", "obj.social_interest",
+                "refine.social_hops", "refine.corollary2",
+            ),
+            w.pruned_by("idx.road_matching", "idx.road_distance"),
+            w.pruned_by(
+                "obj.poi_matching", "obj.poi_distance", "obj.poi_witness",
+                "refine.seed_matching",
+            ),
         ])
     return headers, rows
 
@@ -132,17 +151,32 @@ def fig7b_user_pruning(
     seed: int = 7,
     workloads: Optional[Dict[str, object]] = None,
 ) -> Table:
-    """Figure 7(b): user pruning power by rule (hop distance vs interest)."""
+    """Figure 7(b): user pruning power by rule (hop distance vs interest).
+
+    The ``n`` columns are the funnel's absolute prune counts per rule
+    family (index + object level combined).
+    """
     workloads = workloads or _pruning_workloads(scale, num_queries, seed)
-    headers = ["dataset", "distance pruning", "interest pruning"]
+    headers = [
+        "dataset", "distance pruning", "interest pruning",
+        "distance n", "interest n",
+    ]
     rows: Rows = []
     for name in DATASET_NAMES:
-        p = workloads[name].pruning
+        w = workloads[name]
+        p = w.pruning
         total = max(p.total_users, 1)
         rows.append([
             name,
             round(p.social_pruned_by_distance / total, 4),
             round(p.social_pruned_by_interest / total, 4),
+            w.pruned_by(
+                "idx.social_hops", "obj.social_hops", "refine.social_hops"
+            ),
+            w.pruned_by(
+                "idx.social_interest", "obj.social_interest",
+                "refine.corollary2",
+            ),
         ])
     return headers, rows
 
@@ -153,17 +187,33 @@ def fig7c_poi_pruning(
     seed: int = 7,
     workloads: Optional[Dict[str, object]] = None,
 ) -> Table:
-    """Figure 7(c): POI pruning power by rule (distance vs matching)."""
+    """Figure 7(c): POI pruning power by rule (distance vs matching).
+
+    The ``n`` columns are the funnel's absolute prune counts per rule
+    family (index + object level combined; the Eq. 5 witness filter is a
+    distance rule).
+    """
     workloads = workloads or _pruning_workloads(scale, num_queries, seed)
-    headers = ["dataset", "distance pruning", "matching pruning"]
+    headers = [
+        "dataset", "distance pruning", "matching pruning",
+        "distance n", "matching n",
+    ]
     rows: Rows = []
     for name in DATASET_NAMES:
-        p = workloads[name].pruning
+        w = workloads[name]
+        p = w.pruning
         total = max(p.total_pois, 1)
         rows.append([
             name,
             round(p.road_pruned_by_distance / total, 4),
             round(p.road_pruned_by_matching / total, 4),
+            w.pruned_by(
+                "idx.road_distance", "obj.poi_distance", "obj.poi_witness"
+            ),
+            w.pruned_by(
+                "idx.road_matching", "obj.poi_matching",
+                "refine.seed_matching",
+            ),
         ])
     return headers, rows
 
@@ -174,15 +224,28 @@ def fig7d_pair_pruning(
     seed: int = 7,
     workloads: Optional[Dict[str, object]] = None,
 ) -> Table:
-    """Figure 7(d): overall user-POI group pair pruning power."""
+    """Figure 7(d): overall user-POI group pair pruning power.
+
+    The count columns expose the ``refine.pairs`` funnel directly:
+    (group, seed) decisions visited vs cut off by the best-so-far
+    distance bound (rule ``pair.distance``).
+    """
     workloads = workloads or _pruning_workloads(scale, num_queries, seed)
-    headers = ["dataset", "pair pruning power"]
+    headers = [
+        "dataset", "pair pruning power", "pairs visited", "pairs pruned",
+    ]
     rows: Rows = []
     for name in DATASET_NAMES:
-        p = workloads[name].pruning
+        w = workloads[name]
+        pairs = w.funnel.get("refine.pairs", {})
         # Formatted as a fixed-point string: the power sits so close to
         # 1 that general-precision float rendering would print "1".
-        rows.append([name, f"{p.pair_pruning_power():.10f}"])
+        rows.append([
+            name,
+            f"{w.pruning.pair_pruning_power():.10f}",
+            pairs.get("visited", 0),
+            pairs.get("pruned", 0),
+        ])
     return headers, rows
 
 

@@ -182,6 +182,13 @@ class WorkloadResult:
     #: total seconds per span name over the whole workload (filled when
     #: the workload ran with an active tracer — the default)
     phase_times: Dict[str, float] = field(default_factory=dict)
+    #: per-phase candidate funnel (visited/survived/pruned + per-rule
+    #: tallies) aggregated over the workload, keyed by phase name —
+    #: filled when the workload ran with an active explain recorder
+    #: (the default); see :class:`repro.obs.funnel.ExplainRecorder`
+    funnel: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: total candidates pruned per rule id, summed over phases
+    rule_counts: Dict[str, int] = field(default_factory=dict)
     #: the metrics registry the workload recorded into
     metrics: Optional[MetricsRegistry] = None
 
@@ -198,6 +205,10 @@ class WorkloadResult:
         if not self.num_queries:
             return 0.0
         return self.phase_times.get(name, 0.0) / self.num_queries
+
+    def pruned_by(self, *rules: str) -> int:
+        """Total candidates pruned by the given rule ids (all phases)."""
+        return sum(self.rule_counts.get(rule, 0) for rule in rules)
 
     def merge_counters(self, other: PruningCounters) -> None:
         p = self.pruning
@@ -228,13 +239,15 @@ def run_workload(
 ) -> WorkloadResult:
     """Run one query per issuer and aggregate the measurements.
 
-    The workload runs under an active span tracer by default (pass a
-    ``recorder`` to supply your own, e.g. one with a ``NullTracer`` for
-    overhead-free timing runs); the per-phase totals land in
-    :attr:`WorkloadResult.phase_times` keyed by span name.
+    The workload runs under an active span tracer *and* funnel recorder
+    by default (pass a ``recorder`` to supply your own, e.g. a plain
+    ``Recorder()`` for overhead-free timing runs); the per-phase time
+    totals land in :attr:`WorkloadResult.phase_times` keyed by span
+    name, and the candidate funnel in :attr:`WorkloadResult.funnel` /
+    :attr:`WorkloadResult.rule_counts` keyed by phase and rule id.
     """
     result = WorkloadResult(label=label)
-    rec = recorder if recorder is not None else Recorder.traced()
+    rec = recorder if recorder is not None else Recorder.explaining()
     result.metrics = rec.metrics
     previous = processor.recorder
     processor.recorder = rec
@@ -256,4 +269,7 @@ def run_workload(
         name: entry["total_sec"]
         for name, entry in aggregate_spans(rec.tracer.roots).items()
     }
+    if rec.explain.active:
+        result.funnel = rec.explain.as_dict()
+        result.rule_counts = rec.explain.rule_counts()
     return result

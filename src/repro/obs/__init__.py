@@ -13,30 +13,46 @@ place they flow through:
   one :class:`Recorder` object that the query processor threads through
   its phases;
 * :mod:`repro.obs.exporters` — JSON-lines trace dumps, Prometheus-style
-  text, and human-readable per-phase tables.
+  text, and human-readable per-phase tables;
+* :mod:`repro.obs.funnel` / :mod:`repro.obs.explain` — the EXPLAIN
+  ANALYZE layer: per-rule pruning funnels (visited → pruned → survived,
+  with bound-tightness margins) recorded at every pruning site, a
+  zero-overhead :class:`NullExplain` default, and the tree-of-phases
+  report renderer.
 """
 
 from .registry import Histogram, MetricsRegistry, Recorder
 from .tracer import NullTracer, Span, Tracer, aggregate_spans
 from .exporters import (
+    explain_to_json,
     format_stats_line,
     phase_table,
     prometheus_text,
     spans_to_jsonl,
     write_trace_jsonl,
 )
+from .funnel import NULL_EXPLAIN, ExplainRecorder, NullExplain, PhaseFunnel
+from .explain import RULES, explain_report, rule_info
 
 __all__ = [
+    "ExplainRecorder",
     "Histogram",
     "MetricsRegistry",
+    "NULL_EXPLAIN",
+    "NullExplain",
     "NullTracer",
+    "PhaseFunnel",
+    "RULES",
     "Recorder",
     "Span",
     "Tracer",
     "aggregate_spans",
+    "explain_report",
+    "explain_to_json",
     "format_stats_line",
     "phase_table",
     "prometheus_text",
+    "rule_info",
     "spans_to_jsonl",
     "write_trace_jsonl",
 ]

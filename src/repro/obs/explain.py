@@ -1,0 +1,152 @@
+"""EXPLAIN ANALYZE rendering for recorded pruning funnels.
+
+:mod:`repro.obs.funnel` collects the raw per-phase candidate funnels;
+this module turns them into the two consumable shapes:
+
+* :data:`RULES` — the merged rule registry (object-level, index-level,
+  and refinement rules), mapping every stable rule id to its paper
+  lemma/equation, the Fig. 7 ablation panel that isolates it, and the
+  unit of its bound-tightness margin;
+* :func:`explain_report` — the human-readable report: a tree of phases,
+  each with its visited → survived funnel and a per-rule table of prune
+  counts, shares, and margin percentiles.
+
+JSON export lives in :func:`repro.obs.exporters.explain_to_json`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .funnel import ExplainRecorder, PhaseFunnel
+
+__all__ = ["RULES", "explain_report", "rule_info"]
+
+_RULES_CACHE: Optional[Dict[str, Dict[str, str]]] = None
+
+
+def _load_rules() -> Dict[str, Dict[str, str]]:
+    # Imported lazily: the rule tables live next to the predicates they
+    # describe (core.pruning / core.index_pruning), and importing the
+    # core package from obs at module-load time would re-enter the
+    # processor's own ``from ..obs.registry import Recorder``.
+    global _RULES_CACHE
+    if _RULES_CACHE is None:
+        from ..core.index_pruning import INDEX_RULES
+        from ..core.pruning import OBJECT_RULES
+
+        merged: Dict[str, Dict[str, str]] = {}
+        merged.update(INDEX_RULES)
+        merged.update(OBJECT_RULES)
+        _RULES_CACHE = merged
+    return _RULES_CACHE
+
+
+class _RulesProxy:
+    """Mapping view over the lazily merged rule registry."""
+
+    def __getitem__(self, rule: str) -> Dict[str, str]:
+        return _load_rules()[rule]
+
+    def __contains__(self, rule: object) -> bool:
+        return rule in _load_rules()
+
+    def __iter__(self):
+        return iter(_load_rules())
+
+    def __len__(self) -> int:
+        return len(_load_rules())
+
+    def get(self, rule: str, default=None):
+        return _load_rules().get(rule, default)
+
+    def items(self):
+        return _load_rules().items()
+
+    def keys(self):
+        return _load_rules().keys()
+
+    def values(self):
+        return _load_rules().values()
+
+
+#: rule id -> {lemma, figure, margin_unit, description}; the union of
+#: :data:`repro.core.pruning.OBJECT_RULES` and
+#: :data:`repro.core.index_pruning.INDEX_RULES`.
+RULES = _RulesProxy()
+
+
+def rule_info(rule: str) -> Dict[str, str]:
+    """Registry entry for ``rule``; unknown ids get a stub entry."""
+    return _load_rules().get(
+        rule, {"lemma": "?", "figure": "?", "margin_unit": "?",
+               "description": "unregistered rule"},
+    )
+
+
+def _phase_line(funnel: PhaseFunnel) -> str:
+    rate = f"{funnel.prune_rate:.1%} pruned" if funnel.visited else "empty"
+    line = (
+        f"{funnel.name}: {funnel.visited} visited -> "
+        f"{funnel.survived} survived ({rate})"
+    )
+    if not funnel.balanced():
+        line += f"  [UNBALANCED: {funnel.pruned} pruned]"
+    return line
+
+
+def _rule_lines(funnel: PhaseFunnel, indent: str) -> List[str]:
+    lines: List[str] = []
+    ordered = sorted(
+        funnel.rules.values(), key=lambda s: s.pruned, reverse=True
+    )
+    width = max((len(s.rule) for s in ordered), default=0)
+    for stats in ordered:
+        share = (
+            f"{stats.pruned / funnel.visited:6.1%}" if funnel.visited
+            else "     -"
+        )
+        line = (
+            f"{indent}{stats.rule:<{width}}  {stats.pruned:>8} pruned "
+            f"{share}"
+        )
+        if stats.margins.count:
+            line += (
+                f"  margin p50={stats.margins.p50:.3g} "
+                f"p95={stats.margins.p95:.3g}"
+            )
+        line += f"  [{rule_info(stats.rule)['lemma']}]"
+        lines.append(line)
+    return lines
+
+
+def explain_report(
+    explain: ExplainRecorder,
+    title: str = "EXPLAIN ANALYZE",
+    stats=None,
+) -> str:
+    """Render the recorded funnels as a tree-of-phases report.
+
+    One branch per phase in recording order (which is pipeline order),
+    each listing its rules by descending prune count with the share of
+    the phase's visited candidates, margin percentiles when sampled, and
+    the paper lemma the rule implements. ``stats`` (an optional
+    :class:`~repro.core.query.QueryStatistics`) appends the standard
+    one-line cost summary.
+    """
+    phases = list(explain.iter_phases())
+    lines = [title]
+    if not phases:
+        lines.append("(no funnel recorded — was explain enabled?)")
+        return "\n".join(lines)
+    for i, funnel in enumerate(phases):
+        last = i == len(phases) - 1
+        branch = "`- " if last else "|- "
+        cont = "   " if last else "|  "
+        lines.append(branch + _phase_line(funnel))
+        lines.extend(_rule_lines(funnel, cont + "   "))
+    if stats is not None:
+        from .exporters import format_stats_line
+
+        lines.append(format_stats_line(stats))
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ from .registry import MetricsRegistry
 from .tracer import Span, aggregate_spans
 
 __all__ = [
+    "explain_to_json",
     "format_stats_line",
     "phase_table",
     "prometheus_text",
@@ -105,31 +106,121 @@ def _prom_name(name: str) -> str:
     return "gpssn_" + _NAME_RE.sub("_", name)
 
 
-def prometheus_text(registry: MetricsRegistry) -> str:
+# Prometheus label *values* may hold any UTF-8 but backslash, double
+# quote, and newline must be escaped in the text format; the same
+# permissive-input stance as _prom_name takes for metric names.
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _prom_label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+#: Metric-name prefixes -> HELP text; matched longest-prefix-first, with
+#: a generic fallback so every exported family carries a HELP line.
+METRIC_HELP = {
+    "query.": "Per-query measurement of the GP-SSN pipeline",
+    "pruning.": "Pruning tally absorbed from QueryStatistics",
+    "phase.": "Per-phase wall time in seconds",
+    "dijkstra.": "Distance-oracle Dijkstra statistics",
+    "dist_engine.": "Distance-engine internal statistics",
+    "traverse.": "Algorithm-2 traversal statistics",
+    "explain.": "Pruning-funnel (EXPLAIN ANALYZE) statistics",
+}
+_DEFAULT_HELP = "GP-SSN metric"
+
+
+def _prom_help(name: str) -> str:
+    best = _DEFAULT_HELP
+    best_len = -1
+    for prefix, text in METRIC_HELP.items():
+        if name.startswith(prefix) and len(prefix) > best_len:
+            best = text
+            best_len = len(prefix)
+    return best
+
+
+def prometheus_text(registry: MetricsRegistry, explain=None) -> str:
     """Prometheus text exposition of a registry.
 
     Counters and gauges map 1:1; each histogram becomes ``_count`` /
     ``_sum`` plus ``quantile`` gauges for p50/p95 and a ``_max`` gauge.
+    Every family gets ``# HELP`` and ``# TYPE`` headers. Passing an
+    active :class:`~repro.obs.funnel.ExplainRecorder` appends the
+    per-rule prune counters with ``phase``/``rule`` labels.
     """
     out: List[str] = []
+
+    def header(prom: str, name: str, kind: str) -> None:
+        out.append(f"# HELP {prom} {_prom_help(name)}")
+        out.append(f"# TYPE {prom} {kind}")
+
     for name in sorted(registry.counters):
         prom = _prom_name(name)
-        out.append(f"# TYPE {prom} counter")
+        header(prom, name, "counter")
         out.append(f"{prom} {registry.counters[name]:g}")
     for name in sorted(registry.gauges):
         prom = _prom_name(name)
-        out.append(f"# TYPE {prom} gauge")
+        header(prom, name, "gauge")
         out.append(f"{prom} {registry.gauges[name]:g}")
     for name in sorted(registry.histograms):
         hist = registry.histograms[name]
         prom = _prom_name(name)
-        out.append(f"# TYPE {prom} summary")
+        header(prom, name, "summary")
         out.append(f'{prom}{{quantile="0.5"}} {hist.p50:g}')
         out.append(f'{prom}{{quantile="0.95"}} {hist.p95:g}')
-        out.append(f"{prom}_max {hist.max:g}")
         out.append(f"{prom}_count {hist.count}")
         out.append(f"{prom}_sum {hist.sum:g}")
+        header(f"{prom}_max", name, "gauge")
+        out.append(f"{prom}_max {hist.max:g}")
+    if explain is not None and getattr(explain, "active", False):
+        prom = "gpssn_explain_pruned_total"
+        out.append(f"# HELP {prom} Candidates pruned per explain rule")
+        out.append(f"# TYPE {prom} counter")
+        for funnel in explain.iter_phases():
+            for rule in sorted(funnel.rules):
+                out.append(
+                    f'{prom}{{phase="{_prom_label_value(funnel.name)}"'
+                    f',rule="{_prom_label_value(rule)}"}} '
+                    f"{funnel.rules[rule].pruned}"
+                )
     return "\n".join(out) + ("\n" if out else "")
+
+
+# ---------------------------------------------------------------------------
+# Explain (pruning funnel) JSON export
+# ---------------------------------------------------------------------------
+
+
+def explain_to_json(explain, stats=None, indent: Optional[int] = 2) -> str:
+    """Serialize a recorded pruning funnel as a JSON document.
+
+    The payload carries a ``schema`` tag, the per-phase funnels (with
+    margin summaries), per-rule totals across phases, and the registry
+    metadata (lemma/figure/margin unit) of every referenced rule.
+    ``stats`` optionally embeds the query's cost summary.
+    """
+    from .explain import rule_info
+
+    phases = explain.as_dict()
+    referenced = sorted({
+        rule for funnel in phases.values() for rule in funnel["rules"]
+    })
+    payload: Dict[str, object] = {
+        "schema": "gpssn.explain/1",
+        "phases": phases,
+        "rule_totals": explain.rule_counts(),
+        "rules": {rule: rule_info(rule) for rule in referenced},
+    }
+    if stats is not None:
+        payload["stats"] = {
+            "cpu_time_sec": stats.cpu_time_sec,
+            "page_accesses": stats.page_accesses,
+            "candidate_users": stats.candidate_users,
+            "candidate_pois": stats.candidate_pois,
+            "groups_refined": stats.groups_refined,
+        }
+    return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 # ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import random
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from .tracer import NullTracer, Span, Tracer
@@ -28,36 +29,67 @@ __all__ = ["Histogram", "MetricsRegistry", "Recorder"]
 class Histogram:
     """A value histogram reporting count/sum/mean and p50/p95/max.
 
-    Keeps raw observations (workloads here are thousands of queries at
-    most); percentiles use the nearest-rank rule on a sorted copy.
+    ``count``, ``sum`` (hence ``mean``), and ``max`` are exact over every
+    observation. The raw observations themselves are bounded: at most
+    ``max_samples`` of them are retained via Algorithm-R reservoir
+    sampling (seeded, so runs are reproducible), and percentiles use the
+    nearest-rank rule on a sorted copy of the reservoir. Below the cap
+    the reservoir holds every value and percentiles are exact — the
+    common case for per-query workloads; above it memory stays O(cap)
+    no matter how many values stream in.
     """
 
-    __slots__ = ("values",)
+    __slots__ = ("values", "max_samples", "_count", "_sum", "_max", "_rng")
 
-    def __init__(self) -> None:
+    DEFAULT_MAX_SAMPLES = 4096
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.values: List[float] = []
+        self.max_samples = max_samples
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+        self._rng = random.Random(0x6A55)
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if self._count == 1 or value > self._max:
+            self._max = value
+        if len(self.values) < self.max_samples:
+            self.values.append(value)
+        else:
+            # Algorithm R: replace a random reservoir slot with
+            # probability max_samples / count.
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                self.values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def sum(self) -> float:
-        return float(sum(self.values))
+        return self._sum
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.values else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return self._max if self._count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        """Nearest-rank percentile, ``p`` in [0, 100].
+
+        Exact while the observation count is within ``max_samples``;
+        estimated from the uniform reservoir sample beyond it.
+        """
         if not self.values:
             return 0.0
         if not 0.0 <= p <= 100.0:
@@ -126,33 +158,55 @@ class MetricsRegistry:
 
 
 class Recorder:
-    """One tracer + one metrics registry, threaded through the processor.
+    """One tracer + metrics registry + explain funnel, threaded through
+    the processor.
 
     The default construction (``Recorder()``) pairs a
-    :class:`NullTracer` with a live registry: per-phase span timing is
-    off (zero hot-path overhead) while the cheap end-of-query metric
-    absorption stays on. Pass ``tracer=Tracer()`` to capture spans.
+    :class:`NullTracer` and a :class:`~repro.obs.funnel.NullExplain`
+    with a live registry: per-phase span timing and per-rule funnel
+    accounting are off (zero hot-path overhead) while the cheap
+    end-of-query metric absorption stays on. Pass ``tracer=Tracer()`` to
+    capture spans, or use :meth:`explaining` for the full EXPLAIN
+    ANALYZE configuration (spans + funnel).
     """
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "explain")
 
     def __init__(
         self,
         tracer: Optional[object] = None,
         metrics: Optional[MetricsRegistry] = None,
+        explain: Optional[object] = None,
     ) -> None:
+        # Imported here, not at module top: funnel reuses Histogram from
+        # this module, so the default-wiring import runs the other way.
+        from .funnel import NULL_EXPLAIN
+
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.explain = explain if explain is not None else NULL_EXPLAIN
 
     @classmethod
     def traced(cls) -> "Recorder":
         """A recorder with an active span tracer."""
         return cls(tracer=Tracer())
 
+    @classmethod
+    def explaining(cls) -> "Recorder":
+        """A recorder with span tracing *and* funnel accounting on."""
+        from .funnel import ExplainRecorder
+
+        return cls(tracer=Tracer(), explain=ExplainRecorder())
+
     @property
     def active(self) -> bool:
         """True when span tracing is on."""
         return bool(getattr(self.tracer, "active", False))
+
+    @property
+    def explaining_active(self) -> bool:
+        """True when funnel (explain) accounting is on."""
+        return bool(getattr(self.explain, "active", False))
 
     def span(self, name: str):
         return self.tracer.span(name)

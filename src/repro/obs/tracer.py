@@ -23,6 +23,7 @@ children never exceeds the span itself (up to clock resolution).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -82,13 +83,29 @@ class Span:
 
 
 class Tracer:
-    """Records spans into a forest; one instance per traced run."""
+    """Records spans into a forest; one instance per traced run.
+
+    Safe to share across threads: each thread nests spans on its own
+    stack (open spans in one thread never adopt children from another),
+    and finished roots land on the shared forest under a lock. The
+    nesting invariant — the span being closed is the innermost open one
+    — is therefore checked per thread, where it is actually meaningful.
+    """
 
     active = True
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's open-span stack (created on demand)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str) -> Span:
         """A context manager timing one region named ``name``."""
@@ -98,22 +115,25 @@ class Tracer:
         self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
-        popped = self._stack.pop()
+        stack = self._stack
+        popped = stack.pop()
         if popped is not span:  # pragma: no cover - misuse guard
             raise RuntimeError(
                 f"span nesting violated: closing {span.name!r} "
                 f"but {popped.name!r} is innermost"
             )
-        if self._stack:
-            self._stack[-1].children.append(span)
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
+            with self._roots_lock:
+                self.roots.append(span)
 
     def clear(self) -> None:
-        """Drop recorded roots (the stack must be empty)."""
+        """Drop recorded roots (the calling thread's stack must be empty)."""
         if self._stack:
             raise RuntimeError("cannot clear a tracer with open spans")
-        self.roots = []
+        with self._roots_lock:
+            self.roots = []
 
     def iter_spans(self) -> Iterator[Tuple[Span, int]]:
         """All recorded spans with depths, roots first."""

@@ -83,12 +83,24 @@ class TestFigureDrivers:
         assert rows[0][0] == "Bri+Cal"
 
     def test_fig7_powers_in_unit_interval(self, fig7):
+        # Power columns only — the trailing funnel columns are absolute
+        # candidate counts, not fractions.
+        power_cols = {"7a": slice(1, 7), "7b": slice(1, 3),
+                      "7c": slice(1, 3), "7d": slice(1, 2)}
         for key in ("7a", "7b", "7c", "7d"):
             headers, rows = fig7[key]
             assert len(rows) == len(DATASET_NAMES)
             for row in rows:
-                for value in row[1:]:
+                for value in row[power_cols[key]]:
                     assert 0.0 <= float(value) <= 1.0
+
+    def test_fig7_funnel_counts_nonnegative(self, fig7):
+        for key, counts in (("7a", slice(7, 11)), ("7b", slice(3, 5)),
+                            ("7c", slice(3, 5)), ("7d", slice(2, 4))):
+            _, rows = fig7[key]
+            for row in rows:
+                for value in row[counts]:
+                    assert int(value) >= 0
 
     def test_fig7d_power_is_extreme(self, fig7):
         _, rows = fig7["7d"]

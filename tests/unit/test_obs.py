@@ -1,7 +1,9 @@
 """Unit tests for the observability layer (tracer, registry, exporters)."""
 
+import inspect
 import io
 import json
+import threading
 import time
 
 import pytest
@@ -96,6 +98,65 @@ class TestTracer:
         tracer = NullTracer()
         assert tracer.span("a") is tracer.span("b")
 
+    def test_threads_keep_independent_stacks(self):
+        """Spans opened concurrently from several threads nest within
+        their own thread's stack; finished roots land on the shared
+        forest without corruption."""
+        tracer = Tracer()
+        errors = []
+
+        def work(tid):
+            try:
+                for _ in range(25):
+                    with tracer.span(f"t{tid}"):
+                        with tracer.span(f"t{tid}.inner"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(tracer.roots) == 4 * 25
+        for root in tracer.roots:
+            # Nesting never crossed threads: each root holds exactly its
+            # own thread's inner span.
+            assert [c.name for c in root.children] == [root.name + ".inner"]
+
+    def test_reentrant_nesting_same_thread(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("mid"):  # same name, deeper level
+                    pass
+        root = tracer.roots[0]
+        assert root.children[0].name == "mid"
+        assert root.children[0].children[0].name == "mid"
+
+    def test_clear_only_checks_calling_threads_stack(self):
+        tracer = Tracer()
+        with tracer.span("done"):
+            pass
+        # Another thread's finished work must not block this clear.
+        t = threading.Thread(target=lambda: tracer.span("x").__enter__())
+        t.start()
+        t.join()
+        with pytest.raises(RuntimeError):
+            # ... but the calling thread's own open span does.
+            span = tracer.span("open")
+            span.__enter__()
+            try:
+                tracer.clear()
+            finally:
+                span.__exit__(None, None, None)
+        tracer.clear()
+        assert tracer.roots == []
+
     def test_aggregate_spans(self):
         tracer = Tracer()
         for _ in range(3):
@@ -140,6 +201,48 @@ class TestHistogram:
         hist.observe(1.0)
         with pytest.raises(ValueError):
             hist.percentile(101)
+
+    def test_reservoir_bounds_memory_over_a_million_values(self):
+        """ISSUE guard: a million observations keep exact count/sum/max
+        while retaining at most the default 4096 reservoir samples."""
+        hist = Histogram()
+        n = 1_000_000
+        for v in range(n):
+            hist.observe(v)
+        assert hist.count == n
+        assert hist.sum == pytest.approx(n * (n - 1) / 2)
+        assert hist.max == n - 1
+        assert hist.mean == pytest.approx((n - 1) / 2)
+        assert len(hist.values) == Histogram.DEFAULT_MAX_SAMPLES == 4096
+        # The uniform reservoir keeps percentile estimates sane: the
+        # median of ~uniform(0, n) sits well inside the middle band.
+        assert 0.4 * n < hist.p50 < 0.6 * n
+
+    def test_reservoir_cap_configurable(self):
+        hist = Histogram(max_samples=16)
+        for v in range(1000):
+            hist.observe(v)
+        assert len(hist.values) == 16
+        assert hist.count == 1000
+        assert hist.max == 999
+
+    def test_below_cap_percentiles_exact(self):
+        hist = Histogram(max_samples=512)
+        for v in range(1, 101):
+            hist.observe(v)
+        assert hist.p50 == 50  # reservoir holds every value: exact
+        assert hist.p95 == 95
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(max_samples=0)
+
+    def test_reservoir_is_deterministic(self):
+        a, b = Histogram(max_samples=32), Histogram(max_samples=32)
+        for v in range(10_000):
+            a.observe(v)
+            b.observe(v)
+        assert a.values == b.values  # seeded RNG: reproducible runs
 
 
 class TestMetricsRegistry:
@@ -314,3 +417,99 @@ class TestExporters:
         )
         line = format_stats_line(stats)
         assert line == "[cpu 12.3 ms, 45 page accesses, 6 groups refined]"
+
+
+class TestPrometheusGolden:
+    def test_exact_exposition_output(self):
+        """Golden output: HELP/TYPE headers per family, sorted names,
+        summary quantiles, and the _max companion gauge — byte for
+        byte."""
+        reg = MetricsRegistry()
+        reg.inc("query.count", 2)
+        reg.set_gauge("index.height", 3)
+        reg.observe("query.cpu_time_sec", 1.0)
+        expected = "\n".join([
+            "# HELP gpssn_query_count Per-query measurement of the GP-SSN pipeline",
+            "# TYPE gpssn_query_count counter",
+            "gpssn_query_count 2",
+            "# HELP gpssn_index_height GP-SSN metric",
+            "# TYPE gpssn_index_height gauge",
+            "gpssn_index_height 3",
+            "# HELP gpssn_query_cpu_time_sec Per-query measurement of the GP-SSN pipeline",
+            "# TYPE gpssn_query_cpu_time_sec summary",
+            'gpssn_query_cpu_time_sec{quantile="0.5"} 1',
+            'gpssn_query_cpu_time_sec{quantile="0.95"} 1',
+            "gpssn_query_cpu_time_sec_count 1",
+            "gpssn_query_cpu_time_sec_sum 1",
+            "# HELP gpssn_query_cpu_time_sec_max Per-query measurement of the GP-SSN pipeline",
+            "# TYPE gpssn_query_cpu_time_sec_max gauge",
+            "gpssn_query_cpu_time_sec_max 1",
+        ]) + "\n"
+        assert prometheus_text(reg) == expected
+
+    def test_metric_name_sanitization_consistent(self):
+        reg = MetricsRegistry()
+        reg.inc("weird name.with-dashes", 1)
+        text = prometheus_text(reg)
+        # The HELP/TYPE headers carry the same sanitized name as the
+        # sample line (no drift between header and body).
+        assert "# HELP gpssn_weird_name_with_dashes" in text
+        assert "# TYPE gpssn_weird_name_with_dashes counter" in text
+        assert "gpssn_weird_name_with_dashes 1" in text
+
+    def test_explain_labels_escaped(self):
+        from repro.obs import ExplainRecorder
+
+        reg = MetricsRegistry()
+        ex = ExplainRecorder()
+        ex.prune('pha"se\n', "rule\\id", 3)
+        text = prometheus_text(reg, explain=ex)
+        assert (
+            'gpssn_explain_pruned_total{phase="pha\\"se\\n"'
+            ',rule="rule\\\\id"} 3'
+        ) in text
+        assert "# TYPE gpssn_explain_pruned_total counter" in text
+
+    def test_inactive_explain_emits_no_funnel_lines(self):
+        from repro.obs import NULL_EXPLAIN
+
+        reg = MetricsRegistry()
+        reg.inc("a", 1)
+        assert "explain_pruned" not in prometheus_text(
+            reg, explain=NULL_EXPLAIN
+        )
+
+
+TRACER_API = sorted(n for n in dir(Tracer) if not n.startswith("_"))
+SPAN_API = sorted(n for n in dir(Tracer().span("s")) if not n.startswith("_"))
+
+
+class TestNullParity:
+    """NullTracer/_NullSpan mirror the live API surface exactly, so a
+    processor never needs to know which variant it holds."""
+
+    @pytest.mark.parametrize("name", TRACER_API)
+    def test_null_tracer_has_attr(self, name):
+        assert hasattr(NullTracer, name), name
+        real, null = getattr(Tracer, name, None), getattr(NullTracer, name)
+        if callable(real) and callable(null):
+            assert (
+                inspect.signature(real).parameters
+                == inspect.signature(null).parameters
+            ), name
+
+    @pytest.mark.parametrize("name", SPAN_API)
+    def test_null_span_has_attr(self, name):
+        null_span = NullTracer().span("x")
+        assert hasattr(null_span, name), name
+
+    def test_null_span_behaviour_matches_types(self):
+        span = NullTracer().span("x")
+        assert span.set(a=1) is span          # chainable like Span.set
+        assert span.duration == 0.0
+        assert list(span.walk()) == []
+        with span as entered:
+            assert entered is span
+
+    def test_active_flags_disagree(self):
+        assert Tracer.active and not NullTracer.active
