@@ -18,7 +18,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, RESULTS_DIR, write_result
+from benchmarks.conftest import BENCH_SEED, RESULTS_DIR, write_result
 from repro.roadnet.engines import make_engine
 
 NUM_PAIRS = 60

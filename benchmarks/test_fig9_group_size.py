@@ -6,7 +6,6 @@ monotone-ish growth (largest tau costs at least as much as smallest)
 and bounded absolute cost.
 """
 
-import statistics
 
 from benchmarks.conftest import BENCH_SCALE, BENCH_SEED, write_result
 from repro.core.query import GPSSNQuery

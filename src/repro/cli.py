@@ -1,12 +1,15 @@
 """Command-line interface.
 
-Seven subcommands cover the everyday workflow:
+Eight subcommands cover the everyday workflow:
 
 * ``gpssn generate`` — build a synthetic or simulated-real spatial-social
   network and save it as a JSON bundle;
 * ``gpssn stats`` — print Table-2-style statistics of a bundle;
 * ``gpssn query`` — answer a GP-SSN query (optionally top-k or sampled)
   against a bundle;
+* ``gpssn batch`` — answer a JSONL file of queries concurrently through
+  the batch executor (``--workers N``, serial/thread/process backends)
+  and write JSONL outcomes;
 * ``gpssn explain`` — answer the same query with the pruning funnel
   recorded and print the EXPLAIN ANALYZE report (``--json`` for the
   machine-readable document);
@@ -17,19 +20,27 @@ Seven subcommands cover the everyday workflow:
   chosen scale and print the rows.
 
 Usable as ``python -m repro.cli`` or via the ``gpssn`` console script.
+
+Exit codes are diagnostic, so CI smoke jobs cannot silently pass on a
+failure: 0 success (including "query answered, no group found"), 1
+unexpected internal error, :data:`EXIT_INPUT` (2) unreadable/invalid
+inputs, :data:`EXIT_QUERY` (3) domain errors (unknown user, infeasible
+parameters), :data:`EXIT_BATCH` (5) batch completed with failed items.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .config import DISTANCE_ENGINES
 from .core.algorithm import GPSSNQueryProcessor
 from .core.metrics import InterestMetric
 from .core.query import GPSSNQuery
 from .core.tuning import suggest_parameters
+from .exceptions import GPSSNError, InvalidParameterError
 from .experiments.calibration import calibrate, calibration_rows
 from .datagen.realworld import dataset_stats
 from .experiments import figures as figure_drivers
@@ -45,6 +56,29 @@ from .obs import (
     prometheus_text,
     write_trace_jsonl,
 )
+from .service import BACKENDS, BatchQueryExecutor, ExecutionLimits
+
+#: Exit codes (0 = success, 1 = unexpected error, the rest diagnostic).
+EXIT_OK = 0
+EXIT_INPUT = 2
+EXIT_QUERY = 3
+EXIT_BATCH = 5
+
+
+class CLIError(Exception):
+    """A user-reportable failure carrying its process exit code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _load_network(path: str):
+    """Load a bundle, mapping every failure mode to :data:`EXIT_INPUT`."""
+    try:
+        return load_network(path)
+    except (OSError, json.JSONDecodeError, InvalidParameterError) as exc:
+        raise CLIError(EXIT_INPUT, f"cannot load bundle {path}: {exc}")
 
 FIGURE_DRIVERS = {
     "table2": figure_drivers.table2_datasets,
@@ -125,6 +159,61 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="answer a GP-SSN query")
     _add_query_args(query)
 
+    batch = sub.add_parser(
+        "batch",
+        help="answer a JSONL file of GP-SSN queries through the "
+        "concurrent batch executor",
+    )
+    batch.add_argument("--input", required=True, help="bundle path (.json)")
+    batch.add_argument(
+        "--queries", required=True,
+        help="JSONL query file: one object per line with a required "
+        '"user" and optional "tau", "gamma", "theta", "radius", '
+        '"metric", "max_groups"',
+    )
+    batch.add_argument(
+        "--output", default=None,
+        help="write JSONL outcomes here (default: stdout)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=0,
+        help="worker count; 0 runs the serial correctness oracle",
+    )
+    batch.add_argument(
+        "--backend", choices=BACKENDS + ("auto",), default="auto",
+        help="executor backend (auto: serial when --workers 0, "
+        "else process)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-query time budget; overruns become 'timeout' outcomes",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=0,
+        help="retries for unexpected per-query errors (domain errors "
+        "and timeouts are never retried)",
+    )
+    batch.add_argument(
+        "--distance-engine", choices=list(DISTANCE_ENGINES), default="plain",
+    )
+    batch.add_argument("--max-groups", type=int, default=None,
+                       help="default refinement cap for lines without one")
+    batch.add_argument("--seed", type=int, default=7)
+    batch.add_argument(
+        "--timing", action="store_true",
+        help="include run-variant fields (attempts, duration, worker) "
+        "in each outcome line; off by default so outcomes are "
+        "byte-comparable across backends and worker counts",
+    )
+    batch.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record the service.batch span tree as JSON lines",
+    )
+    batch.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write batch/worker metrics in Prometheus text format",
+    )
+
     explain = sub.add_parser(
         "explain",
         help="answer a GP-SSN query with the pruning funnel recorded "
@@ -176,7 +265,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    network = load_network(args.input)
+    network = _load_network(args.input)
     stats = dataset_stats(args.input, network)
     print(format_table(
         ["|V(G_s)|", "deg(G_s)", "|V(G_r)|", "deg(G_r)", "POIs", "d"],
@@ -253,7 +342,7 @@ def _print_answers(answers) -> None:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    network = load_network(args.input)
+    network = _load_network(args.input)
     recorder = _recorder_from_args(args)
     processor = GPSSNQueryProcessor(
         network, seed=args.seed, recorder=recorder,
@@ -266,8 +355,95 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Recognized JSONL query-line keys (anything else is a typo we reject).
+_BATCH_LINE_KEYS = {
+    "user", "tau", "gamma", "theta", "radius", "metric", "max_groups",
+}
+
+
+def _load_batch_entries(
+    path: str, default_max_groups: Optional[int]
+) -> List[Tuple[GPSSNQuery, Optional[int]]]:
+    """Parse a JSONL query file into executor entries (strict)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise CLIError(EXIT_INPUT, f"cannot read queries {path}: {exc}")
+    entries: List[Tuple[GPSSNQuery, Optional[int]]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CLIError(EXIT_INPUT, f"{where}: invalid JSON: {exc}")
+        if not isinstance(doc, dict) or "user" not in doc:
+            raise CLIError(
+                EXIT_INPUT, f'{where}: expected an object with a "user" key'
+            )
+        unknown = sorted(set(doc) - _BATCH_LINE_KEYS)
+        if unknown:
+            raise CLIError(EXIT_INPUT, f"{where}: unknown keys {unknown}")
+        try:
+            query = GPSSNQuery(
+                query_user=int(doc["user"]),
+                tau=int(doc.get("tau", 5)),
+                gamma=float(doc.get("gamma", 0.5)),
+                theta=float(doc.get("theta", 0.5)),
+                radius=float(doc.get("radius", 2.0)),
+                metric=InterestMetric(doc.get("metric", "dot")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise CLIError(EXIT_INPUT, f"{where}: {exc}")
+        max_groups = doc.get("max_groups", default_max_groups)
+        entries.append((query, None if max_groups is None else int(max_groups)))
+    if not entries:
+        raise CLIError(EXIT_INPUT, f"{path}: no queries found")
+    return entries
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    network = _load_network(args.input)
+    entries = _load_batch_entries(args.queries, args.max_groups)
+    recorder = _recorder_from_args(args)
+    limits = ExecutionLimits(timeout_sec=args.timeout, retries=args.retries)
+    executor = BatchQueryExecutor(
+        network,
+        workers=args.workers,
+        backend=args.backend,
+        limits=limits,
+        build_args={"seed": args.seed, "distance_engine": args.distance_engine},
+        recorder=recorder,
+    )
+    with executor:
+        outcomes = executor.run_entries(entries)
+    lines = [
+        json.dumps(o.to_dict(timing=args.timing), sort_keys=True)
+        for o in outcomes
+    ]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    else:
+        for line in lines:
+            print(line)
+    failed = sum(not o.ok for o in outcomes)
+    summary = (
+        f"batch: {len(outcomes)} queries, {len(outcomes) - failed} ok, "
+        f"{failed} failed ({executor.backend} backend, "
+        f"{executor.workers} workers)"
+    )
+    # Keep stdout pure JSONL when outcomes go there.
+    print(summary, file=sys.stdout if args.output else sys.stderr)
+    _emit_recorder_outputs(recorder, args)
+    return EXIT_BATCH if failed else EXIT_OK
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
-    network = load_network(args.input)
+    network = _load_network(args.input)
     recorder = _recorder_from_args(args, explaining=True)
     processor = GPSSNQueryProcessor(
         network, seed=args.seed, recorder=recorder,
@@ -299,7 +475,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
-    network = load_network(args.input)
+    network = _load_network(args.input)
     report = calibrate(network, num_samples=args.samples, seed=args.seed)
     headers, rows = calibration_rows(report)
     print(format_table(headers, rows, title=f"Calibration of {args.input}"))
@@ -307,7 +483,7 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def cmd_tune(args: argparse.Namespace) -> int:
-    network = load_network(args.input)
+    network = _load_network(args.input)
     suggestion = suggest_parameters(
         network, percentile=args.percentile, seed=args.seed
     )
@@ -329,12 +505,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": cmd_generate,
         "stats": cmd_stats,
         "query": cmd_query,
+        "batch": cmd_batch,
         "explain": cmd_explain,
         "figure": cmd_figure,
         "calibrate": cmd_calibrate,
         "tune": cmd_tune,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CLIError as exc:
+        print(f"gpssn: error: {exc}", file=sys.stderr)
+        return exc.code
+    except GPSSNError as exc:
+        print(f"gpssn: query error: {exc}", file=sys.stderr)
+        return EXIT_QUERY
 
 
 if __name__ == "__main__":

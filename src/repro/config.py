@@ -22,7 +22,7 @@ thresholds, radius, group size, and pivot counts are used verbatim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 from .exceptions import InvalidParameterError

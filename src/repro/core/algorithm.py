@@ -33,7 +33,6 @@ import numpy as np
 
 from ..exceptions import (
     IndexStateError,
-    InfeasibleQueryError,
     InvalidParameterError,
     UnknownEntityError,
 )
@@ -66,7 +65,7 @@ from .refinement import (
     group_distance_maps,
     sample_connected_groups,
 )
-from .scores import interest_score, match_score
+from .scores import match_score
 
 SCandidate = Union[SocialIndexNode, AugmentedUser]
 

@@ -21,12 +21,11 @@ import math
 import time
 from dataclasses import dataclass
 from math import comb
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from ..exceptions import UnknownEntityError
 from ..network import SpatialSocialNetwork
 from ..obs.registry import Recorder
-from ..roadnet.shortest_path import position_distance_from_map
 from .metrics import MetricScorer
 from .query import GPSSNAnswer, GPSSNQuery, QueryStatistics
 from .refinement import (

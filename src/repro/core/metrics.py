@@ -34,8 +34,7 @@ elementwise, hence ``supp(low) ⊆ supp(x) ⊆ supp(high)``):
 from __future__ import annotations
 
 import enum
-import math
-from typing import FrozenSet, Sequence
+from typing import FrozenSet
 
 import numpy as np
 

@@ -20,8 +20,7 @@ soundness of each is exercised against brute force in the test suite.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 import numpy as np
 
@@ -96,8 +95,12 @@ class PruningRegion:
         # When ||B||^2 == gamma, B lies exactly on the hyperplane and
         # B' coincides with B, so the distance comparison cannot decide
         # the halfplane; fall back to the direct dot-product test there.
-        self._on_plane = (
-            not self._degenerate and self._norm_sq == self.gamma
+        # Same fallback when ||B||^2 underflows toward the denormal
+        # range: the B' reflection divides by it and loses every
+        # significant digit, so the distance comparison no longer
+        # decides the halfplane either.
+        self._on_plane = not self._degenerate and (
+            self._norm_sq == self.gamma or self._norm_sq < 1e-280
         )
 
     # -- point test (Corollary 1) ---------------------------------------------
@@ -144,6 +147,10 @@ class PruningRegion:
         """
         if self._degenerate:
             return self.gamma > 0.0
+        if self._on_plane:
+            # B' is meaningless here (see __init__); the exact linear
+            # test decides the same halfplane without it.
+            return self.contains_mbr(box)
         if self.case1:
             return box.maxdist_point(self.b_prime) < box.mindist_point(self.b_point)
         return box.maxdist_point(self.b_point) < box.mindist_point(self.b_prime)

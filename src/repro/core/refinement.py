@@ -30,7 +30,6 @@ POIs ordered by ``max_{u in S} dist_RN(u, o)``.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..exceptions import InvalidParameterError, UnknownEntityError
+from ..exceptions import UnknownEntityError
 from ..index.pivots import (
     RoadPivotIndex,
     SocialPivotIndex,

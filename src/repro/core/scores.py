@@ -17,7 +17,7 @@ bound is required.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Iterable, Sequence
+from typing import AbstractSet, Sequence
 
 import numpy as np
 

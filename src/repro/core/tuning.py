@@ -18,7 +18,6 @@ the requested percentiles, clipped to the index's radius envelope.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

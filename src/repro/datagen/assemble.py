@@ -20,12 +20,11 @@ operating on the formats in :mod:`repro.io.formats`:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from ..geometry import Point
 from ..network import SpatialSocialNetwork
 from ..roadnet.graph import NetworkPosition, RoadNetwork
 from ..roadnet.poi import POI

@@ -20,13 +20,12 @@ step:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from ..config import DATA_SPACE_SIZE
 from ..exceptions import InvalidParameterError
-from ..geometry import Point
 from ..network import SpatialSocialNetwork
 from ..roadnet.graph import NetworkPosition, RoadNetwork
 from ..roadnet.poi import POI

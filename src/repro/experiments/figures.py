@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..core.algorithm import GPSSNQueryProcessor, PruningToggles
 from ..core.baseline import BaselineProcessor

@@ -16,7 +16,6 @@ provides the pieces every figure driver shares:
 
 from __future__ import annotations
 
-import math
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -236,6 +235,8 @@ def run_workload(
     max_groups: Optional[int] = 2000,
     label: str = "",
     recorder: Optional[Recorder] = None,
+    workers: int = 0,
+    backend: str = "auto",
 ) -> WorkloadResult:
     """Run one query per issuer and aggregate the measurements.
 
@@ -245,7 +246,24 @@ def run_workload(
     totals land in :attr:`WorkloadResult.phase_times` keyed by span
     name, and the candidate funnel in :attr:`WorkloadResult.funnel` /
     :attr:`WorkloadResult.rule_counts` keyed by phase and rule id.
+
+    ``workers > 0`` routes the workload through the concurrent
+    :class:`~repro.service.executor.BatchQueryExecutor` (``backend``
+    picks thread/process; answers are identical to the serial path).
+    Per-query statistics still aggregate — they travel back inside each
+    outcome — but the per-rule funnel stays empty: worker processes run
+    recorder-free, exactly like the serial overhead-free timing mode.
+    Answers are identical to the in-process path; enumeration-order work
+    counters (e.g. ``candidate_pairs_examined``) can shift by a hair
+    because workers run on the canonicalized snapshot restore of the
+    network rather than the construction-order original.
     """
+    if workers > 0:
+        return _run_workload_concurrent(
+            processor, query_users, tau=tau, gamma=gamma, theta=theta,
+            radius=radius, max_groups=max_groups, label=label,
+            recorder=recorder, workers=workers, backend=backend,
+        )
     result = WorkloadResult(label=label)
     rec = recorder if recorder is not None else Recorder.explaining()
     result.metrics = rec.metrics
@@ -272,4 +290,53 @@ def run_workload(
     if rec.explain.active:
         result.funnel = rec.explain.as_dict()
         result.rule_counts = rec.explain.rule_counts()
+    return result
+
+
+def _run_workload_concurrent(
+    processor: GPSSNQueryProcessor,
+    query_users: Sequence[int],
+    tau: int,
+    gamma: float,
+    theta: float,
+    radius: float,
+    max_groups: Optional[int],
+    label: str,
+    recorder: Optional[Recorder],
+    workers: int,
+    backend: str,
+) -> WorkloadResult:
+    """The ``workers > 0`` arm of :func:`run_workload`."""
+    from ..service import BatchQueryExecutor
+
+    result = WorkloadResult(label=label)
+    rec = recorder if recorder is not None else Recorder()
+    result.metrics = rec.metrics
+    queries = [
+        GPSSNQuery(
+            query_user=uq, tau=tau, gamma=gamma, theta=theta, radius=radius
+        )
+        for uq in query_users
+    ]
+    with BatchQueryExecutor.from_processor(
+        processor, workers=workers, backend=backend, recorder=rec
+    ) as executor:
+        outcomes = executor.run(queries, max_groups=max_groups)
+    for outcome in outcomes:
+        if not outcome.ok:
+            raise RuntimeError(
+                f"workload query #{outcome.index} failed "
+                f"({outcome.status}): {outcome.error}"
+            )
+        stats = outcome.stats
+        result.num_queries += 1
+        result.answers_found += int(outcome.answer.found)
+        result.cpu_times.append(stats.cpu_time_sec)
+        result.page_accesses.append(stats.page_accesses)
+        result.groups_refined += stats.groups_refined
+        result.merge_counters(stats.pruning)
+        for phase, seconds in stats.phase_times.items():
+            result.phase_times[phase] = (
+                result.phase_times.get(phase, 0.0) + seconds
+            )
     return result

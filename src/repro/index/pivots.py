@@ -23,7 +23,7 @@ and strengthens the distance pruning (Lemmas 4, 7, 9). Because
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 

@@ -26,7 +26,7 @@ construction scaffold, and the traversal operates on the immutable
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 from ..exceptions import IndexStateError, InvalidParameterError
 from ..geometry import MBR

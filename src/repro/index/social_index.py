@@ -21,7 +21,7 @@ numbered for the I/O simulation.
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Sequence
+from typing import Iterator, Sequence
 
 from ..exceptions import InvalidParameterError
 from ..geometry import MBR

@@ -39,10 +39,16 @@ FORMAT_NAME = "gpssn-bundle"
 FORMAT_VERSION = 1
 
 
-def save_network(path: PathLike, network: SpatialSocialNetwork) -> None:
-    """Serialize ``network`` to a JSON bundle at ``path``."""
+def network_to_document(network: SpatialSocialNetwork) -> dict:
+    """The plain-data bundle document for ``network``.
+
+    The same structure :func:`save_network` writes to disk, kept in
+    memory: it is JSON- and pickle-safe, so it doubles as the network
+    snapshot the batch service ships to worker processes (see
+    :class:`repro.service.executor.NetworkSnapshot`).
+    """
     road = network.road
-    document = {
+    return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "num_keywords": network.num_keywords,
@@ -82,22 +88,33 @@ def save_network(path: PathLike, network: SpatialSocialNetwork) -> None:
             if a < b
         ),
     }
+
+
+def save_network(path: PathLike, network: SpatialSocialNetwork) -> None:
+    """Serialize ``network`` to a JSON bundle at ``path``."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
+        json.dump(network_to_document(network), handle)
 
 
-def load_network(path: PathLike) -> SpatialSocialNetwork:
-    """Reconstruct a :class:`SpatialSocialNetwork` from a JSON bundle."""
-    with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
+def network_from_document(
+    document: dict, source: str = "<document>"
+) -> SpatialSocialNetwork:
+    """Reconstruct a :class:`SpatialSocialNetwork` from a bundle document.
+
+    Construction order is fully determined by the document (vertices,
+    edges, POIs, users, and friendships are each sorted at save time),
+    so two networks restored from the same document are structurally
+    identical — including dict iteration orders, which batch workers
+    rely on for bit-reproducible answers.
+    """
     if document.get("format") != FORMAT_NAME:
         raise InvalidParameterError(
-            f"{path}: not a {FORMAT_NAME} file "
+            f"{source}: not a {FORMAT_NAME} file "
             f"(format={document.get('format')!r})"
         )
     if document.get("version") != FORMAT_VERSION:
         raise InvalidParameterError(
-            f"{path}: unsupported bundle version {document.get('version')!r}"
+            f"{source}: unsupported bundle version {document.get('version')!r}"
         )
 
     road = RoadNetwork()
@@ -133,3 +150,10 @@ def load_network(path: PathLike) -> SpatialSocialNetwork:
     return SpatialSocialNetwork(
         road, social, pois, int(document["num_keywords"])
     )
+
+
+def load_network(path: PathLike) -> SpatialSocialNetwork:
+    """Reconstruct a :class:`SpatialSocialNetwork` from a JSON bundle."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return network_from_document(document, source=str(path))

@@ -13,7 +13,7 @@ coupling invariants at construction time:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from .config import NETWORK_DISTANCE_CACHE_SIZE
 from .exceptions import GraphConstructionError, UnknownEntityError

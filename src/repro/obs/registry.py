@@ -18,7 +18,7 @@ import math
 import random
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from .tracer import NullTracer, Span, Tracer
+from .tracer import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.query import QueryStatistics

@@ -90,6 +90,19 @@ class CSRGraph:
         #: number of scipy C-kernel searches run
         self.scipy_runs = 0
 
+    # -- pickling (batch workers ship CSR state inside network snapshots) ----
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        # The scipy matrix is derived state: wrapping the same arrays
+        # again is cheap, and dropping it keeps snapshots lean.
+        state["_sp_matrix"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
     # -- shape ---------------------------------------------------------------
 
     @property

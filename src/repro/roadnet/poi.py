@@ -9,7 +9,7 @@ interest vectors, so the matching-score indicator
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterable
 
 from ..exceptions import InvalidParameterError

@@ -1,0 +1,47 @@
+"""Batch query service: plan, limit, and execute GP-SSN query batches.
+
+* :mod:`repro.service.batch` — batch planning (dedupe identical
+  queries, shard unique queries by issuer locality);
+* :mod:`repro.service.limits` — per-query timeout + bounded retry and
+  the ``result | timeout | error`` :class:`QueryOutcome` envelope;
+* :mod:`repro.service.executor` — :class:`BatchQueryExecutor` with the
+  ``serial`` / ``thread`` / ``process`` backends and the picklable
+  :class:`NetworkSnapshot` that gives every worker warm state.
+"""
+
+from .batch import BatchPlan, PlanItem, plan_batch, query_key
+from .executor import (
+    BACKENDS,
+    BatchQueryExecutor,
+    NetworkSnapshot,
+    WorkerState,
+)
+from .limits import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ExecutionLimits,
+    QueryOutcome,
+    QueryTimeoutError,
+    call_with_timeout,
+    run_with_limits,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BatchPlan",
+    "BatchQueryExecutor",
+    "ExecutionLimits",
+    "NetworkSnapshot",
+    "PlanItem",
+    "QueryOutcome",
+    "QueryTimeoutError",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "WorkerState",
+    "call_with_timeout",
+    "plan_batch",
+    "query_key",
+    "run_with_limits",
+]

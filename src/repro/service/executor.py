@@ -1,0 +1,413 @@
+"""Concurrent batch execution of GP-SSN queries with warm worker state.
+
+:class:`BatchQueryExecutor` turns the one-query-at-a-time processor
+into a batch service. Three backends share one outcome contract:
+
+``serial``
+    The correctness oracle: replay the batch in input order on a single
+    warm worker, no planning. Obviously right — every other backend is
+    validated (and CI-diffed) against its byte-identical outcomes.
+
+``thread``
+    A thread pool. Each worker thread owns its *own* warm
+    :class:`WorkerState` (network restored from the snapshot, processor
+    with built indexes, distance-oracle cache), so threads never share
+    mutable query state; useful for low worker counts and for testing
+    scheduling independence without process overhead.
+
+``process``
+    A process pool (``fork`` where available). The picklable
+    :class:`NetworkSnapshot` travels to each worker once, at pool
+    warm-up; after that a worker answers every query of its shard
+    against its warm state — the engine build, the index build, and the
+    distance-oracle cache all amortize across the shard.
+
+Batches are planned before dispatch (:mod:`repro.service.batch`):
+identical queries are answered once and fanned back out, and the unique
+queries are sharded by issuer locality. Every query runs under the
+per-query timeout/retry envelope of :mod:`repro.service.limits`, so one
+pathological query degrades to a ``timeout`` outcome instead of
+stalling the batch.
+
+Answers are deterministic in (snapshot, build args, query): all
+backends restore workers from the *same* snapshot, so worker count and
+scheduling order never change outcomes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.algorithm import GPSSNQueryProcessor
+from ..core.query import GPSSNQuery
+from ..exceptions import IndexStateError, InvalidParameterError
+from ..io.bundle import network_from_document, network_to_document
+from ..network import SpatialSocialNetwork
+from ..obs import Recorder
+from ..roadnet.engines import CHEngine
+from .batch import BatchPlan, PlanItem, plan_batch
+from .limits import (
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    ExecutionLimits,
+    QueryOutcome,
+    run_with_limits,
+)
+
+#: The selectable executor backends.
+BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass
+class NetworkSnapshot:
+    """A picklable, restore-exact image of a network + processor recipe.
+
+    ``document`` is the gpssn-bundle document (plain data, pickle- and
+    JSON-safe); ``build_args`` is the processor construction recipe;
+    ``engine_state`` optionally carries a preprocessed
+    contraction-hierarchy image so workers skip CH preprocessing when
+    the snapshot matches (they silently rebuild when it does not).
+    """
+
+    document: dict
+    build_args: Dict[str, object] = field(default_factory=dict)
+    distance_engine: str = "plain"
+    engine_state: Optional[dict] = None
+
+    @classmethod
+    def capture(
+        cls,
+        network: SpatialSocialNetwork,
+        build_args: Optional[Dict[str, object]] = None,
+    ) -> "NetworkSnapshot":
+        """Snapshot ``network`` plus the processor recipe to replay on it."""
+        build_args = dict(build_args or {})
+        engine_name = build_args.pop("distance_engine", None)
+        if engine_name is None:
+            engine_name = network.distances.engine.name
+        engine_state = None
+        engine = network.distances.engine
+        if isinstance(engine, CHEngine) and engine.name == engine_name:
+            engine_state = engine.snapshot()
+        return cls(
+            document=network_to_document(network),
+            build_args=build_args,
+            distance_engine=engine_name,
+            engine_state=engine_state,
+        )
+
+    def restore(self) -> SpatialSocialNetwork:
+        """A fresh network, structurally identical on every restore."""
+        network = network_from_document(self.document, source="<snapshot>")
+        engine = network.use_distance_engine(self.distance_engine)
+        if self.engine_state is not None and isinstance(engine, CHEngine):
+            try:
+                restored = CHEngine.from_snapshot(
+                    network.road, self.engine_state
+                )
+                network.distances.engine = restored
+            except IndexStateError:
+                pass  # version drift: the lazy rebuild path is correct
+        return network
+
+
+class WorkerState:
+    """Everything one worker keeps warm across the queries it handles.
+
+    Built once per worker from the shared snapshot: the restored
+    network (own distance engine + oracle cache) and the processor with
+    both indexes built. Every query the worker answers afterwards reuses
+    all of it.
+    """
+
+    def __init__(self, snapshot: NetworkSnapshot) -> None:
+        self.network = snapshot.restore()
+        self.processor = GPSSNQueryProcessor(
+            self.network,
+            recorder=Recorder(),
+            **snapshot.build_args,
+        )
+
+    def run_item(
+        self, item: PlanItem, limits: ExecutionLimits, worker: int
+    ) -> QueryOutcome:
+        """One planned query under the limits envelope (never raises)."""
+        return run_with_limits(
+            lambda: self.processor.answer(
+                item.query, max_groups=item.max_groups
+            ),
+            limits,
+            index=item.positions[0],
+            worker=worker,
+        )
+
+
+# -- process-pool plumbing (module level: must be picklable by reference) ---
+
+_PROCESS_STATE: Optional[WorkerState] = None
+
+
+def _process_initializer(snapshot: NetworkSnapshot) -> None:
+    """Build this worker process's warm state exactly once."""
+    global _PROCESS_STATE
+    _PROCESS_STATE = WorkerState(snapshot)
+
+
+def _process_warmup() -> bool:
+    return _PROCESS_STATE is not None
+
+
+def _process_run_shard(
+    worker: int, items: List[PlanItem], limits: ExecutionLimits
+) -> List[QueryOutcome]:
+    assert _PROCESS_STATE is not None, "worker initializer did not run"
+    return [_PROCESS_STATE.run_item(item, limits, worker) for item in items]
+
+
+def _fork_or_default_context():
+    """Prefer ``fork``: workers inherit the parent's hash seed (identical
+    set/dict iteration everywhere) and skip re-importing the world."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class BatchQueryExecutor:
+    """Answer batches of GP-SSN queries on warm serial/thread/process
+    backends (see the module docstring for the backend contract)."""
+
+    def __init__(
+        self,
+        network: SpatialSocialNetwork,
+        workers: int = 0,
+        backend: str = "auto",
+        limits: Optional[ExecutionLimits] = None,
+        build_args: Optional[Dict[str, object]] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        if backend == "auto":
+            backend = "serial" if workers <= 0 else "process"
+        if backend not in BACKENDS:
+            raise InvalidParameterError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{BACKENDS + ('auto',)}"
+            )
+        if backend == "serial":
+            workers = 1
+        if workers < 1:
+            raise InvalidParameterError(
+                f"backend {backend!r} needs workers >= 1, got {workers}"
+            )
+        self.backend = backend
+        self.workers = workers
+        self.limits = limits or ExecutionLimits()
+        self.recorder = recorder or Recorder()
+        self.snapshot = NetworkSnapshot.capture(network, build_args)
+        self._serial_state: Optional[WorkerState] = None
+        self._thread_states: List[WorkerState] = []
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    @classmethod
+    def from_processor(
+        cls,
+        processor: GPSSNQueryProcessor,
+        workers: int = 0,
+        backend: str = "auto",
+        limits: Optional[ExecutionLimits] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> "BatchQueryExecutor":
+        """An executor replaying ``processor``'s exact build recipe."""
+        return cls(
+            processor.network,
+            workers=workers,
+            backend=backend,
+            limits=limits,
+            build_args=dict(processor._build_args),
+            recorder=recorder,
+        )
+
+    # -- lifetime -----------------------------------------------------------
+
+    def warm(self) -> "BatchQueryExecutor":
+        """Build every worker's warm state now (idempotent).
+
+        A long-running service pays this once at startup; benchmarks
+        call it explicitly so measured runs see steady-state throughput.
+        """
+        if self.backend == "serial":
+            if self._serial_state is None:
+                self._serial_state = WorkerState(self.snapshot)
+        elif self.backend == "thread":
+            while len(self._thread_states) < self.workers:
+                self._thread_states.append(WorkerState(self.snapshot))
+        else:
+            pool = self._ensure_pool()
+            pool.submit(_process_warmup).result()
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchQueryExecutor":
+        return self.warm()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_fork_or_default_context(),
+                initializer=_process_initializer,
+                initargs=(self.snapshot,),
+            )
+        return self._pool
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        queries: Sequence[GPSSNQuery],
+        max_groups: Optional[int] = None,
+    ) -> List[QueryOutcome]:
+        """Answer ``queries`` (one shared refinement cap); see
+        :meth:`run_entries` for per-query caps."""
+        return self.run_entries([(q, max_groups) for q in queries])
+
+    def run_entries(
+        self,
+        entries: Sequence[Tuple[GPSSNQuery, Optional[int]]],
+    ) -> List[QueryOutcome]:
+        """Answer ``(query, max_groups)`` entries; one outcome per entry,
+        in input order, never raising for per-query failures."""
+        if not entries:
+            return []
+        started = time.perf_counter()
+        with self.recorder.span("service.batch") as span:
+            if self.backend == "serial":
+                outcomes = self._run_serial(entries)
+                plan = None
+            else:
+                plan = plan_batch(entries, self.workers)
+                if self.backend == "thread":
+                    shard_outcomes = self._run_thread(plan)
+                else:
+                    shard_outcomes = self._run_process(plan)
+                outcomes = self._fan_out(plan, shard_outcomes)
+            elapsed = time.perf_counter() - started
+            span.set(
+                backend=self.backend, workers=self.workers,
+                queries=len(entries),
+                unique=plan.num_unique if plan else len(entries),
+            )
+        self._record_metrics(outcomes, plan, elapsed)
+        return outcomes
+
+    def _run_serial(
+        self, entries: Sequence[Tuple[GPSSNQuery, Optional[int]]]
+    ) -> List[QueryOutcome]:
+        self.warm()
+        state = self._serial_state
+        return [
+            state.run_item(
+                PlanItem(query=query, max_groups=mg, positions=(i,)),
+                self.limits, worker=0,
+            )
+            for i, (query, mg) in enumerate(entries)
+        ]
+
+    def _run_thread(self, plan: BatchPlan) -> List[List[QueryOutcome]]:
+        self.warm()
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=len(plan.shards)
+        ) as pool:
+            futures = [
+                pool.submit(
+                    lambda state, ids, w: [
+                        state.run_item(plan.items[i], self.limits, w)
+                        for i in ids
+                    ],
+                    self._thread_states[w], shard, w,
+                )
+                for w, shard in enumerate(plan.shards)
+            ]
+            return [f.result() for f in futures]
+
+    def _run_process(self, plan: BatchPlan) -> List[List[QueryOutcome]]:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(
+                _process_run_shard,
+                w, [plan.items[i] for i in shard], self.limits,
+            )
+            for w, shard in enumerate(plan.shards)
+        ]
+        return [f.result() for f in futures]
+
+    def _fan_out(
+        self, plan: BatchPlan, shard_outcomes: List[List[QueryOutcome]]
+    ) -> List[QueryOutcome]:
+        """Re-address per-item outcomes to every original batch position."""
+        outcomes: List[Optional[QueryOutcome]] = [None] * plan.num_queries
+        for shard, results in zip(plan.shards, shard_outcomes):
+            for item_idx, outcome in zip(shard, results):
+                for position in plan.items[item_idx].positions:
+                    outcomes[position] = (
+                        outcome if position == outcome.index
+                        else outcome.replicated(position)
+                    )
+        assert all(o is not None for o in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _record_metrics(
+        self,
+        outcomes: List[QueryOutcome],
+        plan: Optional[BatchPlan],
+        elapsed: float,
+    ) -> None:
+        """Per-batch and per-worker service gauges/counters."""
+        m = self.recorder.metrics
+        m.inc("service.batches")
+        m.inc("service.queries", len(outcomes))
+        m.inc(
+            "service.timeouts",
+            sum(o.status == STATUS_TIMEOUT for o in outcomes),
+        )
+        m.inc(
+            "service.errors",
+            sum(o.status == STATUS_ERROR for o in outcomes),
+        )
+        if plan is not None:
+            m.inc("service.dedup_saved", plan.duplicates_saved)
+        per_worker: Dict[int, Tuple[int, float]] = {}
+        seen_first: set = set()
+        for outcome in outcomes:
+            if outcome.index in seen_first:  # pragma: no cover - safety
+                continue
+            seen_first.add(outcome.index)
+            m.observe("service.query_latency_sec", outcome.duration_sec)
+            count, seconds = per_worker.get(outcome.worker, (0, 0.0))
+            per_worker[outcome.worker] = (
+                count + 1, seconds + outcome.duration_sec
+            )
+        for worker, (count, seconds) in sorted(per_worker.items()):
+            m.set_gauge(f"service.worker.{worker}.queries", count)
+            m.set_gauge(f"service.worker.{worker}.busy_sec", seconds)
+            if seconds > 0:
+                m.set_gauge(
+                    f"service.worker.{worker}.throughput_qps",
+                    count / seconds,
+                )
+        m.set_gauge("service.batch.seconds", elapsed)
+        if elapsed > 0:
+            m.set_gauge(
+                "service.batch.throughput_qps", len(outcomes) / elapsed
+            )

@@ -15,7 +15,7 @@ balanced within one vertex.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Set
+from typing import List, Sequence, Set
 
 from ..exceptions import InvalidParameterError
 from .graph import SocialNetwork

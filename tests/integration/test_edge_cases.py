@@ -1,6 +1,5 @@
 """Adversarial and degenerate scenarios across the whole pipeline."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,7 +1,6 @@
 """The example scripts must run end to end (they are the public demos)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

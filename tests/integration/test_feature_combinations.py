@@ -1,6 +1,5 @@
 """Cross-feature combinations: metrics x top-k x sampling x store."""
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -1,6 +1,5 @@
 """Integration tests for the processor's public API and statistics."""
 
-import math
 
 import pytest
 

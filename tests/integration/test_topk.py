@@ -1,6 +1,5 @@
 """Top-k GP-SSN queries: indexed vs exhaustive, ordering, distinctness."""
 
-import numpy as np
 import pytest
 
 from repro import (

@@ -8,9 +8,7 @@ a violation here would silently produce wrong answers at scale.
 
 import math
 
-import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro import GPSSNQueryProcessor, uni_dataset
 from repro.core.index_pruning import (

@@ -1,7 +1,6 @@
 """Property: JSON bundles round-trip arbitrary generated networks."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datagen.synthetic import uni_dataset, zipf_dataset

@@ -7,7 +7,6 @@ final objective must match brute force exactly (the strongest form of
 pruning safety).
 """
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Unit tests for the raw-data assembly pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.datagen.assemble import (

@@ -1,6 +1,5 @@
 """Unit tests for the exhaustive Baseline processor (Section 6.1)."""
 
-import math
 
 import pytest
 

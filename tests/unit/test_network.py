@@ -12,7 +12,6 @@ from repro import (
 )
 from repro.exceptions import GraphConstructionError, UnknownEntityError
 from repro.geometry import Point
-from tests.conftest import build_grid_road
 
 
 def minimal_social(road, num_keywords=3):

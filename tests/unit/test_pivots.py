@@ -6,11 +6,10 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datagen.synthetic import generate_road_network, uni_dataset
+from repro.datagen.synthetic import generate_road_network
 from repro.exceptions import InvalidParameterError, UnknownEntityError
 from repro.index.pivots import (
     RoadPivotIndex,
-    SocialPivotIndex,
     pivot_lower_bound,
     select_pivots,
     select_pivots_road,

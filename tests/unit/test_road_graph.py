@@ -1,6 +1,5 @@
 """Unit tests for the road network graph model."""
 
-import math
 
 import pytest
 

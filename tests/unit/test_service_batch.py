@@ -1,0 +1,79 @@
+"""Unit tests for the batch planner (repro.service.batch)."""
+
+import pytest
+
+from repro.core.query import GPSSNQuery
+from repro.service import plan_batch, query_key
+
+
+def q(user, tau=4, radius=2.0):
+    return GPSSNQuery(
+        query_user=user, tau=tau, gamma=0.4, theta=0.3, radius=radius
+    )
+
+
+class TestQueryKey:
+    def test_equal_queries_equal_keys(self):
+        assert query_key(q(3), 100) == query_key(q(3), 100)
+
+    def test_max_groups_is_part_of_identity(self):
+        assert query_key(q(3), 100) != query_key(q(3), 200)
+
+    def test_any_parameter_changes_key(self):
+        base = query_key(q(3), None)
+        assert query_key(q(4), None) != base
+        assert query_key(q(3, tau=5), None) != base
+        assert query_key(q(3, radius=3.0), None) != base
+
+
+class TestPlanBatch:
+    def test_dedupes_identical_entries(self):
+        entries = [(q(3), 100), (q(5), 100), (q(3), 100), (q(3), 100)]
+        plan = plan_batch(entries, workers=2)
+        assert plan.num_queries == 4
+        assert plan.num_unique == 2
+        assert plan.duplicates_saved == 2
+        by_user = {item.query.query_user: item for item in plan.items}
+        assert by_user[3].positions == (0, 2, 3)
+        assert by_user[5].positions == (1,)
+
+    def test_every_position_covered_exactly_once(self):
+        entries = [(q(u % 3), None) for u in range(10)]
+        plan = plan_batch(entries, workers=4)
+        covered = sorted(
+            pos for item in plan.items for pos in item.positions
+        )
+        assert covered == list(range(10))
+
+    def test_items_in_issuer_major_order(self):
+        entries = [(q(9), None), (q(1), None), (q(5), None)]
+        plan = plan_batch(entries, workers=1)
+        assert [item.query.query_user for item in plan.items] == [1, 5, 9]
+
+    def test_shards_contiguous_and_balanced(self):
+        entries = [(q(u), None) for u in range(7)]
+        plan = plan_batch(entries, workers=3)
+        assert len(plan.shards) == 3
+        sizes = [len(shard) for shard in plan.shards]
+        assert sum(sizes) == 7
+        assert max(sizes) - min(sizes) <= 1
+        flat = [i for shard in plan.shards for i in shard]
+        assert flat == list(range(7))
+
+    def test_never_more_shards_than_items(self):
+        plan = plan_batch([(q(1), None), (q(2), None)], workers=8)
+        assert len(plan.shards) == 2
+
+    def test_empty_batch_keeps_one_empty_shard(self):
+        plan = plan_batch([], workers=4)
+        assert plan.num_queries == 0
+        assert plan.items == ()
+        assert plan.shards == ((),)
+
+    def test_plan_is_deterministic(self):
+        entries = [(q(u % 5, tau=3 + u % 2), None) for u in range(20)]
+        assert plan_batch(entries, 3) == plan_batch(entries, 3)
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            plan_batch([(q(1), None)], workers=0)

@@ -1,0 +1,183 @@
+"""Unit tests for the per-query limits envelope (repro.service.limits)."""
+
+import time
+
+import pytest
+
+from repro.core.query import GPSSNAnswer, QueryStatistics
+from repro.exceptions import UnknownEntityError
+from repro.service import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    ExecutionLimits,
+    QueryTimeoutError,
+    call_with_timeout,
+    run_with_limits,
+)
+
+
+def _ok_fn():
+    answer = GPSSNAnswer(
+        users=frozenset({1, 2}), pois=frozenset({7}),
+        max_distance=3.5, found=True,
+    )
+    return answer, QueryStatistics()
+
+
+class TestExecutionLimits:
+    def test_defaults_are_unlimited(self):
+        limits = ExecutionLimits()
+        assert limits.timeout_sec is None
+        assert limits.retries == 0
+
+    @pytest.mark.parametrize("timeout", [0.0, -1.0])
+    def test_rejects_nonpositive_timeout(self, timeout):
+        with pytest.raises(ValueError):
+            ExecutionLimits(timeout_sec=timeout)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            ExecutionLimits(retries=-1)
+
+
+class TestCallWithTimeout:
+    def test_no_timeout_passes_through(self):
+        assert call_with_timeout(lambda: 42, None) == 42
+
+    def test_fast_call_within_budget(self):
+        assert call_with_timeout(lambda: "done", 5.0) == "done"
+
+    def test_slow_call_raises(self):
+        def slow():
+            time.sleep(0.2)
+            return "late"
+
+        with pytest.raises(QueryTimeoutError):
+            call_with_timeout(slow, 0.05)
+
+    def test_slow_call_in_thread_detected_post_hoc(self):
+        import threading
+
+        caught = []
+
+        def slow():
+            time.sleep(0.1)
+            return "late"
+
+        def run():
+            try:
+                call_with_timeout(slow, 0.02)
+            except QueryTimeoutError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join()
+        assert len(caught) == 1
+
+
+class TestRunWithLimits:
+    def test_ok_outcome(self):
+        outcome = run_with_limits(_ok_fn, ExecutionLimits(), index=3, worker=1)
+        assert outcome.status == STATUS_OK
+        assert outcome.ok
+        assert outcome.index == 3
+        assert outcome.worker == 1
+        assert outcome.attempts == 1
+        assert outcome.answer.users == frozenset({1, 2})
+        assert outcome.stats is not None
+
+    def test_domain_error_not_retried(self):
+        calls = []
+
+        def fail():
+            calls.append(1)
+            raise UnknownEntityError("unknown query user 999")
+
+        outcome = run_with_limits(fail, ExecutionLimits(retries=5), index=0)
+        assert outcome.status == STATUS_ERROR
+        assert outcome.error_kind == "UnknownEntityError"
+        assert "999" in outcome.error
+        assert len(calls) == 1
+
+    def test_unexpected_error_retried_then_reported(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise RuntimeError("boom")
+
+        outcome = run_with_limits(flaky, ExecutionLimits(retries=2), index=0)
+        assert outcome.status == STATUS_ERROR
+        assert outcome.error_kind == "RuntimeError"
+        assert outcome.attempts == 3
+        assert len(calls) == 3
+
+    def test_retry_can_recover(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise RuntimeError("transient")
+            return _ok_fn()
+
+        outcome = run_with_limits(flaky, ExecutionLimits(retries=1), index=0)
+        assert outcome.ok
+        assert outcome.attempts == 2
+
+    def test_timeout_outcome(self):
+        def slow():
+            time.sleep(0.2)
+            return _ok_fn()
+
+        outcome = run_with_limits(
+            slow, ExecutionLimits(timeout_sec=0.05), index=0
+        )
+        assert outcome.status == STATUS_TIMEOUT
+        assert outcome.answer is None
+        assert outcome.attempts == 1  # timeouts are never retried
+
+    def test_never_raises(self):
+        def explode():
+            raise MemoryError("oom")
+
+        outcome = run_with_limits(explode, ExecutionLimits(), index=0)
+        assert outcome.status == STATUS_ERROR
+        assert outcome.error_kind == "MemoryError"
+
+
+class TestQueryOutcomeSerialization:
+    def test_canonical_dict_excludes_timing(self):
+        outcome = run_with_limits(_ok_fn, ExecutionLimits(), index=2, worker=4)
+        doc = outcome.to_dict()
+        assert doc == {
+            "index": 2, "status": "ok", "found": True,
+            "users": [1, 2], "pois": [7], "max_distance": 3.5,
+        }
+
+    def test_timing_dict_adds_measurement_fields(self):
+        outcome = run_with_limits(_ok_fn, ExecutionLimits(), index=2, worker=4)
+        doc = outcome.to_dict(timing=True)
+        assert doc["worker"] == 4
+        assert doc["attempts"] == 1
+        assert doc["duration_sec"] >= 0.0
+
+    def test_not_found_answer_serializes_minimal(self):
+        def nothing():
+            return GPSSNAnswer.empty(), QueryStatistics()
+
+        doc = run_with_limits(nothing, ExecutionLimits(), index=0).to_dict()
+        assert doc == {"index": 0, "status": "ok", "found": False}
+
+    def test_replicated_points_at_new_index(self):
+        outcome = run_with_limits(_ok_fn, ExecutionLimits(), index=1, worker=2)
+        copy = outcome.replicated(9)
+        assert copy.index == 9
+        assert copy.answer is outcome.answer
+        assert copy.worker == outcome.worker
+        # canonical serialization differs only in the index
+        a, b = outcome.to_dict(), copy.to_dict()
+        a.pop("index"), b.pop("index")
+        assert a == b

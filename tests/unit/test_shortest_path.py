@@ -15,10 +15,8 @@ from repro.roadnet.shortest_path import (
     dijkstra,
     direct_edge_distance,
     multi_source_dijkstra,
-    position_distance_from_map,
     position_seeds,
 )
-from tests.conftest import build_grid_road
 
 
 def to_networkx(road):

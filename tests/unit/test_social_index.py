@@ -125,7 +125,6 @@ class TestAccess:
         assert social_index.counter.snapshot() == 1
 
     def test_empty_social_network_rejected(self, small_uni):
-        import copy
 
         from repro import SocialNetwork, SpatialSocialNetwork
 
