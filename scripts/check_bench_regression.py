@@ -1,18 +1,28 @@
 #!/usr/bin/env python3
-"""Guard the pruning-power trajectory of the benchmark suite.
+"""Guard the pruning-power and kernel-speedup trajectories of the suite.
 
-Compares a freshly generated ``BENCH_pruning_funnel.json`` against the
-committed baseline and fails (exit 1) when any pruning rule lost more
-than ``--threshold`` (default 20%) of its prune count on any dataset —
-the signature of a silently weakened bound. Latency drift is reported
-but never fails the check: wall-clock is machine-dependent, pruning
-counts are not (the workload is seeded).
+Two independent gates, both blocking in CI:
+
+* **pruning power** — compares a freshly generated
+  ``BENCH_pruning_funnel.json`` against the committed baseline and
+  fails (exit 1) when any pruning rule lost more than ``--threshold``
+  (default 20%) of its prune count on any dataset — the signature of a
+  silently weakened bound. Latency drift is reported but never fails
+  the check: wall-clock is machine-dependent, pruning counts are not
+  (the workload is seeded).
+* **pair-kernel speedup** — validates a ``BENCH_pair_kernel.json``
+  (``--pair-kernel``): the vectorized refinement kernel must hold its
+  committed speedup floor over the scalar reference on every benched
+  dataset. Scalar and vector run on the same machine in the same
+  process, so the *ratio* is stable even though the absolute times are
+  not.
 
 Usage::
 
     python scripts/check_bench_regression.py \
         --baseline benchmarks/results/BENCH_pruning_funnel.json \
-        --current  /tmp/BENCH_pruning_funnel.json
+        --current  /tmp/BENCH_pruning_funnel.json \
+        --pair-kernel benchmarks/results/BENCH_pair_kernel.json
 """
 
 from __future__ import annotations
@@ -57,6 +67,34 @@ def compare(
     return failures
 
 
+def compare_pair_kernel(
+    payload: dict, min_speedup: float = None
+) -> List[str]:
+    """Return one message per dataset whose kernel speedup is below the
+    floor (empty list = gate passes).
+
+    The floor defaults to the payload's own committed ``min_speedup``
+    (the value the benchmark asserted when the baseline was written),
+    so CI needs no out-of-band configuration.
+    """
+    if min_speedup is None:
+        min_speedup = float(payload.get("min_speedup", 1.0))
+    failures: List[str] = []
+    for dataset, entry in sorted(payload.get("datasets", {}).items()):
+        speedup = entry.get("speedup")
+        if speedup is None:
+            failures.append(f"{dataset}: no speedup recorded")
+            continue
+        if speedup < min_speedup:
+            failures.append(
+                f"{dataset}: vector kernel {speedup:.2f}x over scalar, "
+                f"below the {min_speedup:.2f}x floor "
+                f"({entry.get('scalar_cpu_sec', 0) * 1000:.1f} ms -> "
+                f"{entry.get('vector_cpu_sec', 0) * 1000:.1f} ms)"
+            )
+    return failures
+
+
 def latency_report(baseline: dict, current: dict) -> List[str]:
     """Informational per-dataset latency drift lines (never failing)."""
     lines: List[str] = []
@@ -79,11 +117,11 @@ def main(argv=None) -> int:
         description="Fail when per-rule pruning counts regress vs baseline."
     )
     parser.add_argument(
-        "--baseline", required=True,
+        "--baseline",
         help="committed BENCH_pruning_funnel.json",
     )
     parser.add_argument(
-        "--current", required=True,
+        "--current",
         help="BENCH_pruning_funnel.json from the current run",
     )
     parser.add_argument(
@@ -94,30 +132,62 @@ def main(argv=None) -> int:
         "--min-count", type=int, default=MIN_BASELINE_COUNT,
         help="ignore rules with fewer baseline prunes than this",
     )
+    parser.add_argument(
+        "--pair-kernel",
+        help="BENCH_pair_kernel.json to validate against its speedup floor",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="override the pair-kernel payload's committed speedup floor",
+    )
     args = parser.parse_args(argv)
 
-    with open(args.baseline, encoding="utf-8") as fp:
-        baseline = json.load(fp)
-    with open(args.current, encoding="utf-8") as fp:
-        current = json.load(fp)
+    if bool(args.baseline) != bool(args.current):
+        parser.error("--baseline and --current must be given together")
+    if not args.baseline and not args.pair_kernel:
+        parser.error(
+            "nothing to check: give --baseline/--current and/or --pair-kernel"
+        )
 
-    for line in latency_report(baseline, current):
-        print(f"[latency] {line}")
+    failures: List[str] = []
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fp:
+            baseline = json.load(fp)
+        with open(args.current, encoding="utf-8") as fp:
+            current = json.load(fp)
+        for line in latency_report(baseline, current):
+            print(f"[latency] {line}")
+        funnel_failures = compare(
+            baseline, current, threshold=args.threshold,
+            min_count=args.min_count,
+        )
+        if not funnel_failures:
+            print("pruning funnel within threshold of the committed baseline")
+        failures.extend(funnel_failures)
 
-    failures = compare(
-        baseline, current, threshold=args.threshold,
-        min_count=args.min_count,
-    )
+    if args.pair_kernel:
+        with open(args.pair_kernel, encoding="utf-8") as fp:
+            pair_payload = json.load(fp)
+        pair_failures = compare_pair_kernel(
+            pair_payload, min_speedup=args.min_speedup
+        )
+        if not pair_failures:
+            floor = args.min_speedup or pair_payload.get("min_speedup", 1.0)
+            for dataset, entry in sorted(
+                pair_payload.get("datasets", {}).items()
+            ):
+                print(
+                    f"[pair-kernel] {dataset}: {entry['speedup']:.2f}x "
+                    f"(floor {float(floor):.2f}x)"
+                )
+            print("pair-kernel speedup above its committed floor")
+        failures.extend(pair_failures)
+
     if failures:
         for message in failures:
             print(f"REGRESSION {message}", file=sys.stderr)
-        print(
-            f"{len(failures)} pruning regression(s) beyond "
-            f"{args.threshold:.0%}",
-            file=sys.stderr,
-        )
+        print(f"{len(failures)} benchmark regression(s)", file=sys.stderr)
         return 1
-    print("pruning funnel within threshold of the committed baseline")
     return 0
 
 

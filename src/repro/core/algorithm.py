@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 import math
 import time
+from bisect import insort
 from math import comb
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
@@ -60,6 +61,7 @@ from .index_pruning import (
 from .pruning import matching_score_prunable, social_distance_prunable
 from .query import GPSSNAnswer, GPSSNQuery, PruningCounters, QueryStatistics
 from .refinement import (
+    PairKernel,
     best_region_for_seed,
     enumerate_connected_groups,
     group_distance_maps,
@@ -115,8 +117,19 @@ class GPSSNQueryProcessor:
         toggles: Optional[PruningToggles] = None,
         recorder: Optional[Recorder] = None,
         distance_engine: Optional[str] = None,
+        refinement_kernel: str = "vector",
     ) -> None:
         self.toggles = toggles or PruningToggles()
+        if refinement_kernel not in ("vector", "scalar"):
+            raise InvalidParameterError(
+                f"unknown refinement kernel {refinement_kernel!r}; "
+                "expected 'vector' or 'scalar'"
+            )
+        # "vector" evaluates (group, seed) pairs through the batched
+        # numpy PairKernel; "scalar" keeps the per-pair reference path
+        # (best_region_for_seed) the kernel is validated against.
+        self.refinement_kernel = refinement_kernel
+        self._kernel: Optional[PairKernel] = None
         # Engine selection happens before index construction so the
         # offline region sweeps already run on the chosen kernel; None
         # keeps whatever engine the network is already using.
@@ -151,7 +164,15 @@ class GPSSNQueryProcessor:
             r_min=r_min, r_max=r_max,
             max_entries=max_entries, leaf_size=leaf_size, seed=seed,
             distance_engine=distance_engine,
+            refinement_kernel=refinement_kernel,
         )
+
+    def _pair_kernel(self) -> PairKernel:
+        """The vectorized refinement kernel, rebuilt on network changes."""
+        kernel = self._kernel
+        if kernel is None or kernel.version != self.network.version:
+            kernel = self._kernel = PairKernel(self.network)
+        return kernel
 
     def rebuild(self) -> None:
         """Rebuild pivots and both indexes against the current network.
@@ -373,26 +394,39 @@ class GPSSNQueryProcessor:
                     allowed=allowed, score_fn=scorer.score,
                 )
 
+                use_vector = self.refinement_kernel == "vector"
+                kernel = self._pair_kernel() if use_vector else None
                 uq_user = social.user(uq_id)
-                uq_map = network.distances.distances_from(
-                    ("user", uq_id), uq_user.home
-                )
-                seed_dist = {
-                    ap.poi_id: position_distance_from_map(
-                        network.road, uq_map, ap.poi.position, uq_user.home
+                if use_vector:
+                    uq_row = kernel.member_row(uq_id)
+                    seed_dist = {
+                        ap.poi_id: float(uq_row[kernel.poi_index[ap.poi_id]])
+                        for ap in r_cand
+                    }
+                else:
+                    uq_map = network.distances.distances_from(
+                        ("user", uq_id), uq_user.home
                     )
-                    for ap in r_cand
-                }
+                    seed_dist = {
+                        ap.poi_id: position_distance_from_map(
+                            network.road, uq_map, ap.poi.position,
+                            uq_user.home,
+                        )
+                        for ap in r_cand
+                    }
                 seeds = sorted(seed_dist, key=seed_dist.get)
 
                 best_value = math.inf
                 best_pair = None
                 for group in groups:
                     stats.groups_refined += 1
-                    dist_maps = group_distance_maps(network, group)
-                    group_interests = [
-                        social.user(uid).interests for uid in group
-                    ]
+                    if use_vector:
+                        state = kernel.group_state(group, query.theta)
+                    else:
+                        dist_maps = group_distance_maps(network, group)
+                        group_interests = [
+                            social.user(uid).interests for uid in group
+                        ]
                     if ex is not None:
                         ex.visit("refine.pairs", len(seeds))
                     for seed_rank, poi_seed in enumerate(seeds):
@@ -410,10 +444,19 @@ class GPSSNQueryProcessor:
                         region_ids = self.road_index.region(
                             poi_seed, query.radius
                         )
-                        result = best_region_for_seed(
-                            network, group_interests, dist_maps,
-                            poi_seed, region_ids, query.theta,
-                        )
+                        if use_vector:
+                            result = kernel.best_region(
+                                kernel.ball(
+                                    poi_seed, region_ids,
+                                    cache_key=(poi_seed, query.radius),
+                                ),
+                                state,
+                            )
+                        else:
+                            result = best_region_for_seed(
+                                network, group_interests, dist_maps,
+                                poi_seed, region_ids, query.theta,
+                            )
                         if result is None:
                             continue
                         pois, value = result
@@ -471,6 +514,8 @@ class GPSSNQueryProcessor:
         # among the k best; the best-so-far bound delta only witnesses
         # the single best pair, so delta-based pruning is suspended.
         use_delta = self.toggles.road_distance and allow_delta_pruning
+        use_vector = self.refinement_kernel == "vector"
+        kernel = self._pair_kernel() if use_vector else None
         social = self.network.social
         if ex is not None:
             ex.visit("traverse.social", social.num_users)
@@ -521,8 +566,24 @@ class GPSSNQueryProcessor:
                     vectors.append(entry.user.interests)
             return vectors
 
+        def floor_matrix_of(
+            floor_vectors: List[np.ndarray],
+        ) -> Optional[np.ndarray]:
+            """Stacked (entries x topics) image of the interest floors,
+            built per level for the vectorized Eq. 18 gate."""
+            if not use_vector or not floor_vectors:
+                return None
+            return np.stack(
+                [
+                    np.asarray(vec, dtype=np.float64)
+                    for vec in floor_vectors
+                ]
+            )
+
         def witness_feasible(
-            ap: AugmentedPOI, floor_vectors: List[np.ndarray]
+            ap: AugmentedPOI,
+            floor_vectors: List[np.ndarray],
+            floor_matrix: Optional[np.ndarray] = None,
         ) -> bool:
             """Eq. 18 gate: could ``ball(ap, r)`` theta-match every user
             that may remain in S? Checked on the seed's *subset* keywords
@@ -532,6 +593,18 @@ class GPSSNQueryProcessor:
             witness_checks += 1
             if not floor_vectors:
                 return False
+            if floor_matrix is not None:
+                # All entries at once: summing the keyword columns in
+                # ascending topic order reproduces match_score's running
+                # sum term-for-term, so the >= theta decisions match the
+                # scalar gate exactly.
+                scores: Optional[np.ndarray] = None
+                for f in sorted(ap.sub_keywords):
+                    col = floor_matrix[:, f]
+                    scores = col if scores is None else scores + col
+                if scores is None:
+                    return 0.0 >= query.theta
+                return bool((scores >= query.theta).all())
             return all(
                 match_score(vec, ap.sub_keywords) >= query.theta
                 for vec in floor_vectors
@@ -542,6 +615,7 @@ class GPSSNQueryProcessor:
             out_heap: Optional[List[Tuple[float, int, RoadIndexNode]]],
             s_ubs: Sequence[float],
             floor_vectors: List[np.ndarray],
+            floor_matrix: Optional[np.ndarray] = None,
         ) -> None:
             """Lines 15-25: expand one popped I_R node."""
             nonlocal delta, tick
@@ -575,7 +649,7 @@ class GPSSNQueryProcessor:
                         continue
                     # lines 19-20: keep the POI, tighten delta
                     r_cand.append(ap)
-                    if witness_feasible(ap, floor_vectors):
+                    if witness_feasible(ap, floor_vectors, floor_matrix):
                         ub = ub_maxdist_road_node(
                             s_ubs, ap.pivot_dists, query.radius
                         )
@@ -705,6 +779,7 @@ class GPSSNQueryProcessor:
             with rec.span("traverse.road_sweep"):
                 s_ubs = s_side_pivot_ubs()
                 floor = s_side_floor_vectors()
+                floor_mat = floor_matrix_of(floor)
                 next_heap: List[Tuple[float, int, RoadIndexNode]] = []
                 while heap:
                     key, _t, node = heapq.heappop(heap)
@@ -721,13 +796,14 @@ class GPSSNQueryProcessor:
                             )
                         heap.clear()
                         break
-                    process_road_entry(node, next_heap, s_ubs, floor)
+                    process_road_entry(node, next_heap, s_ubs, floor, floor_mat)
                 heap = next_heap  # line 26
 
         # lines 27-28: I_R may be deeper than I_S; drain it best-first
         with rec.span("traverse.road_drain"):
             s_ubs = s_side_pivot_ubs()
             floor = s_side_floor_vectors()
+            floor_mat = floor_matrix_of(floor)
             while heap:
                 key, _t, node = heapq.heappop(heap)
                 if use_delta and key > delta:
@@ -743,7 +819,7 @@ class GPSSNQueryProcessor:
                         )
                     heap.clear()
                     break
-                process_road_entry(node, None, s_ubs, floor)
+                process_road_entry(node, None, s_ubs, floor, floor_mat)
 
         users = [e for e in s_cand if isinstance(e, AugmentedUser)]
 
@@ -758,11 +834,12 @@ class GPSSNQueryProcessor:
             with rec.span("traverse.witness_filter"):
                 s_ubs = s_side_pivot_ubs()
                 floor = s_side_floor_vectors()
+                floor_mat = floor_matrix_of(floor)
                 network = self.network
                 witness = None
                 witness_key = math.inf
                 for ap in r_cand:
-                    if witness_feasible(ap, floor):
+                    if witness_feasible(ap, floor, floor_mat):
                         ub = ub_maxdist_road_node(
                             s_ubs, ap.pivot_dists, query.radius
                         )
@@ -771,39 +848,77 @@ class GPSSNQueryProcessor:
                             witness = ap
                 best_ub = delta
                 if witness is not None:
-                    w_map = network.distances.distances_from(
-                        ("poi", witness.poi_id), witness.poi.position
-                    )
-                    exact_user_max = max(
-                        position_distance_from_map(
-                            network.road, w_map, au.user.home,
-                            witness.poi.position
+                    if use_vector:
+                        # One dense gather over every candidate user's
+                        # home replaces the per-user map lookups.
+                        dense_w = network.distances.dense_distances_from(
+                            ("poi", witness.poi_id), witness.poi.position
                         )
-                        for au in users
-                    )
+                        positions, user_index = kernel.user_positions()
+                        user_row = positions.distances_from_dense(
+                            network.road, dense_w, witness.poi.position
+                        )
+                        user_idx = np.fromiter(
+                            (user_index[au.user_id] for au in users),
+                            dtype=np.int64, count=len(users),
+                        )
+                        exact_user_max = float(user_row[user_idx].max())
+                    else:
+                        w_map = network.distances.distances_from(
+                            ("poi", witness.poi_id), witness.poi.position
+                        )
+                        exact_user_max = max(
+                            position_distance_from_map(
+                                network.road, w_map, au.user.home,
+                                witness.poi.position
+                            )
+                            for au in users
+                        )
                     # Eq. 5: the second term max dist(o_i, o_j) over the
                     # witness region is at most the region radius r.
                     best_ub = min(best_ub, exact_user_max + query.radius)
                 if not math.isinf(best_ub):
-                    uq_map = network.distances.distances_from(
-                        ("user", query.query_user), uq.home
-                    )
-                    kept = []
-                    for ap in r_cand:
-                        d_uq = position_distance_from_map(
-                            network.road, uq_map, ap.poi.position, uq.home
+                    if use_vector:
+                        uq_row = kernel.member_row(query.query_user)
+                        poi_idx = np.fromiter(
+                            (kernel.poi_index[ap.poi_id] for ap in r_cand),
+                            dtype=np.int64, count=len(r_cand),
                         )
-                        if d_uq > best_ub:
-                            counters.road_object_pruned += 1
-                            counters.road_pruned_by_distance += 1
+                        d_arr = uq_row[poi_idx]
+                        prune_mask = d_arr > best_ub
+                        n_pruned = int(prune_mask.sum())
+                        if n_pruned:
+                            counters.road_object_pruned += n_pruned
+                            counters.road_pruned_by_distance += n_pruned
                             if ex is not None:
-                                ex.prune(
+                                ex.prune_batch(
                                     "traverse.road", "obj.poi_witness",
-                                    margin=d_uq - best_ub,
+                                    d_arr[prune_mask] - best_ub,
                                 )
-                        else:
-                            kept.append(ap)
-                    r_cand = kept
+                        r_cand = [
+                            ap for ap, pruned in zip(r_cand, prune_mask)
+                            if not pruned
+                        ]
+                    else:
+                        uq_map = network.distances.distances_from(
+                            ("user", query.query_user), uq.home
+                        )
+                        kept = []
+                        for ap in r_cand:
+                            d_uq = position_distance_from_map(
+                                network.road, uq_map, ap.poi.position, uq.home
+                            )
+                            if d_uq > best_ub:
+                                counters.road_object_pruned += 1
+                                counters.road_pruned_by_distance += 1
+                                if ex is not None:
+                                    ex.prune(
+                                        "traverse.road", "obj.poi_witness",
+                                        margin=d_uq - best_ub,
+                                    )
+                            else:
+                                kept.append(ap)
+                        r_cand = kept
         rec.metrics.inc("traverse.witness_checks", witness_checks)
         if ex is not None:
             ex.survive("traverse.social", len(users))
@@ -887,19 +1002,31 @@ class GPSSNQueryProcessor:
         if len(allowed) < query.tau:
             return []
 
+        use_vector = self.refinement_kernel == "vector"
+        kernel = self._pair_kernel() if use_vector else None
+
         # line 30: exact matching/distance re-check of candidate POIs.
         with rec.span("refine.seed_filter"):
             if ex is not None:
                 ex.visit("refine.seeds", len(r_cand))
             uq_user = social.user(uq_id)
-            uq_map = network.distances.distances_from(
-                ("user", uq_id), uq_user.home
-            )
+            if use_vector:
+                # One cached distance row covers every candidate seed
+                # (bitwise-equal to the per-POI map lookups below).
+                uq_row = kernel.member_row(uq_id)
+                poi_index = kernel.poi_index
+            else:
+                uq_map = network.distances.distances_from(
+                    ("user", uq_id), uq_user.home
+                )
             seed_dist: Dict[int, float] = {}
             for ap in r_cand:
-                d = position_distance_from_map(
-                    network.road, uq_map, ap.poi.position, uq_user.home
-                )
+                if use_vector:
+                    d = float(uq_row[poi_index[ap.poi_id]])
+                else:
+                    d = position_distance_from_map(
+                        network.road, uq_map, ap.poi.position, uq_user.home
+                    )
                 # Exact Lemma-1 check on the seed's true superset keywords.
                 ms = match_score(uq_user.interests, ap.sup_keywords)
                 if ms < query.theta:
@@ -917,15 +1044,28 @@ class GPSSNQueryProcessor:
                 ex.survive("refine.seeds", len(seeds))
 
         # line 31: enumerate groups, evaluate seeds with early termination.
-        # `best` holds the running top-k distinct (S, R) pairs sorted by
-        # value; the k-th value is the pruning threshold (any region of a
-        # seed farther from u_q than it cannot enter the top-k, because
-        # the seed belongs to its region).
-        best: List[Tuple[float, frozenset, frozenset]] = []
+        # `best` holds the running top-k distinct (S, R) pairs as sorted
+        # (value, users, pois) key tuples; the k-th value is the pruning
+        # threshold (any region of a seed farther from u_q than it cannot
+        # enter the top-k, because the seed belongs to its region).
+        best: List[Tuple[float, Tuple[int, ...], Tuple[int, ...]]] = []
         seen_pairs: Set[Tuple[frozenset, frozenset]] = set()
+        n_seeds = len(seeds)
+        kth = math.inf
 
-        def kth_value() -> float:
-            return best[-1][0] if len(best) >= k else math.inf
+        def accept(value: float, frozen_group: frozenset, pois: frozenset) -> None:
+            """O(log k + k) sorted insert; maintains ``kth`` in place."""
+            nonlocal kth
+            seen_pairs.add((frozen_group, pois))
+            insort(
+                best, (value, tuple(sorted(frozen_group)), tuple(sorted(pois)))
+            )
+            if len(best) > k:
+                dropped = best.pop()
+                seen_pairs.discard(
+                    (frozenset(dropped[1]), frozenset(dropped[2]))
+                )
+            kth = best[-1][0] if len(best) >= k else math.inf
 
         with rec.span("refine.enumerate"):
             groups = enumerate_connected_groups(
@@ -933,50 +1073,134 @@ class GPSSNQueryProcessor:
                 allowed=allowed, limit=max_groups, score_fn=scorer.score,
                 explain=ex,
             )
-            for group in groups:
-                stats.groups_refined += 1
-                dist_maps = group_distance_maps(network, group)
-                group_interests = [social.user(uid).interests for uid in group]
-                frozen_group = frozenset(group)
-                if ex is not None:
-                    ex.visit("refine.pairs", len(seeds))
-                for seed_rank, seed in enumerate(seeds):
-                    kth = kth_value()
-                    if seed_dist[seed] >= kth:
-                        if ex is not None:
-                            ex.prune(
-                                "refine.pairs", "pair.distance",
-                                len(seeds) - seed_rank,
-                                seed_dist[seed] - kth,
-                            )
-                        break
+            if use_vector:
+                seed_dist_arr = np.fromiter(
+                    (seed_dist[s] for s in seeds),
+                    dtype=np.float64, count=n_seeds,
+                )
+                radius = query.radius
+                theta = query.theta
+                region = self.road_index.region
+                counters = stats.pruning
+                # Every seed's ball is built once per query (and cached
+                # across queries under (seed, radius)); the stacked
+                # full-cover matrix drives the per-group ball gate as a
+                # single matmul over all seeds.
+                balls = [
+                    kernel.ball(s, region(s, radius), cache_key=(s, radius))
+                    for s in seeds
+                ]
+                seed_dense_arr = np.fromiter(
+                    (b.seed_dense for b in balls),
+                    dtype=np.int64, count=n_seeds,
+                )
+                full_cover = (
+                    np.stack([b.full_cover_f8 for b in balls])
+                    if balls else None
+                )
+                for group in groups:
+                    stats.groups_refined += 1
+                    state = kernel.group_state(group, theta)
+                    frozen_group = state.frozen
                     if ex is not None:
-                        ex.survive("refine.pairs")
-                    stats.pruning.candidate_pairs_examined += 1
-                    region_ids = self.road_index.region(seed, query.radius)
-                    result = best_region_for_seed(
-                        network, group_interests, dist_maps,
-                        seed, region_ids, query.theta,
+                        ex.visit("refine.pairs", n_seeds)
+                    if not n_seeds:
+                        continue
+                    # Per-group, all seeds at once: the seed-alone gate
+                    # and the exact pair value lower bound (the seed is
+                    # always in its region, so no region of seed o can
+                    # score below max_{u in S} dist_RN(u, o)), plus the
+                    # full-ball feasibility gate as one matmul.
+                    seed_ok = state.seed_feasible[seed_dense_arr].tolist()
+                    seed_lb = state.gmax[seed_dense_arr].tolist()
+                    ball_ok = (
+                        (full_cover @ state.interests.T).min(axis=1)
+                        >= theta
+                    ).tolist()
+                    # Lemma 5 / Eq. 6 against the sorted seed-distance
+                    # array: seeds past `limit` all fail dist < kth, so
+                    # the scalar loop's break point is one searchsorted.
+                    i = 0
+                    limit = int(
+                        np.searchsorted(seed_dist_arr, kth, side="left")
                     )
-                    if result is None:
-                        continue
-                    pois, value = result
-                    pair_key = (frozen_group, pois)
-                    if pair_key in seen_pairs or value >= kth_value():
-                        continue
-                    seen_pairs.add(pair_key)
-                    best.append((value, frozen_group, pois))
-                    best.sort(
-                        key=lambda item: (
-                            item[0], sorted(item[1]), sorted(item[2])
+                    while i < limit:
+                        if ex is not None:
+                            ex.survive("refine.pairs")
+                        counters.candidate_pairs_examined += 1
+                        idx = i
+                        i += 1
+                        lb = seed_lb[idx]
+                        if seed_ok[idx]:
+                            # Seed alone suffices: R = {o}, value known.
+                            if lb >= kth:
+                                continue
+                            pois = frozenset((seeds[idx],))
+                            value = lb
+                        else:
+                            # Infeasible ball, or value provably >= kth:
+                            # the scan cannot produce a top-k entrant.
+                            if not ball_ok[idx] or lb >= kth:
+                                continue
+                            result = kernel.best_region(
+                                balls[idx], state, skip_gates=True
+                            )
+                            if result is None:
+                                continue
+                            pois, value = result
+                        if (frozen_group, pois) in seen_pairs or value >= kth:
+                            continue
+                        accept(value, frozen_group, pois)
+                        limit = int(
+                            np.searchsorted(seed_dist_arr, kth, side="left")
                         )
-                    )
-                    if len(best) > k:
-                        dropped = best.pop()
-                        seen_pairs.discard((dropped[1], dropped[2]))
+                    if ex is not None and i < n_seeds:
+                        ex.prune(
+                            "refine.pairs", "pair.distance",
+                            n_seeds - i,
+                            float(seed_dist_arr[i]) - kth,
+                        )
+            else:
+                for group in groups:
+                    stats.groups_refined += 1
+                    dist_maps = group_distance_maps(network, group)
+                    group_interests = [
+                        social.user(uid).interests for uid in group
+                    ]
+                    frozen_group = frozenset(group)
+                    if ex is not None:
+                        ex.visit("refine.pairs", n_seeds)
+                    for seed_rank, seed in enumerate(seeds):
+                        if seed_dist[seed] >= kth:
+                            if ex is not None:
+                                ex.prune(
+                                    "refine.pairs", "pair.distance",
+                                    n_seeds - seed_rank,
+                                    seed_dist[seed] - kth,
+                                )
+                            break
+                        if ex is not None:
+                            ex.survive("refine.pairs")
+                        stats.pruning.candidate_pairs_examined += 1
+                        region_ids = self.road_index.region(
+                            seed, query.radius
+                        )
+                        result = best_region_for_seed(
+                            network, group_interests, dist_maps,
+                            seed, region_ids, query.theta,
+                        )
+                        if result is None:
+                            continue
+                        pois, value = result
+                        if (frozen_group, pois) in seen_pairs or value >= kth:
+                            continue
+                        accept(value, frozen_group, pois)
 
         return [
-            GPSSNAnswer(users=users, pois=pois, max_distance=value)
+            GPSSNAnswer(
+                users=frozenset(users), pois=frozenset(pois),
+                max_distance=value,
+            )
             for value, users, pois in best
         ]
 

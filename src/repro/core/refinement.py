@@ -30,13 +30,26 @@ POIs ordered by ``max_{u in S} dist_RN(u, o)``.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+import math
+from collections import OrderedDict
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from ..exceptions import UnknownEntityError
 from ..network import SpatialSocialNetwork
-from ..roadnet.shortest_path import position_distance_from_map
+from ..roadnet.shortest_path import PositionArrays, position_distance_from_map
 from .scores import interest_score, match_score
 
 
@@ -204,7 +217,12 @@ def best_region_for_seed(
     Returns:
         ``(R, maxdist_RN(S, R))`` for the feasible subset minimizing the
         max distance, or ``None`` when even the full ball fails the
-        matching threshold for some member.
+        matching threshold for some member. ``R`` is the *minimal*
+        feasible prefix: a scanned POI joins it only when it covers at
+        least one fresh topic (a coverage-redundant POI can never change
+        any member's score, and the deciding POI — the one that flips
+        the last member over ``theta`` — always contributes, so dropping
+        redundant POIs leaves the max distance unchanged).
     """
     # Distance of every region POI to the group.
     dmax = {
@@ -228,10 +246,10 @@ def best_region_for_seed(
     for pid in ordered:
         if pid in chosen:
             continue
-        chosen.add(pid)
         fresh = network.poi(pid).keywords - covered
         if not fresh:
             continue
+        chosen.add(pid)
         covered |= fresh
         for idx, w in enumerate(group_interests):
             gained = sum(float(w[f]) for f in fresh)
@@ -257,6 +275,291 @@ def exact_maxdist(
     return max(
         max_group_distance_to_poi(network, dist_maps, pid) for pid in pois
     )
+
+
+class BallArrays:
+    """Array image of one candidate ball ``⊙(o_seed, r)``.
+
+    Holds the ball's POIs (deduplicated, seed guaranteed present — the
+    same normalization the scalar ``dmax`` dict applies through key
+    insertion) as indices into the kernel's POI-order arrays, plus a
+    boolean keyword matrix view and the OR of all its rows (the full
+    ball's coverage, for the infeasibility gate).
+    """
+
+    __slots__ = (
+        "seed_poi", "poi_ids", "dense_idx", "seed_local", "seed_dense",
+        "keywords", "full_cover_f8",
+    )
+
+    def __init__(
+        self,
+        kernel: "PairKernel",
+        seed_poi: int,
+        region_poi_ids: Sequence[int],
+    ) -> None:
+        # First-occurrence dedup in region order, seed appended when
+        # absent: exactly the key order of the scalar dmax dict, which
+        # the stable distance sort below depends on for tie-breaking.
+        ids: List[int] = []
+        seen: Set[int] = set()
+        for pid in region_poi_ids:
+            if pid not in seen:
+                seen.add(pid)
+                ids.append(pid)
+        if seed_poi not in seen:
+            ids.append(seed_poi)
+        self.seed_poi = seed_poi
+        self.poi_ids = ids
+        poi_index = kernel.poi_index
+        self.dense_idx = np.fromiter(
+            (poi_index[pid] for pid in ids), dtype=np.int64, count=len(ids)
+        )
+        self.seed_local = ids.index(seed_poi)
+        self.seed_dense = poi_index[seed_poi]
+        self.keywords = kernel.keywords[self.dense_idx]
+        self.full_cover_f8 = (
+            self.keywords.any(axis=0).astype(np.float64)
+        )
+
+
+class GroupState:
+    """Per-(group, query) arrays shared across every seed evaluation.
+
+    Computed once per enumerated group and reused for all of its
+    (group, seed) pairs in the top-k loop:
+
+    * ``gmax`` — ``max_{u in S} dist_RN(u, o)`` for *every* POI (the
+      batched form of :func:`max_group_distance_to_poi`), a max-reduce
+      over the kernel's cached per-member distance rows;
+    * ``seed_feasible`` — for every POI, whether the seed *alone*
+      theta-matches every member (one matmul over the POI×topic matrix);
+      such pairs resolve in O(1) without any prefix scan.
+    """
+
+    __slots__ = ("frozen", "interests", "gmax", "seed_feasible", "theta")
+
+    def __init__(
+        self,
+        kernel: "PairKernel",
+        group: Iterable[int],
+        theta: float,
+    ) -> None:
+        members = sorted(group)
+        self.frozen = frozenset(members)
+        self.theta = theta
+        self.interests = np.stack(
+            [kernel.interest_vector(uid) for uid in members]
+        )
+        rows = [kernel.member_row(uid) for uid in members]
+        self.gmax = rows[0] if len(rows) == 1 else np.maximum.reduce(rows)
+        # Seed-only matching: the seed theta-matches the whole group iff
+        # it theta-matches every member — an AND over per-member POI
+        # feasibility arrays cached once per (user, theta) at the kernel
+        # (``min over members >= theta`` restated exactly).
+        feas = kernel.user_poi_feasible(members[0], theta)
+        for uid in members[1:]:
+            feas = feas & kernel.user_poi_feasible(uid, theta)
+        self.seed_feasible = feas
+
+
+class PairKernel:
+    """Vectorized evaluation of (group, seed) pairs (Lemma 5 / Eqs. 5-6).
+
+    The scalar refinement path costs one ``position_distance_from_map``
+    call per (member, POI) pair and a Python keyword scan per (group,
+    seed). This kernel restructures the work around dense arrays:
+
+    * one cached float64 distance row per *member* covering **all**
+      POIs (a gather over the member's dense SSSP vector from
+      :meth:`~repro.roadnet.shortest_path.DistanceOracle.dense_distances_from`);
+    * one max-reduce per *group* (:class:`GroupState`);
+    * per (group, seed) pair only O(1) gates plus — when the seed alone
+      is not enough — a stable argsort of the ball's gathered distances
+      and a cumulative-coverage matmul for the feasible-prefix scan.
+
+    Outcomes are identical to :func:`best_region_for_seed` (post
+    minimal-prefix fix): the distance values are bitwise-equal IEEE
+    expressions and the prefix order uses the same stable tie-breaking.
+    The scalar path remains in place as the correctness reference
+    (``refinement_kernel="scalar"`` on the query processor).
+    """
+
+    def __init__(self, network: SpatialSocialNetwork) -> None:
+        self.network = network
+        self.version = network.version
+        self.indexer = network.distances.vertex_indexer()
+        self.poi_ids: List[int] = network.poi_ids()
+        self.poi_index: Dict[int, int] = {
+            pid: i for i, pid in enumerate(self.poi_ids)
+        }
+        pois = [network.poi(pid) for pid in self.poi_ids]
+        self.positions = PositionArrays(
+            network.road, self.indexer, [p.position for p in pois]
+        )
+        d = network.num_keywords
+        keywords = np.zeros((len(pois), d), dtype=bool)
+        for i, poi in enumerate(pois):
+            for f in poi.keywords:
+                keywords[i, f] = True
+        self.keywords = keywords
+        self.keywords_f8 = keywords.astype(np.float64)
+        # Per-member distance rows, LRU-capped with the same budget as
+        # the oracle's map cache (a row is ~n_poi floats, far smaller
+        # than the SSSP map it derives from).
+        self._member_rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._member_rows_cap = network.distances.cache_size
+        self._balls: Dict[Hashable, BallArrays] = {}
+        self._user_positions: Optional[PositionArrays] = None
+        self._user_index: Optional[Dict[int, int]] = None
+        self._interest_vectors: Dict[int, np.ndarray] = {}
+        self._user_feasible: Dict[Tuple[int, float], np.ndarray] = {}
+
+    # -- cached per-entity arrays -------------------------------------
+
+    def member_row(self, uid: int) -> np.ndarray:
+        """``dist_RN(u, o)`` for every POI ``o``, cached per user.
+
+        Bitwise-identical to per-POI ``position_distance_from_map``
+        calls over the user's oracle map (same gather + IEEE min, same
+        same-edge correction), evaluated once for all POIs.
+        """
+        rows = self._member_rows
+        row = rows.get(uid)
+        if row is None:
+            network = self.network
+            user = network.social.user(uid)
+            dense = network.distances.dense_distances_from(
+                ("user", uid), user.home
+            )
+            row = self.positions.distances_from_dense(
+                network.road, dense, user.home
+            )
+            row.flags.writeable = False
+            rows[uid] = row
+            if len(rows) > self._member_rows_cap:
+                rows.popitem(last=False)
+        else:
+            rows.move_to_end(uid)
+        return row
+
+    def interest_vector(self, uid: int) -> np.ndarray:
+        """The user's interest weights as a cached float64 array."""
+        vec = self._interest_vectors.get(uid)
+        if vec is None:
+            vec = np.asarray(
+                self.network.social.user(uid).interests, dtype=np.float64
+            )
+            vec.flags.writeable = False
+            self._interest_vectors[uid] = vec
+        return vec
+
+    def user_poi_feasible(self, uid: int, theta: float) -> np.ndarray:
+        """Per-POI bool: does ``o``'s own keyword set theta-match ``uid``?
+
+        One matvec over the POI×topic matrix, cached per (user, theta);
+        group-level seed feasibility is the AND of its members' arrays.
+        """
+        key = (uid, theta)
+        arr = self._user_feasible.get(key)
+        if arr is None:
+            arr = (self.keywords_f8 @ self.interest_vector(uid)) >= theta
+            arr.flags.writeable = False
+            self._user_feasible[key] = arr
+        return arr
+
+    def user_positions(self) -> Tuple[PositionArrays, Dict[int, int]]:
+        """Array image of every user's home position (built lazily)."""
+        if self._user_positions is None:
+            social = self.network.social
+            uids = list(social.user_ids())
+            self._user_index = {uid: i for i, uid in enumerate(uids)}
+            self._user_positions = PositionArrays(
+                self.network.road, self.indexer,
+                [social.user(uid).home for uid in uids],
+            )
+        return self._user_positions, self._user_index
+
+    def ball(
+        self,
+        seed_poi: int,
+        region_poi_ids: Sequence[int],
+        cache_key: Optional[Hashable] = None,
+    ) -> BallArrays:
+        """Ball arrays for a seed's region, cached under ``cache_key``."""
+        if cache_key is not None:
+            cached = self._balls.get(cache_key)
+            if cached is not None:
+                return cached
+        arrays = BallArrays(self, seed_poi, region_poi_ids)
+        if cache_key is not None:
+            self._balls[cache_key] = arrays
+        return arrays
+
+    def group_state(
+        self, group: Iterable[int], theta: float
+    ) -> GroupState:
+        return GroupState(self, group, theta)
+
+    # -- the (group, seed) evaluation ---------------------------------
+
+    def best_region(
+        self,
+        ball: BallArrays,
+        state: GroupState,
+        skip_gates: bool = False,
+    ) -> Optional[Tuple[FrozenSet[int], float]]:
+        """Vectorized :func:`best_region_for_seed` for one pair.
+
+        Three exits, cheapest first: the seed alone already satisfies
+        every member (O(1) lookup into the group's precomputed gate);
+        the full ball cannot satisfy some member (one matvec); otherwise
+        the exact minimal feasible prefix via stable argsort +
+        cumulative coverage. The refinement loop batch-evaluates the
+        first two gates for a whole seed array per group and passes
+        ``skip_gates=True`` so only the prefix scan runs here.
+        """
+        theta = state.theta
+        if not skip_gates:
+            if state.seed_feasible[ball.seed_dense]:
+                return (
+                    frozenset((ball.seed_poi,)),
+                    float(state.gmax[ball.seed_dense]),
+                )
+            # Full-ball gate: the scan below can only cover what the
+            # whole ball covers; if that fails a member, no prefix can
+            # succeed.
+            full_scores = state.interests @ ball.full_cover_f8
+            if full_scores.min() < theta:
+                return None
+        dmax = state.gmax[ball.dense_idx]
+        order = np.argsort(dmax, kind="stable")
+        kw_ordered = ball.keywords[order]
+        seed_row = self.keywords[ball.seed_dense]
+        cum = np.logical_or.accumulate(kw_ordered, axis=0)
+        cum |= seed_row
+        scores = cum.astype(np.float64) @ state.interests.T
+        feasible = scores.min(axis=1) >= theta
+        if not feasible.any():
+            # Unreachable when the gate and the scan agree exactly;
+            # kept as a defensive consistent answer (ball infeasible).
+            return None
+        cut = int(np.argmax(feasible))
+        # A scanned POI joins R only when it contributes fresh topics
+        # relative to the coverage before it (seed topics included) —
+        # the minimal-prefix rule of the scalar reference.
+        prev = np.empty_like(cum[: cut + 1])
+        prev[0] = seed_row
+        if cut:
+            prev[1:] = cum[:cut]  # rows already include the seed topics
+        contributed = (kw_ordered[: cut + 1] & ~prev).any(axis=1)
+        chosen_local = order[: cut + 1][contributed]
+        poi_ids = ball.poi_ids
+        chosen = frozenset(poi_ids[i] for i in chosen_local) | {ball.seed_poi}
+        value = float(dmax[ball.seed_local])
+        if chosen_local.size:
+            value = max(value, float(dmax[chosen_local].max()))
+        return chosen, value
 
 
 def sample_connected_groups(
@@ -290,7 +593,11 @@ def sample_connected_groups(
         allowed: optional candidate whitelist (``S_cand``).
         score_fn: pairwise score (defaults to Eq. 1's dot product).
         max_attempts_factor: give up after
-            ``max_attempts_factor * num_samples`` failed expansions.
+            ``max_attempts_factor * num_samples`` *failed* expansions —
+            dead ends (the frontier dried up below ``tau``) and
+            duplicates of already-found groups. Successful expansions
+            that discover a new group never count against the budget, so
+            dense neighbourhoods are not silently under-sampled.
 
     Returns:
         Up to ``num_samples`` distinct valid groups (fewer when the
@@ -316,10 +623,9 @@ def sample_connected_groups(
         return interests[uid]
 
     found: Set[FrozenSet[int]] = set()
-    attempts = 0
+    failed_attempts = 0
     max_attempts = max_attempts_factor * max(num_samples, 1)
-    while len(found) < num_samples and attempts < max_attempts:
-        attempts += 1
+    while len(found) < num_samples and failed_attempts < max_attempts:
         group = [query_user]
         member_set = {query_user}
         frontier = [
@@ -341,5 +647,11 @@ def sample_connected_groups(
                 if nbr not in member_set and permitted(nbr):
                     frontier.append(nbr)
         if len(group) == tau:
-            found.add(frozenset(group))
+            candidate_group = frozenset(group)
+            if candidate_group in found:
+                failed_attempts += 1  # duplicate: no progress made
+            else:
+                found.add(candidate_group)
+        else:
+            failed_attempts += 1  # dead end: frontier dried up below tau
     return sorted(found, key=sorted)

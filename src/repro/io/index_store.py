@@ -127,6 +127,11 @@ def load_processor(
     processor.r_min = float(document["r_min"])
     processor.r_max = float(document["r_max"])
     processor._built_version = network.version
+    # Kernel selection is runtime strategy, not persisted index state:
+    # revived processors get the default vectorized path (and rebuild
+    # the PairKernel lazily like a freshly constructed one).
+    processor.refinement_kernel = "vector"
+    processor._kernel = None
     processor._build_args = dict(
         num_road_pivots=road_pivots.num_pivots,
         num_social_pivots=social_pivots.num_pivots,
@@ -135,5 +140,6 @@ def load_processor(
         distance_engine=(
             engine_doc["name"] if engine_doc is not None else None
         ),
+        refinement_kernel="vector",
     )
     return processor

@@ -177,6 +177,31 @@ class ExplainRecorder:
         if margin is not None and math.isfinite(margin):
             stats.margins.observe(margin)
 
+    def prune_batch(self, phase: str, rule: str, margins) -> None:
+        """Record one pruned candidate per entry of ``margins``.
+
+        The vectorized pruning kernels decide a whole batch at once;
+        this folds the batch into the same state N individual
+        :meth:`prune` calls would produce — the count grows by
+        ``len(margins)`` and each finite margin is observed in order, so
+        the reservoir ends up identical to the scalar event stream.
+        """
+        n = len(margins)
+        if not n:
+            return
+        funnel = self.phase(phase)
+        stats = funnel.rules.get(rule)
+        if stats is None:
+            stats = funnel.rules[rule] = RuleStats(
+                rule, self._max_margin_samples
+            )
+        stats.pruned += n
+        observe = stats.margins.observe
+        for margin in margins:
+            margin = float(margin)
+            if math.isfinite(margin):
+                observe(margin)
+
     def rule_counts(self) -> Dict[str, int]:
         """Total pruned per rule id, summed over phases."""
         totals: Dict[str, int] = {}
@@ -218,6 +243,9 @@ class NullExplain:
         count: int = 1,
         margin: Optional[float] = None,
     ) -> None:
+        return None
+
+    def prune_batch(self, phase: str, rule: str, margins) -> None:
         return None
 
     def rule_counts(self) -> Dict[str, int]:

@@ -191,16 +191,18 @@ class CSRGraph:
             )
         return self._sp_matrix
 
-    def _scipy_sssp(
+    def _scipy_dense(
         self,
         seeds: Sequence[Tuple[int, float]],
         max_distance: float,
-    ) -> Dict[int, float]:
+    ) -> np.ndarray:
         """Seeded multi-source SSSP as a min-reduction over scipy rows.
 
         ``min_k (d0_k + dist_from_seed_k(x))`` equals the seeded
         multi-source result; each row is one C Dijkstra with its limit
-        tightened by the seed's initial offset.
+        tightened by the seed's initial offset. Returns the dense
+        per-vertex float64 row in internal-index order (inf = out of
+        reach / beyond the bound).
         """
         best = None
         for idx, d0 in seeds:
@@ -214,12 +216,23 @@ class CSRGraph:
             row = row + d0
             best = row if best is None else np.minimum(best, row)
         if best is None:
-            return {}
+            return np.full(self.num_vertices, math.inf, dtype=np.float64)
+        return best
+
+    def _scipy_sssp(
+        self,
+        seeds: Sequence[Tuple[int, float]],
+        max_distance: float,
+    ) -> Dict[int, float]:
+        best = self._scipy_dense(seeds, max_distance)
         ids = self.ids
         return {
             ids[int(i)]: float(best[i])
             for i in np.flatnonzero(np.isfinite(best))
         }
+
+    def _use_scipy(self) -> bool:
+        return HAVE_SCIPY and self.num_vertices >= SCIPY_MIN_VERTICES
 
     def sssp(
         self,
@@ -230,8 +243,23 @@ class CSRGraph:
         kernel's :func:`~repro.roadnet.shortest_path.multi_source_dijkstra`).
         """
         internal = self.internal_seeds(seeds)
-        if HAVE_SCIPY and self.num_vertices >= SCIPY_MIN_VERTICES:
+        if self._use_scipy():
             return self._scipy_sssp(internal, max_distance)
         out = self.kernel(internal, max_distance)
         ids = self.ids
         return {ids[i]: d for i, d in out.items()}
+
+    def sssp_dense(
+        self,
+        seeds: Iterable[Tuple[int, float]],
+        max_distance: float = math.inf,
+    ) -> Optional[np.ndarray]:
+        """Seeded SSSP as a dense per-vertex row in ``ids`` order.
+
+        Only the scipy path serves this natively; on the Python-kernel
+        path ``None`` is returned and callers densify the dict result
+        themselves (the marshalling there costs more than it saves).
+        """
+        if not self._use_scipy():
+            return None
+        return self._scipy_dense(self.internal_seeds(seeds), max_distance)

@@ -77,6 +77,22 @@ class DistanceEngine:
         """``vertex_id -> distance`` map from ``(vertex, d0)`` seeds."""
         raise NotImplementedError
 
+    def sssp_dense(
+        self,
+        seeds: Iterable[Tuple[int, float]],
+        max_distance: float = math.inf,
+    ):
+        """Optional dense form of :meth:`sssp` for vectorized callers.
+
+        Returns a float64 per-vertex distance row in the road network's
+        vertex iteration order (``inf`` = unreached), or ``None`` when
+        the engine has no native dense path — the caller then falls back
+        to densifying the dict result. Engines whose kernels already
+        produce a dense row (the scipy CSR path) override this to skip a
+        dict round-trip.
+        """
+        return None
+
     def point_to_point(
         self, pos_a: NetworkPosition, pos_b: NetworkPosition
     ) -> float:
@@ -139,6 +155,15 @@ class CSREngine(DistanceEngine):
         max_distance: float = math.inf,
     ) -> Dict[int, float]:
         return self.graph().sssp(seeds, max_distance)
+
+    def sssp_dense(
+        self,
+        seeds: Iterable[Tuple[int, float]],
+        max_distance: float = math.inf,
+    ):
+        # CSRGraph freezes vertices in road iteration order — the same
+        # order VertexIndexer uses — so the row needs no remap.
+        return self.graph().sssp_dense(seeds, max_distance)
 
     def _position_seeds_internal(
         self, graph: CSRGraph, pos: NetworkPosition

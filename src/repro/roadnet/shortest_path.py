@@ -23,7 +23,18 @@ from __future__ import annotations
 import heapq
 import math
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from ..config import DEFAULT_DISTANCE_CACHE_SIZE
 from ..exceptions import UnknownEntityError
@@ -119,6 +130,126 @@ def direct_edge_distance(
     return abs(a - pos_b.offset)
 
 
+class VertexIndexer:
+    """A dense ``0..n-1`` remap of road vertex ids (iteration order).
+
+    The vectorized refinement kernels replace per-vertex dict lookups
+    with array gathers; this is the shared id <-> index contract. The
+    order is ``list(road.vertices())`` — identical to the order
+    :class:`~repro.roadnet.csr.CSRGraph` freezes, so dense rows coming
+    out of the scipy Dijkstra path line up without a remap.
+    """
+
+    __slots__ = ("ids", "index_of", "size", "road_version", "_identity")
+
+    def __init__(self, road: RoadNetwork) -> None:
+        self.ids: List[int] = list(road.vertices())
+        self.index_of: Dict[int, int] = {
+            vid: i for i, vid in enumerate(self.ids)
+        }
+        self.size = len(self.ids)
+        self.road_version = road.version
+        # Synthetic datasets label vertices 0..n-1 already; when the id
+        # space is dense the keys of a distance map can be used as
+        # indices directly, skipping the per-key dict hop.
+        self._identity = all(vid == i for i, vid in enumerate(self.ids))
+
+    def dense_distances(self, dist_map: Dict[int, float]) -> np.ndarray:
+        """``dist_map`` as a float64 array in indexer order (inf = absent)."""
+        arr = np.full(self.size, math.inf, dtype=np.float64)
+        n = len(dist_map)
+        if not n:
+            return arr
+        if self._identity:
+            idx = np.fromiter(dist_map.keys(), dtype=np.int64, count=n)
+        else:
+            index_of = self.index_of
+            idx = np.fromiter(
+                (index_of[v] for v in dist_map), dtype=np.int64, count=n
+            )
+        arr[idx] = np.fromiter(dist_map.values(), dtype=np.float64, count=n)
+        return arr
+
+
+class PositionArrays:
+    """Array image of a fixed sequence of network positions.
+
+    Mirrors :func:`position_distance_from_map` over the whole sequence
+    at once: given a dense vertex-distance vector, the distance to every
+    position is one fused gather/min expression. The same-edge
+    correction (the scalar function's ``source_pos`` branch) stays
+    scalar but only runs for the — typically zero or one — positions
+    sharing the source's edge.
+    """
+
+    __slots__ = (
+        "positions", "u_idx", "v_idx", "offset", "rem",
+        "edge_min", "edge_max",
+    )
+
+    def __init__(
+        self,
+        road: RoadNetwork,
+        indexer: VertexIndexer,
+        positions: Sequence[NetworkPosition],
+    ) -> None:
+        n = len(positions)
+        self.positions: Tuple[NetworkPosition, ...] = tuple(positions)
+        self.u_idx = np.empty(n, dtype=np.int64)
+        self.v_idx = np.empty(n, dtype=np.int64)
+        self.offset = np.empty(n, dtype=np.float64)
+        self.rem = np.empty(n, dtype=np.float64)
+        self.edge_min = np.empty(n, dtype=np.int64)
+        self.edge_max = np.empty(n, dtype=np.int64)
+        index_of = indexer.index_of
+        for i, pos in enumerate(positions):
+            length = road.edge_length(pos.u, pos.v)
+            self.u_idx[i] = index_of[pos.u]
+            self.v_idx[i] = index_of[pos.v]
+            self.offset[i] = pos.offset
+            self.rem[i] = length - pos.offset
+            if pos.u <= pos.v:
+                self.edge_min[i] = pos.u
+                self.edge_max[i] = pos.v
+            else:
+                self.edge_min[i] = pos.v
+                self.edge_max[i] = pos.u
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def distances_from_dense(
+        self,
+        road: RoadNetwork,
+        dense: np.ndarray,
+        source_pos: Optional[NetworkPosition] = None,
+    ) -> np.ndarray:
+        """Distance to every position given dense vertex distances.
+
+        Bitwise-identical to calling :func:`position_distance_from_map`
+        per position: the per-element expression is the same IEEE
+        ``min(d[u] + offset, d[v] + (len - offset))``, and the same-edge
+        correction applies :func:`direct_edge_distance` to exactly the
+        positions the scalar branch would.
+        """
+        best = np.minimum(
+            dense[self.u_idx] + self.offset, dense[self.v_idx] + self.rem
+        )
+        if source_pos is not None:
+            a, b = source_pos.u, source_pos.v
+            if a > b:
+                a, b = b, a
+            mask = (self.edge_min == a) & (self.edge_max == b)
+            if mask.any():
+                for i in np.flatnonzero(mask):
+                    direct = direct_edge_distance(
+                        road, source_pos, self.positions[i]
+                    )
+                    if direct < best[i]:
+                        best[i] = direct
+        return best
+
+
 def position_distance_from_map(
     road: RoadNetwork,
     dist_map: Dict[int, float],
@@ -174,6 +305,15 @@ class DistanceOracle:
             engine = PlainEngine(road)
         self.engine = engine
         self._cache: "OrderedDict[Hashable, Dict[int, float]]" = OrderedDict()
+        # Dense companions to cached maps, for the vectorized kernels:
+        # key -> (dict the row was built from, float64 row in indexer
+        # order). The dict reference guards staleness — when the main
+        # LRU replaces an entry, the identity check fails and the row is
+        # rebuilt.
+        self._dense_cache: Dict[
+            Hashable, Tuple[Dict[int, float], np.ndarray]
+        ] = {}
+        self._indexer: Optional[VertexIndexer] = None
         #: number of full searches actually executed (for tests/benchmarks)
         self.searches_run = 0
         #: lookups served from the cache without a search; together with
@@ -186,6 +326,14 @@ class DistanceOracle:
         """Fraction of map requests served from the cache (0 when idle)."""
         total = self.searches_run + self.cache_hits
         return self.cache_hits / total if total else 0.0
+
+    def vertex_indexer(self) -> VertexIndexer:
+        """The dense vertex remap for this road network (version-checked)."""
+        indexer = self._indexer
+        if indexer is None or indexer.road_version != self.road.version:
+            indexer = self._indexer = VertexIndexer(self.road)
+            self._dense_cache.clear()
+        return indexer
 
     def distances_from(
         self, key: Hashable, pos: NetworkPosition
@@ -200,8 +348,52 @@ class DistanceOracle:
         self.searches_run += 1
         self._cache[key] = dist_map
         if len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+            evicted_key, _ = self._cache.popitem(last=False)
+            self._dense_cache.pop(evicted_key, None)
         return dist_map
+
+    def dense_distances_from(
+        self, key: Hashable, pos: NetworkPosition
+    ) -> np.ndarray:
+        """Dense (indexer-order) vertex distances from ``pos``.
+
+        Shares the dict cache and hit/miss accounting with
+        :meth:`distances_from` — a dense request for a cached source is
+        a cache hit, a miss runs exactly one engine search — and keeps a
+        dense side-row per cached entry. When the engine can hand back
+        the dense row directly (the scipy CSR path), the dict is rebuilt
+        from it instead of the other way round, skipping a marshalling
+        pass.
+        """
+        indexer = self.vertex_indexer()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            dense_entry = self._dense_cache.get(key)
+            if dense_entry is not None and dense_entry[0] is cached:
+                return dense_entry[1]
+            row = indexer.dense_distances(cached)
+            self._dense_cache[key] = (cached, row)
+            return row
+        seeds = position_seeds(self.road, pos)
+        row = self.engine.sssp_dense(seeds)
+        if row is None:
+            dist_map = self.engine.sssp(seeds)
+            row = indexer.dense_distances(dist_map)
+        else:
+            ids = indexer.ids
+            dist_map = {
+                ids[int(i)]: float(row[i])
+                for i in np.flatnonzero(np.isfinite(row))
+            }
+        self.searches_run += 1
+        self._cache[key] = dist_map
+        self._dense_cache[key] = (dist_map, row)
+        if len(self._cache) > self.cache_size:
+            evicted_key, _ = self._cache.popitem(last=False)
+            self._dense_cache.pop(evicted_key, None)
+        return row
 
     def distance(
         self,
@@ -233,6 +425,7 @@ class DistanceOracle:
 
     def clear(self) -> None:
         self._cache.clear()
+        self._dense_cache.clear()
 
 
 def bidirectional_dijkstra(

@@ -12,7 +12,14 @@ distance maps. The planner exploits both *before* any worker starts:
   then by the parameter tuple) and cut into one contiguous shard per
   worker, so repeated and near-identical issuers land on the same
   worker and hit its warm :class:`~repro.roadnet.shortest_path.DistanceOracle`
-  cache instead of re-running Dijkstra in another process.
+  cache instead of re-running Dijkstra in another process;
+* **SSSP sharing beyond dedupe** — two *different* queries from the same
+  issuer still start from the same source vertex, so they reuse the same
+  ``distances_from`` map. Shard cuts therefore snap to issuer boundaries
+  (within half a shard of the balanced cut) so one issuer's SSSP is
+  never recomputed on two workers, and the plan reports how many unique
+  queries ride a shard-mate's map (:attr:`BatchPlan.sssp_shared`) so the
+  executor can surface the saving as a metric.
 
 The plan is deterministic for a given input order and worker count, and
 — because every worker computes the same answers a serial replay would —
@@ -74,6 +81,30 @@ class BatchPlan:
         """Queries the plan answers by fan-out instead of execution."""
         return self.num_queries - self.num_unique
 
+    def shard_issuers(self, shard_idx: int) -> Tuple[int, ...]:
+        """Distinct issuer ids of one shard, in shard (execution) order.
+
+        Workers prewarm exactly these SSSP sources before answering the
+        shard, so every query starts against a warm issuer map.
+        """
+        seen: Dict[int, None] = {}
+        for item_idx in self.shards[shard_idx]:
+            seen.setdefault(self.items[item_idx].query.query_user, None)
+        return tuple(seen)
+
+    @property
+    def sssp_shared(self) -> int:
+        """Unique queries that reuse a shard-mate's issuer SSSP map.
+
+        Dedupe collapses *identical* queries; this counts the sharing
+        one level up — distinct queries whose issuer already ran its
+        single-source search earlier in the same shard.
+        """
+        return sum(
+            len(shard) - len(self.shard_issuers(idx))
+            for idx, shard in enumerate(self.shards)
+        )
+
 
 def plan_batch(
     entries: Sequence[Tuple[GPSSNQuery, Optional[int]]],
@@ -111,13 +142,57 @@ def plan_batch(
     )
 
     num_shards = max(1, min(workers, len(items)))
-    base, extra = divmod(len(items), num_shards)
+    cuts = _issuer_aligned_cuts(
+        [item.query.query_user for item in items], num_shards
+    )
     shards: List[Tuple[int, ...]] = []
     cursor = 0
-    for shard_idx in range(num_shards):
-        size = base + (1 if shard_idx < extra else 0)
-        shards.append(tuple(range(cursor, cursor + size)))
-        cursor += size
+    for end in cuts:
+        shards.append(tuple(range(cursor, end)))
+        cursor = end
     return BatchPlan(
         items=items, shards=tuple(shards), num_queries=len(entries)
     )
+
+
+def _issuer_aligned_cuts(issuers: List[int], num_shards: int) -> List[int]:
+    """Shard end-indices: count-balanced cuts snapped to issuer boundaries.
+
+    Starts from the balanced ``divmod`` cut positions and moves each cut
+    to the nearest position where the issuer changes (searching outward,
+    nearer side first, ties to the left), within half an ideal shard of
+    the balanced spot — one issuer's queries then stay on one worker and
+    its SSSP map is computed exactly once. A cut splitting an issuer is
+    kept only when no boundary exists in the window (a single issuer
+    larger than the window). Every shard stays non-empty and the cuts
+    stay strictly increasing, so outcomes and coverage are unaffected.
+    """
+    n = len(issuers)
+    base, extra = divmod(n, num_shards)
+    ideal: List[int] = []
+    cursor = 0
+    for shard_idx in range(num_shards - 1):
+        cursor += base + (1 if shard_idx < extra else 0)
+        ideal.append(cursor)
+    window = max(1, base // 2)
+    cuts: List[int] = []
+    prev = 0
+    for rank, spot in enumerate(ideal):
+        # Later cuts still need room for one item per remaining shard.
+        lo = prev + 1
+        hi = n - (num_shards - 1 - rank)
+        spot = min(max(spot, lo), hi)
+        best = spot
+        if issuers[spot - 1] == issuers[spot]:
+            for off in range(1, window + 1):
+                left, right = spot - off, spot + off
+                if left >= lo and issuers[left - 1] != issuers[left]:
+                    best = left
+                    break
+                if right <= hi and issuers[right - 1] != issuers[right]:
+                    best = right
+                    break
+        cuts.append(best)
+        prev = best
+    cuts.append(n)
+    return cuts

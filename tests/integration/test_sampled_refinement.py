@@ -69,6 +69,45 @@ class TestSampling:
         )
         assert a == b
 
+    def test_successes_do_not_consume_attempt_budget(self, setup):
+        """S2 regression: the attempt budget only counts failures.
+
+        With ``max_attempts_factor=1`` the budget is ``num_samples``
+        failed expansions. Before the fix *every* expansion counted, so
+        a rich neighbourhood (user 0 has many compatible friends) would
+        stop far short of ``num_samples`` distinct groups even though
+        sampling never hit a dead end. After the fix the sampler keeps
+        going as long as it makes progress.
+        """
+        network, _, _ = setup
+        num_samples = 12
+        groups = sample_connected_groups(
+            network, 0, tau=3, gamma=0.0,
+            rng=np.random.default_rng(3),
+            num_samples=num_samples,
+            max_attempts_factor=1,
+        )
+        # Sanity: the neighbourhood really is rich enough.
+        plenty = sample_connected_groups(
+            network, 0, tau=3, gamma=0.0,
+            rng=np.random.default_rng(3),
+            num_samples=num_samples,
+            max_attempts_factor=100,
+        )
+        assert len(plenty) == num_samples
+        assert len(groups) == num_samples
+
+    def test_terminates_when_fewer_groups_exist(self, tiny_network):
+        """The failure budget still bounds the loop: user 4's only
+        tau=2 group is {4, 5}; asking for more must return just it."""
+        groups = sample_connected_groups(
+            tiny_network, 4, tau=2, gamma=0.0,
+            rng=np.random.default_rng(0),
+            num_samples=5,
+            max_attempts_factor=2,
+        )
+        assert groups == [frozenset({4, 5})]
+
 
 class TestAnswerSampled:
     def test_sampled_answer_is_valid_and_at_least_optimum(self, setup):

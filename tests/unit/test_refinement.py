@@ -16,6 +16,12 @@ from repro.core.scores import interest_score, match_score
 from repro.exceptions import UnknownEntityError
 from repro.datagen.synthetic import uni_dataset
 
+# Shared across the S1 minimality property examples (dataset build
+# dominates runtime; hypothesis draws queries, not networks).
+_MINIMALITY_NETWORK = uni_dataset(
+    num_road_vertices=80, num_pois=25, num_users=50, seed=17
+)
+
 
 def brute_force_groups(network, query_user, tau, gamma):
     """Reference enumeration: all tau-subsets, filtered."""
@@ -189,6 +195,94 @@ class TestBestRegion:
         else:
             assert result is not None
             assert result[1] == pytest.approx(best)
+
+    def _assert_minimal(self, network, maps, seed, pois):
+        """Every chosen non-seed POI must contribute a fresh topic.
+
+        The fresh-topics rule implies: a chosen POI's keywords are never
+        covered by the seed plus the strictly-closer chosen POIs (else
+        nothing about it was fresh when the scan reached it). This holds
+        regardless of how ties were ordered, so it is safe to assert
+        without reconstructing the scan.
+        """
+        dmax = {p: max_group_distance_to_poi(network, maps, p) for p in pois}
+        seed_kw = network.poi(seed).keywords
+        for p in pois:
+            if p == seed:
+                continue
+            closer_cover = frozenset(seed_kw).union(
+                *(
+                    network.poi(q).keywords
+                    for q in pois
+                    if q != p and dmax[q] < dmax[p]
+                ),
+            )
+            assert not network.poi(p).keywords <= closer_cover, (
+                f"POI {p} is coverage-redundant in region {sorted(pois)}"
+            )
+
+    def test_region_is_minimal_no_redundant_poi(self, tiny_network):
+        """S1 regression: a closer POI whose keywords add nothing fresh
+        must not ride into the region on distance order alone."""
+        group = [0, 3]
+        # Seed POI 3 ({1, 2}) alone fails user 0 (score 0.1 < theta);
+        # only POIs contributing topic 0 (POIs 0 and 2) can complete it.
+        # POIs 1 ({1}) and 4 ({2}) are strictly redundant and must be
+        # excluded no matter how close they are.
+        maps, interests, region = self._setup(tiny_network, group, 3, 100.0)
+        assert set(region) == {0, 1, 2, 3, 4}
+        result = best_region_for_seed(
+            tiny_network, interests, maps, 3, region, theta=0.5
+        )
+        assert result is not None
+        pois, value = result
+        assert 3 in pois
+        assert pois <= {0, 2, 3}
+        assert len(pois) == 2  # seed + exactly one topic-0 provider
+        self._assert_minimal(tiny_network, maps, 3, pois)
+        assert value == pytest.approx(exact_maxdist(tiny_network, group, pois))
+
+    def test_minimality_sweep_tiny(self, tiny_network):
+        for group in ([0, 1], [0, 3], [0, 1, 2], [4, 5]):
+            maps = group_distance_maps(tiny_network, group)
+            interests = [
+                tiny_network.social.user(u).interests for u in group
+            ]
+            for seed in tiny_network.poi_ids():
+                region = tiny_network.pois_within(seed, 25.0)
+                for theta in (0.1, 0.3, 0.5, 0.8):
+                    result = best_region_for_seed(
+                        tiny_network, interests, maps, seed, region, theta
+                    )
+                    if result is None:
+                        continue
+                    self._assert_minimal(tiny_network, maps, seed, result[0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed_idx=st.integers(0, 24),
+        uid=st.integers(0, 49),
+        theta=st.sampled_from([0.2, 0.4, 0.6]),
+        radius=st.sampled_from([5.0, 15.0, 40.0]),
+    )
+    def test_minimality_property_random_network(
+        self, seed_idx, uid, theta, radius
+    ):
+        network = _MINIMALITY_NETWORK
+        group = [uid, (uid + 7) % 50]
+        maps = group_distance_maps(network, group)
+        interests = [network.social.user(u).interests for u in group]
+        seed = network.poi_ids()[seed_idx]
+        region = network.pois_within(seed, radius)
+        result = best_region_for_seed(
+            network, interests, maps, seed, region, theta
+        )
+        if result is not None:
+            self._assert_minimal(network, maps, seed, result[0])
+            pois, value = result
+            assert value == pytest.approx(
+                exact_maxdist(network, group, pois)
+            )
 
     def test_zero_theta_returns_seed_only(self, tiny_network):
         group = [0]

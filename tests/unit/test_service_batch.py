@@ -77,3 +77,82 @@ class TestPlanBatch:
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError):
             plan_batch([(q(1), None)], workers=0)
+
+
+def distinct_queries(user, n):
+    """``n`` distinct (non-dedupable) queries from one issuer."""
+    return [(q(user, tau=2 + i), None) for i in range(n)]
+
+
+class TestIssuerAlignment:
+    """Shard cuts snap to issuer boundaries (SSSP sharing beyond dedupe)."""
+
+    def test_cut_moves_off_an_issuer_run(self):
+        # Issuers in plan order: [1, 1, 2, 2, 2]. The balanced cut (at
+        # 3) would split issuer 2 across workers; snapping moves it to
+        # the boundary at 2 so each issuer's SSSP runs on one worker.
+        entries = distinct_queries(1, 2) + distinct_queries(2, 3)
+        plan = plan_batch(entries, workers=2)
+        issuer_shards = {}
+        for idx, shard in enumerate(plan.shards):
+            for item_idx in shard:
+                issuer = plan.items[item_idx].query.query_user
+                issuer_shards.setdefault(issuer, set()).add(idx)
+        assert all(len(s) == 1 for s in issuer_shards.values())
+        assert [len(s) for s in plan.shards] == [2, 3]
+
+    def test_alignment_preserves_coverage_and_contiguity(self):
+        entries = (
+            distinct_queries(1, 3) + distinct_queries(2, 4)
+            + distinct_queries(3, 2) + distinct_queries(4, 5)
+        )
+        plan = plan_batch(entries, workers=3)
+        flat = [i for shard in plan.shards for i in shard]
+        assert flat == list(range(len(plan.items)))
+        assert all(shard for shard in plan.shards)
+
+    def test_oversized_issuer_still_splits(self):
+        # A single issuer larger than the snap window cannot fit one
+        # worker without starving the rest; the balanced cut stands.
+        entries = distinct_queries(1, 8)
+        plan = plan_batch(entries, workers=2)
+        assert [len(shard) for shard in plan.shards] == [4, 4]
+
+    def test_shard_issuers_distinct_in_order(self):
+        entries = distinct_queries(2, 3) + distinct_queries(5, 2)
+        plan = plan_batch(entries, workers=1)
+        assert plan.shard_issuers(0) == (2, 5)
+
+    def test_sssp_shared_counts_repeat_issuers_per_shard(self):
+        # One worker: issuer 1 contributes 3 distinct queries (2 reuse
+        # its map) and issuer 2 contributes 1 (no reuse).
+        entries = distinct_queries(1, 3) + distinct_queries(2, 1)
+        plan = plan_batch(entries, workers=1)
+        assert plan.sssp_shared == 2
+
+    def test_sssp_shared_zero_when_issuers_unique(self):
+        entries = [(q(u), None) for u in range(6)]
+        plan = plan_batch(entries, workers=2)
+        assert plan.sssp_shared == 0
+
+    def test_split_issuer_reduces_sharing(self):
+        # The oversized-issuer split computes issuer 1's SSSP on both
+        # workers: 8 queries over 2 shards share 3 + 3 maps, not 7.
+        entries = distinct_queries(1, 8)
+        plan = plan_batch(entries, workers=2)
+        assert plan.sssp_shared == 6
+
+    def test_dedupe_and_alignment_compose(self):
+        entries = (
+            distinct_queries(1, 2) * 2          # exact duplicates
+            + distinct_queries(2, 3)
+        )
+        plan = plan_batch(entries, workers=2)
+        assert plan.duplicates_saved == 2
+        assert plan.num_unique == 5
+        issuer_shards = {}
+        for idx, shard in enumerate(plan.shards):
+            for item_idx in shard:
+                issuer = plan.items[item_idx].query.query_user
+                issuer_shards.setdefault(issuer, set()).add(idx)
+        assert all(len(s) == 1 for s in issuer_shards.values())
