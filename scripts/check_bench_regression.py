@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Guard the pruning-power and kernel-speedup trajectories of the suite.
+"""Guard the pruning-power, kernel-speedup, and serve-overhead gates.
 
-Two independent gates, both blocking in CI:
+Three independent gates, all blocking in CI:
 
 * **pruning power** — compares a freshly generated
   ``BENCH_pruning_funnel.json`` against the committed baseline and
@@ -16,13 +16,20 @@ Two independent gates, both blocking in CI:
   dataset. Scalar and vector run on the same machine in the same
   process, so the *ratio* is stable even though the absolute times are
   not.
+* **serve overhead** — validates a ``BENCH_serve.json`` (``--serve``):
+  the full-observability service path must stay within the payload's
+  committed ``max_overhead`` fraction of bare execution, and the two
+  paths must have produced byte-identical outcome lines. Like the
+  kernel gate, both sides ran interleaved in the same process, so the
+  ratio survives machine-to-machine noise.
 
 Usage::
 
     python scripts/check_bench_regression.py \
         --baseline benchmarks/results/BENCH_pruning_funnel.json \
         --current  /tmp/BENCH_pruning_funnel.json \
-        --pair-kernel benchmarks/results/BENCH_pair_kernel.json
+        --pair-kernel benchmarks/results/BENCH_pair_kernel.json \
+        --serve benchmarks/results/BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -95,6 +102,35 @@ def compare_pair_kernel(
     return failures
 
 
+def compare_serve(payload: dict, max_overhead: float = None) -> List[str]:
+    """Return one message per violated serve-gate invariant (empty list
+    = gate passes).
+
+    The ceiling defaults to the payload's own committed ``max_overhead``
+    (what the benchmark asserted when the baseline was written), so CI
+    needs no out-of-band configuration.
+    """
+    if max_overhead is None:
+        max_overhead = float(payload.get("max_overhead", 0.05))
+    failures: List[str] = []
+    overhead = payload.get("overhead")
+    if overhead is None:
+        failures.append("serve: no overhead recorded")
+    elif overhead > max_overhead:
+        failures.append(
+            f"serve: observability plane costs {overhead:+.1%} over bare "
+            f"execution ({payload.get('bare_sec', 0):.3f} s -> "
+            f"{payload.get('service_sec', 0):.3f} s), above the "
+            f"{max_overhead:.0%} ceiling"
+        )
+    if payload.get("outcomes_match") is not True:
+        failures.append(
+            "serve: service outcomes diverged from bare execution "
+            "(outcomes_match is not true)"
+        )
+    return failures
+
+
 def latency_report(baseline: dict, current: dict) -> List[str]:
     """Informational per-dataset latency drift lines (never failing)."""
     lines: List[str] = []
@@ -140,13 +176,22 @@ def main(argv=None) -> int:
         "--min-speedup", type=float, default=None,
         help="override the pair-kernel payload's committed speedup floor",
     )
+    parser.add_argument(
+        "--serve",
+        help="BENCH_serve.json to validate against its overhead ceiling",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=None,
+        help="override the serve payload's committed overhead ceiling",
+    )
     args = parser.parse_args(argv)
 
     if bool(args.baseline) != bool(args.current):
         parser.error("--baseline and --current must be given together")
-    if not args.baseline and not args.pair_kernel:
+    if not args.baseline and not args.pair_kernel and not args.serve:
         parser.error(
-            "nothing to check: give --baseline/--current and/or --pair-kernel"
+            "nothing to check: give --baseline/--current, --pair-kernel, "
+            "and/or --serve"
         )
 
     failures: List[str] = []
@@ -182,6 +227,26 @@ def main(argv=None) -> int:
                 )
             print("pair-kernel speedup above its committed floor")
         failures.extend(pair_failures)
+
+    if args.serve:
+        with open(args.serve, encoding="utf-8") as fp:
+            serve_payload = json.load(fp)
+        serve_failures = compare_serve(
+            serve_payload, max_overhead=args.max_overhead
+        )
+        if not serve_failures:
+            ceiling = (
+                args.max_overhead
+                if args.max_overhead is not None
+                else serve_payload.get("max_overhead", 0.05)
+            )
+            print(
+                f"[serve] observability overhead "
+                f"{serve_payload.get('overhead', 0):+.1%} "
+                f"(ceiling {float(ceiling):.0%}), outcomes byte-identical"
+            )
+            print("serve overhead within its committed ceiling")
+        failures.extend(serve_failures)
 
     if failures:
         for message in failures:

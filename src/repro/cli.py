@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the everyday workflow:
+Nine subcommands cover the everyday workflow:
 
 * ``gpssn generate`` — build a synthetic or simulated-real spatial-social
   network and save it as a JSON bundle;
@@ -10,6 +10,11 @@ Eight subcommands cover the everyday workflow:
 * ``gpssn batch`` — answer a JSONL file of queries concurrently through
   the batch executor (``--workers N``, serial/thread/process backends)
   and write JSONL outcomes;
+* ``gpssn serve`` — run the long-lived query daemon: ``POST /query``
+  (same JSONL schema as ``batch``) on a warm worker pool with admission
+  control, plus the live observability plane (``/metrics`` Prometheus
+  exposition, ``/healthz``, ``/readyz``, ``/status`` dashboard,
+  ``?trace=1`` request tracing);
 * ``gpssn explain`` — answer the same query with the pruning funnel
   recorded and print the EXPLAIN ANALYZE report (``--json`` for the
   machine-readable document);
@@ -56,7 +61,14 @@ from .obs import (
     prometheus_text,
     write_trace_jsonl,
 )
-from .service import BACKENDS, BatchQueryExecutor, ExecutionLimits
+from .service import (
+    BACKENDS,
+    BatchQueryExecutor,
+    ExecutionLimits,
+    ProtocolError,
+    outcome_lines,
+    parse_query_lines,
+)
 
 #: Exit codes (0 = success, 1 = unexpected error, the rest diagnostic).
 EXIT_OK = 0
@@ -214,6 +226,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write batch/worker metrics in Prometheus text format",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived query daemon with the live "
+        "observability plane (/query, /metrics, /healthz, /readyz, "
+        "/status)",
+    )
+    serve.add_argument("--input", required=True, help="bundle path (.json)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 picks a free one and prints it)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="warm query workers (concurrent requests beyond this wait "
+        "in the admission queue)",
+    )
+    serve.add_argument(
+        "--backend", choices=("serial", "thread", "process"),
+        default="thread",
+        help="worker backend; serial is thread with one worker",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="requests allowed to wait beyond the executing ones; "
+        "overflow is rejected with HTTP 429",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SEC",
+        help="per-query time budget (0 disables it); overruns become "
+        "'timeout' outcome lines",
+    )
+    serve.add_argument(
+        "--access-log", metavar="PATH", default=None,
+        help="append one JSON object per request (ts, request_id, "
+        "status, duration) to PATH",
+    )
+    serve.add_argument(
+        "--slow-query", type=float, default=0.25, metavar="SEC",
+        help="queries slower than this land in the /status slow-query "
+        "ring",
+    )
+    serve.add_argument(
+        "--window", type=float, default=300.0, metavar="SEC",
+        help="rolling window width for the /metrics latency percentiles",
+    )
+    serve.add_argument(
+        "--explain", action="store_true",
+        help="record the per-rule pruning funnel in every worker and "
+        "export it on /metrics (adds per-candidate accounting overhead)",
+    )
+    serve.add_argument(
+        "--no-phase-timing", action="store_true",
+        help="disable per-phase span capture in workers (drops the "
+        "/status per-phase latency table, removes tracing overhead)",
+    )
+    serve.add_argument(
+        "--distance-engine", choices=list(DISTANCE_ENGINES), default="plain",
+    )
+    serve.add_argument("--max-groups", type=int, default=None,
+                       help="default refinement cap for lines without one")
+    serve.add_argument("--seed", type=int, default=7)
+
     explain = sub.add_parser(
         "explain",
         help="answer a GP-SSN query with the pruning funnel recorded "
@@ -355,54 +430,24 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Recognized JSONL query-line keys (anything else is a typo we reject).
-_BATCH_LINE_KEYS = {
-    "user", "tau", "gamma", "theta", "radius", "metric", "max_groups",
-}
-
-
 def _load_batch_entries(
     path: str, default_max_groups: Optional[int]
 ) -> List[Tuple[GPSSNQuery, Optional[int]]]:
-    """Parse a JSONL query file into executor entries (strict)."""
+    """Parse a JSONL query file into executor entries (strict).
+
+    The parse itself lives in :mod:`repro.service.protocol` — the same
+    code path the ``gpssn serve`` daemon runs on ``POST /query`` bodies,
+    so the two entry points accept exactly the same inputs.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
     except OSError as exc:
         raise CLIError(EXIT_INPUT, f"cannot read queries {path}: {exc}")
-    entries: List[Tuple[GPSSNQuery, Optional[int]]] = []
-    for lineno, line in enumerate(lines, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        where = f"{path}:{lineno}"
-        try:
-            doc = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise CLIError(EXIT_INPUT, f"{where}: invalid JSON: {exc}")
-        if not isinstance(doc, dict) or "user" not in doc:
-            raise CLIError(
-                EXIT_INPUT, f'{where}: expected an object with a "user" key'
-            )
-        unknown = sorted(set(doc) - _BATCH_LINE_KEYS)
-        if unknown:
-            raise CLIError(EXIT_INPUT, f"{where}: unknown keys {unknown}")
-        try:
-            query = GPSSNQuery(
-                query_user=int(doc["user"]),
-                tau=int(doc.get("tau", 5)),
-                gamma=float(doc.get("gamma", 0.5)),
-                theta=float(doc.get("theta", 0.5)),
-                radius=float(doc.get("radius", 2.0)),
-                metric=InterestMetric(doc.get("metric", "dot")),
-            )
-        except (TypeError, ValueError) as exc:
-            raise CLIError(EXIT_INPUT, f"{where}: {exc}")
-        max_groups = doc.get("max_groups", default_max_groups)
-        entries.append((query, None if max_groups is None else int(max_groups)))
-    if not entries:
-        raise CLIError(EXIT_INPUT, f"{path}: no queries found")
-    return entries
+    try:
+        return parse_query_lines(lines, default_max_groups)
+    except ProtocolError as exc:
+        raise CLIError(EXIT_INPUT, exc.located(path))
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
@@ -420,10 +465,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     )
     with executor:
         outcomes = executor.run_entries(entries)
-    lines = [
-        json.dumps(o.to_dict(timing=args.timing), sort_keys=True)
-        for o in outcomes
-    ]
+    lines = outcome_lines(outcomes, timing=args.timing)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write("\n".join(lines) + "\n")
@@ -440,6 +482,49 @@ def cmd_batch(args: argparse.Namespace) -> int:
     print(summary, file=sys.stdout if args.output else sys.stderr)
     _emit_recorder_outputs(recorder, args)
     return EXIT_BATCH if failed else EXIT_OK
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the daemon pulls in the stdlib
+    # HTTP server machinery, which no other subcommand needs.
+    from .service.server import ServerConfig, serve as run_server
+
+    network = _load_network(args.input)
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            backend=args.backend,
+            max_queue=args.max_queue,
+            timeout_sec=args.timeout if args.timeout > 0 else None,
+            default_max_groups=args.max_groups,
+            access_log_path=args.access_log,
+            slow_query_sec=args.slow_query,
+            window_sec=args.window,
+            explain=args.explain,
+            phase_timing=not args.no_phase_timing,
+        )
+    except InvalidParameterError as exc:
+        raise CLIError(EXIT_INPUT, str(exc))
+
+    def announce(host: str, port: int) -> None:
+        print(
+            f"gpssn serve: listening on http://{host}:{port} "
+            f"({config.backend} backend, {args.workers} workers, "
+            f"queue {config.max_queue}); warming workers ...",
+            flush=True,
+        )
+
+    run_server(
+        network,
+        config,
+        build_args={
+            "seed": args.seed, "distance_engine": args.distance_engine,
+        },
+        ready_message=announce,
+    )
+    return EXIT_OK
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -506,6 +591,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": cmd_stats,
         "query": cmd_query,
         "batch": cmd_batch,
+        "serve": cmd_serve,
         "explain": cmd_explain,
         "figure": cmd_figure,
         "calibrate": cmd_calibrate,

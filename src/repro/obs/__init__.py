@@ -21,7 +21,14 @@ place they flow through:
   report renderer.
 """
 
-from .registry import Histogram, MetricsRegistry, Recorder
+from .registry import (
+    Histogram,
+    HistogramStats,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Recorder,
+)
+from .rolling import RollingHistogram, WindowStats
 from .tracer import NullTracer, Span, Tracer, aggregate_spans
 from .exporters import (
     explain_to_json,
@@ -37,14 +44,18 @@ from .explain import RULES, explain_report, rule_info
 __all__ = [
     "ExplainRecorder",
     "Histogram",
+    "HistogramStats",
     "MetricsRegistry",
+    "MetricsSnapshot",
     "NULL_EXPLAIN",
     "NullExplain",
     "NullTracer",
     "PhaseFunnel",
     "RULES",
     "Recorder",
+    "RollingHistogram",
     "Span",
+    "WindowStats",
     "Tracer",
     "aggregate_spans",
     "explain_report",

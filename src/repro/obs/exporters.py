@@ -126,6 +126,8 @@ METRIC_HELP = {
     "dist_engine.": "Distance-engine internal statistics",
     "traverse.": "Algorithm-2 traversal statistics",
     "explain.": "Pruning-funnel (EXPLAIN ANALYZE) statistics",
+    "service.": "Query service (batch executor and serve daemon) statistics",
+    "http.": "gpssn serve HTTP request statistics",
 }
 _DEFAULT_HELP = "GP-SSN metric"
 
@@ -140,14 +142,25 @@ def _prom_help(name: str) -> str:
     return best
 
 
-def prometheus_text(registry: MetricsRegistry, explain=None) -> str:
-    """Prometheus text exposition of a registry.
+def prometheus_text(
+    registry: MetricsRegistry, explain=None, uptime_sec: Optional[float] = None
+) -> str:
+    """Prometheus text exposition of a registry (or registry snapshot).
 
     Counters and gauges map 1:1; each histogram becomes ``_count`` /
-    ``_sum`` plus ``quantile`` gauges for p50/p95 and a ``_max`` gauge.
-    Every family gets ``# HELP`` and ``# TYPE`` headers. Passing an
-    active :class:`~repro.obs.funnel.ExplainRecorder` appends the
-    per-rule prune counters with ``phase``/``rule`` labels.
+    ``_sum`` plus ``quantile`` gauges for p50/p95/p99 and a ``_max``
+    gauge. Rolling-window histograms export their quantiles over the
+    window while ``_count``/``_sum`` stay lifetime-monotone (the shape a
+    scraper's delta math needs). Every family gets ``# HELP`` and
+    ``# TYPE`` headers. Passing an active
+    :class:`~repro.obs.funnel.ExplainRecorder` appends the per-rule
+    prune counters with ``phase``/``rule`` labels; ``uptime_sec`` adds
+    the conventional ``process_uptime_seconds`` gauge.
+
+    ``registry`` may be a live :class:`MetricsRegistry` or the frozen
+    :class:`~repro.obs.registry.MetricsSnapshot` a daemon takes per
+    scrape — long-lived services should pass the snapshot so one
+    exposition never mixes two moments in time.
     """
     out: List[str] = []
 
@@ -155,6 +168,12 @@ def prometheus_text(registry: MetricsRegistry, explain=None) -> str:
         out.append(f"# HELP {prom} {_prom_help(name)}")
         out.append(f"# TYPE {prom} {kind}")
 
+    if uptime_sec is not None:
+        out.append(
+            "# HELP process_uptime_seconds Seconds since service start"
+        )
+        out.append("# TYPE process_uptime_seconds gauge")
+        out.append(f"process_uptime_seconds {float(uptime_sec):g}")
     for name in sorted(registry.counters):
         prom = _prom_name(name)
         header(prom, name, "counter")
@@ -169,10 +188,23 @@ def prometheus_text(registry: MetricsRegistry, explain=None) -> str:
         header(prom, name, "summary")
         out.append(f'{prom}{{quantile="0.5"}} {hist.p50:g}')
         out.append(f'{prom}{{quantile="0.95"}} {hist.p95:g}')
+        out.append(f'{prom}{{quantile="0.99"}} {hist.p99:g}')
         out.append(f"{prom}_count {hist.count}")
         out.append(f"{prom}_sum {hist.sum:g}")
         header(f"{prom}_max", name, "gauge")
         out.append(f"{prom}_max {hist.max:g}")
+    for name in sorted(getattr(registry, "windows", {})):
+        window = registry.windows[name]
+        stats = window.snapshot() if hasattr(window, "snapshot") else window
+        prom = _prom_name(name)
+        header(prom, name, "summary")
+        out.append(f'{prom}{{quantile="0.5"}} {stats.p50:g}')
+        out.append(f'{prom}{{quantile="0.95"}} {stats.p95:g}')
+        out.append(f'{prom}{{quantile="0.99"}} {stats.p99:g}')
+        out.append(f"{prom}_count {stats.total_count}")
+        out.append(f"{prom}_sum {stats.total_sum:g}")
+        header(f"{prom}_window_seconds", name, "gauge")
+        out.append(f"{prom}_window_seconds {stats.window_sec:g}")
     if explain is not None and getattr(explain, "active", False):
         prom = "gpssn_explain_pruned_total"
         out.append(f"# HELP {prom} Candidates pruned per explain rule")

@@ -16,18 +16,42 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
+import threading
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from .rolling import RollingHistogram, WindowStats
 from .tracer import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..core.query import QueryStatistics
 
-__all__ = ["Histogram", "MetricsRegistry", "Recorder"]
+__all__ = [
+    "Histogram",
+    "HistogramStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Recorder",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HistogramStats:
+    """A consistent point-in-time summary of one :class:`Histogram`."""
+
+    count: int
+    sum: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
 
 
 class Histogram:
-    """A value histogram reporting count/sum/mean and p50/p95/max.
+    """A value histogram reporting count/sum/mean and p50/p95/p99/max.
 
     ``count``, ``sum`` (hence ``mean``), and ``max`` are exact over every
     observation. The raw observations themselves are bounded: at most
@@ -37,9 +61,15 @@ class Histogram:
     the reservoir holds every value and percentiles are exact — the
     common case for per-query workloads; above it memory stays O(cap)
     no matter how many values stream in.
+
+    Thread-safe: concurrent :meth:`observe` calls from service worker
+    threads serialize on a per-histogram lock, and :meth:`stats` takes a
+    consistent snapshot under the same lock.
     """
 
-    __slots__ = ("values", "max_samples", "_count", "_sum", "_max", "_rng")
+    __slots__ = (
+        "values", "max_samples", "_count", "_sum", "_max", "_rng", "_lock",
+    )
 
     DEFAULT_MAX_SAMPLES = 4096
 
@@ -52,21 +82,23 @@ class Histogram:
         self._sum = 0.0
         self._max = 0.0
         self._rng = random.Random(0x6A55)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self._count += 1
-        self._sum += value
-        if self._count == 1 or value > self._max:
-            self._max = value
-        if len(self.values) < self.max_samples:
-            self.values.append(value)
-        else:
-            # Algorithm R: replace a random reservoir slot with
-            # probability max_samples / count.
-            slot = self._rng.randrange(self._count)
-            if slot < self.max_samples:
-                self.values[slot] = value
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._count == 1 or value > self._max:
+                self._max = value
+            if len(self.values) < self.max_samples:
+                self.values.append(value)
+            else:
+                # Algorithm R: replace a random reservoir slot with
+                # probability max_samples / count.
+                slot = self._rng.randrange(self._count)
+                if slot < self.max_samples:
+                    self.values[slot] = value
 
     @property
     def count(self) -> int:
@@ -90,11 +122,12 @@ class Histogram:
         Exact while the observation count is within ``max_samples``;
         estimated from the uniform reservoir sample beyond it.
         """
-        if not self.values:
-            return 0.0
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        ordered = sorted(self.values)
+        with self._lock:
+            ordered = sorted(self.values)
+        if not ordered:
+            return 0.0
         rank = max(1, math.ceil(p / 100.0 * len(ordered)))
         return ordered[min(rank, len(ordered)) - 1]
 
@@ -106,43 +139,133 @@ class Histogram:
     def p95(self) -> float:
         return self.percentile(95.0)
 
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def stats(self) -> HistogramStats:
+        """One consistent summary (count/sum/quantiles read atomically)."""
+        with self._lock:
+            count, total, maximum = self._count, self._sum, self._max
+            ordered = sorted(self.values)
+
+        def rank(p: float) -> float:
+            if not ordered:
+                return 0.0
+            position = max(1, math.ceil(p / 100.0 * len(ordered)))
+            return ordered[min(position, len(ordered)) - 1]
+
+        return HistogramStats(
+            count=count, sum=total, p50=rank(50.0), p95=rank(95.0),
+            p99=rank(99.0), max=maximum if count else 0.0,
+        )
+
     def __repr__(self) -> str:
         return f"Histogram(n={self.count}, p50={self.p50:.4g}, max={self.max:.4g})"
 
 
-class MetricsRegistry:
-    """Named counters (monotone), gauges (last value), and histograms."""
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen, scrape-consistent image of a :class:`MetricsRegistry`.
 
-    def __init__(self) -> None:
+    This is what a long-lived service hands to the Prometheus exporter:
+    counters stay monotone (no mid-flight :meth:`MetricsRegistry.reset`
+    zeroing a scraper's deltas), and all values were read under the
+    registry lock, so one exposition never mixes two moments in time.
+    Shares the attribute shape :func:`~repro.obs.exporters.prometheus_text`
+    reads (``counters`` / ``gauges`` / ``histograms`` / ``windows``).
+    """
+
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+    histograms: Dict[str, HistogramStats]
+    windows: Dict[str, WindowStats]
+
+
+class MetricsRegistry:
+    """Named counters (monotone), gauges (last value), and histograms.
+
+    Two histogram families coexist: :meth:`observe` feeds lifetime
+    :class:`Histogram` reservoirs (the benchmark/CLI shape), while
+    :meth:`observe_window` feeds :class:`RollingHistogram` windows whose
+    percentiles describe only recent traffic (the daemon's latency
+    p50/p95/p99). All mutation paths are thread-safe; a scraping thread
+    should read through :meth:`snapshot` rather than the live dicts.
+    """
+
+    def __init__(
+        self, window_sec: float = RollingHistogram.DEFAULT_WINDOW_SEC
+    ) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.windows: Dict[str, RollingHistogram] = {}
+        self.window_sec = window_sec
+        self._lock = threading.RLock()
 
     def inc(self, name: str, amount: float = 1.0) -> None:
-        self.counters[name] = self.counters.get(name, 0.0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + amount
 
     def set_gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = float(value)
+        with self._lock:
+            self.gauges[name] = float(value)
 
     def observe(self, name: str, value: float) -> None:
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = Histogram()
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
         hist.observe(value)
 
+    def observe_window(self, name: str, value: float) -> None:
+        """Record into the named rolling-window histogram."""
+        with self._lock:
+            window = self.windows.get(name)
+            if window is None:
+                window = self.windows[name] = RollingHistogram(
+                    window_sec=self.window_sec
+                )
+        window.observe(value)
+
     def counter(self, name: str) -> float:
-        return self.counters.get(name, 0.0)
+        with self._lock:
+            return self.counters.get(name, 0.0)
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        """Zero everything — for short-lived runs (CLI, tests) only.
+
+        A long-lived service must never reset mid-flight: a scraper
+        computing counter deltas would see them go backwards. Daemons
+        expose :meth:`snapshot` instead and let counters stay monotone
+        for the whole process lifetime.
+        """
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+            self.windows.clear()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A frozen scrape-consistent copy (see :class:`MetricsSnapshot`)."""
+        with self._lock:
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
+            histograms = list(self.histograms.items())
+            windows = list(self.windows.items())
+        return MetricsSnapshot(
+            counters=counters,
+            gauges=gauges,
+            histograms={name: h.stats() for name, h in histograms},
+            windows={name: w.snapshot() for name, w in windows},
+        )
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         """A plain-data snapshot (JSON-serializable)."""
-        return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
+        snap = self.snapshot()
+        doc: Dict[str, Dict[str, float]] = {
+            "counters": snap.counters,
+            "gauges": snap.gauges,
             "histograms": {
                 name: {
                     "count": h.count,
@@ -152,9 +275,25 @@ class MetricsRegistry:
                     "p95": h.p95,
                     "max": h.max,
                 }
-                for name, h in self.histograms.items()
+                for name, h in snap.histograms.items()
             },
         }
+        if snap.windows:
+            doc["windows"] = {
+                name: {
+                    "window_sec": w.window_sec,
+                    "count": w.count,
+                    "sum": w.sum,
+                    "p50": w.p50,
+                    "p95": w.p95,
+                    "p99": w.p99,
+                    "max": w.max,
+                    "total_count": w.total_count,
+                    "total_sum": w.total_sum,
+                }
+                for name, w in snap.windows.items()
+            }
+        return doc
 
 
 class Recorder:

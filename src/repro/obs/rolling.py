@@ -1,0 +1,150 @@
+"""Rolling-window histograms for long-lived services.
+
+The plain :class:`~repro.obs.registry.Histogram` summarizes *everything
+ever observed* — the right shape for a one-shot CLI run or a benchmark,
+and exactly the wrong shape for a daemon: after a week of traffic its
+p95 is frozen by history and a latency regression today barely moves
+it. :class:`RollingHistogram` keeps the last ``window_sec`` seconds of
+observations instead, so the p50/p95/p99 a scraper reads from
+``/metrics`` describe *current* behaviour.
+
+Implementation: a deque of ``(timestamp, value)`` pairs, pruned lazily
+from the left on observe and on read. Memory is bounded two ways — by
+time (expired points are dropped) and by ``max_samples`` (under
+sustained load beyond the cap the *oldest* in-window points are shed
+first, biasing the window toward the most recent traffic, which is the
+point of a rolling view). ``total_count`` / ``total_sum`` stay monotone
+over the full lifetime so scrape deltas keep working even as the window
+turns over.
+
+Thread-safe: every mutation and every read snapshot runs under one
+lock. Reads are O(n log n) in the window size (a sort per scrape) —
+scrapes are rare and windows are small, observes are the hot side and
+stay O(1) amortized.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Tuple
+
+__all__ = ["RollingHistogram", "WindowStats"]
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """A consistent point-in-time summary of one rolling window.
+
+    ``count``/``sum``/quantiles describe the observations currently in
+    the window; ``total_count``/``total_sum`` are monotone over the
+    histogram's lifetime (the scrape-delta path).
+    """
+
+    window_sec: float
+    count: int
+    sum: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+    total_count: int
+    total_sum: float
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class RollingHistogram:
+    """Observations with a time horizon; see the module docstring."""
+
+    __slots__ = (
+        "window_sec", "max_samples", "_points", "_total_count",
+        "_total_sum", "_clock", "_lock",
+    )
+
+    DEFAULT_WINDOW_SEC = 300.0
+    DEFAULT_MAX_SAMPLES = 4096
+
+    def __init__(
+        self,
+        window_sec: float = DEFAULT_WINDOW_SEC,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_sec <= 0:
+            raise ValueError(f"window_sec must be > 0, got {window_sec}")
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.window_sec = float(window_sec)
+        self.max_samples = max_samples
+        self._points: Deque[Tuple[float, float]] = deque()
+        self._total_count = 0
+        self._total_sum = 0.0
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_sec
+        points = self._points
+        while points and points[0][0] < horizon:
+            points.popleft()
+        while len(points) > self.max_samples:
+            points.popleft()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        now = self._clock()
+        with self._lock:
+            self._total_count += 1
+            self._total_sum += value
+            self._points.append((now, value))
+            self._prune(now)
+
+    @property
+    def total_count(self) -> int:
+        with self._lock:
+            return self._total_count
+
+    @property
+    def total_sum(self) -> float:
+        with self._lock:
+            return self._total_sum
+
+    def snapshot(self) -> WindowStats:
+        """Summarize the current window (one consistent read)."""
+        with self._lock:
+            self._prune(self._clock())
+            values = sorted(v for _, v in self._points)
+            total_count = self._total_count
+            total_sum = self._total_sum
+        count = len(values)
+
+        def rank(p: float) -> float:
+            if not values:
+                return 0.0
+            position = max(1, math.ceil(p / 100.0 * count))
+            return values[min(position, count) - 1]
+
+        return WindowStats(
+            window_sec=self.window_sec,
+            count=count,
+            sum=float(sum(values)),
+            p50=rank(50.0),
+            p95=rank(95.0),
+            p99=rank(99.0),
+            max=values[-1] if values else 0.0,
+            total_count=total_count,
+            total_sum=total_sum,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.snapshot()
+        return (
+            f"RollingHistogram(window={self.window_sec:g}s, "
+            f"n={stats.count}, p50={stats.p50:.4g})"
+        )

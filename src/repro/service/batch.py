@@ -28,6 +28,7 @@ worker count and scheduling never change outcomes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,13 +51,37 @@ def query_key(query: GPSSNQuery, max_groups: Optional[int]) -> QueryKey:
     )
 
 
+def query_request_id(
+    query: GPSSNQuery, max_groups: Optional[int] = None
+) -> str:
+    """The stable correlation id of one query.
+
+    Content-derived (a short digest of the dedupe key), so it is
+    deterministic across backends, worker counts, processes, and
+    entry points: the same query carries the same id in ``gpssn batch``
+    JSONL output, in the ``gpssn serve`` access log, and in the span
+    attributes of a traced request — which is what lets a slow query be
+    chased across all three.
+    """
+    digest = hashlib.sha256(
+        repr(query_key(query, max_groups)).encode("utf-8")
+    ).hexdigest()
+    return f"q-{digest[:12]}"
+
+
 @dataclass(frozen=True)
 class PlanItem:
-    """One unique query plus every batch position it answers."""
+    """One unique query plus every batch position it answers.
+
+    ``request_id`` is the content-derived correlation id shared by all
+    of the item's positions (duplicates are the same query, hence the
+    same id); see :func:`query_request_id`.
+    """
 
     query: GPSSNQuery
     max_groups: Optional[int]
     positions: Tuple[int, ...]
+    request_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -137,6 +162,7 @@ def plan_batch(
             query=by_key[key][0],
             max_groups=by_key[key][1],
             positions=tuple(grouped[key]),
+            request_id=query_request_id(*by_key[key]),
         )
         for key in order
     )

@@ -52,7 +52,7 @@ from ..io.bundle import network_from_document, network_to_document
 from ..network import SpatialSocialNetwork
 from ..obs import Recorder
 from ..roadnet.engines import CHEngine
-from .batch import BatchPlan, PlanItem, plan_batch
+from .batch import BatchPlan, PlanItem, plan_batch, query_request_id
 from .limits import (
     STATUS_ERROR,
     STATUS_TIMEOUT,
@@ -127,11 +127,13 @@ class WorkerState:
     all of it.
     """
 
-    def __init__(self, snapshot: NetworkSnapshot) -> None:
+    def __init__(
+        self, snapshot: NetworkSnapshot, recorder: Optional[Recorder] = None
+    ) -> None:
         self.network = snapshot.restore()
         self.processor = GPSSNQueryProcessor(
             self.network,
-            recorder=Recorder(),
+            recorder=recorder or Recorder(),
             **snapshot.build_args,
         )
 
@@ -146,6 +148,7 @@ class WorkerState:
             limits,
             index=item.positions[0],
             worker=worker,
+            request_id=item.request_id,
         )
 
     def prewarm_issuers(self, issuers: Sequence[int]) -> None:
@@ -175,15 +178,58 @@ class WorkerState:
                 continue
 
 
+def fan_out_outcomes(
+    plan: BatchPlan, item_outcomes: Dict[int, QueryOutcome]
+) -> List[QueryOutcome]:
+    """Re-address per-item outcomes to every original batch position.
+
+    ``item_outcomes`` maps plan item indices to the one outcome computed
+    for that unique query; duplicates get :meth:`QueryOutcome.replicated`
+    copies. Shared by the batch executor's shard fan-out and the serve
+    daemon's per-request dedupe.
+    """
+    outcomes: List[Optional[QueryOutcome]] = [None] * plan.num_queries
+    for item_idx, outcome in item_outcomes.items():
+        for position in plan.items[item_idx].positions:
+            outcomes[position] = (
+                outcome if position == outcome.index
+                else outcome.replicated(position)
+            )
+    assert all(o is not None for o in outcomes)
+    return outcomes  # type: ignore[return-value]
+
+
 # -- process-pool plumbing (module level: must be picklable by reference) ---
 
 _PROCESS_STATE: Optional[WorkerState] = None
 
 
-def _process_initializer(snapshot: NetworkSnapshot) -> None:
+def _worker_recorder(traced: bool) -> Recorder:
+    """A worker's private recorder; ``traced`` turns span capture on so
+    every outcome's ``stats.phase_times`` is populated (the daemon's
+    per-phase latency breakdown). Traced workers must drain their span
+    forest after each shard or their memory grows with traffic."""
+    if traced:
+        from ..obs import Tracer
+
+        return Recorder(tracer=Tracer())
+    return Recorder()
+
+
+def _drain_worker_tracer(state: WorkerState) -> None:
+    """Drop a traced worker's accumulated span forest (phase times were
+    already copied into each outcome's stats); no-op for null tracers."""
+    tracer = state.processor.recorder.tracer
+    if getattr(tracer, "active", False):
+        tracer.clear()
+
+
+def _process_initializer(
+    snapshot: NetworkSnapshot, traced: bool = False
+) -> None:
     """Build this worker process's warm state exactly once."""
     global _PROCESS_STATE
-    _PROCESS_STATE = WorkerState(snapshot)
+    _PROCESS_STATE = WorkerState(snapshot, recorder=_worker_recorder(traced))
 
 
 def _process_warmup() -> bool:
@@ -197,7 +243,13 @@ def _process_run_shard(
     _PROCESS_STATE.prewarm_issuers(
         list(dict.fromkeys(item.query.query_user for item in items))
     )
-    return [_PROCESS_STATE.run_item(item, limits, worker) for item in items]
+    outcomes = [
+        _PROCESS_STATE.run_item(item, limits, worker) for item in items
+    ]
+    # Traced workers (the daemon's phase-timing mode) would otherwise
+    # accumulate one span tree per query forever.
+    _drain_worker_tracer(_PROCESS_STATE)
+    return outcomes
 
 
 def _fork_or_default_context():
@@ -221,6 +273,7 @@ class BatchQueryExecutor:
         limits: Optional[ExecutionLimits] = None,
         build_args: Optional[Dict[str, object]] = None,
         recorder: Optional[Recorder] = None,
+        worker_tracing: bool = False,
     ) -> None:
         if backend == "auto":
             backend = "serial" if workers <= 0 else "process"
@@ -239,6 +292,10 @@ class BatchQueryExecutor:
         self.workers = workers
         self.limits = limits or ExecutionLimits()
         self.recorder = recorder or Recorder()
+        # Workers with span capture on report per-phase times in every
+        # outcome's stats (the serve daemon's latency breakdown); off by
+        # default so batch runs keep the zero-overhead null tracer.
+        self.worker_tracing = worker_tracing
         self.snapshot = NetworkSnapshot.capture(network, build_args)
         self._serial_state: Optional[WorkerState] = None
         self._thread_states: List[WorkerState] = []
@@ -273,10 +330,16 @@ class BatchQueryExecutor:
         """
         if self.backend == "serial":
             if self._serial_state is None:
-                self._serial_state = WorkerState(self.snapshot)
+                self._serial_state = WorkerState(
+                    self.snapshot,
+                    recorder=_worker_recorder(self.worker_tracing),
+                )
         elif self.backend == "thread":
             while len(self._thread_states) < self.workers:
-                self._thread_states.append(WorkerState(self.snapshot))
+                self._thread_states.append(WorkerState(
+                    self.snapshot,
+                    recorder=_worker_recorder(self.worker_tracing),
+                ))
         else:
             pool = self._ensure_pool()
             pool.submit(_process_warmup).result()
@@ -299,11 +362,31 @@ class BatchQueryExecutor:
                 max_workers=self.workers,
                 mp_context=_fork_or_default_context(),
                 initializer=_process_initializer,
-                initargs=(self.snapshot,),
+                initargs=(self.snapshot, self.worker_tracing),
             )
         return self._pool
 
     # -- execution ----------------------------------------------------------
+
+    def submit_shard(
+        self, items: List[PlanItem], worker: int = 0
+    ) -> "concurrent.futures.Future":
+        """Dispatch one shard of planned items asynchronously.
+
+        Only meaningful on the ``process`` backend: the daemon's HTTP
+        handler threads each submit their request's items here and block
+        on the future, so concurrent requests share the one warm process
+        pool without stepping on per-worker state (submissions are
+        serialized by :class:`concurrent.futures.ProcessPoolExecutor`,
+        which is thread-safe by contract). ``worker`` only labels the
+        outcomes for metrics.
+        """
+        if self.backend != "process":
+            raise InvalidParameterError(
+                f"submit_shard needs the process backend, got {self.backend!r}"
+            )
+        pool = self._ensure_pool()
+        return pool.submit(_process_run_shard, worker, items, self.limits)
 
     def run(
         self,
@@ -348,13 +431,18 @@ class BatchQueryExecutor:
     ) -> List[QueryOutcome]:
         self.warm()
         state = self._serial_state
-        return [
+        outcomes = [
             state.run_item(
-                PlanItem(query=query, max_groups=mg, positions=(i,)),
+                PlanItem(
+                    query=query, max_groups=mg, positions=(i,),
+                    request_id=query_request_id(query, mg),
+                ),
                 self.limits, worker=0,
             )
             for i, (query, mg) in enumerate(entries)
         ]
+        _drain_worker_tracer(state)
+        return outcomes
 
     def _run_thread(self, plan: BatchPlan) -> List[List[QueryOutcome]]:
         self.warm()
@@ -363,10 +451,12 @@ class BatchQueryExecutor:
         ) as pool:
             def run_shard(state: WorkerState, w: int) -> List[QueryOutcome]:
                 state.prewarm_issuers(plan.shard_issuers(w))
-                return [
+                outcomes = [
                     state.run_item(plan.items[i], self.limits, w)
                     for i in plan.shards[w]
                 ]
+                _drain_worker_tracer(state)
+                return outcomes
 
             futures = [
                 pool.submit(run_shard, self._thread_states[w], w)
@@ -389,16 +479,14 @@ class BatchQueryExecutor:
         self, plan: BatchPlan, shard_outcomes: List[List[QueryOutcome]]
     ) -> List[QueryOutcome]:
         """Re-address per-item outcomes to every original batch position."""
-        outcomes: List[Optional[QueryOutcome]] = [None] * plan.num_queries
-        for shard, results in zip(plan.shards, shard_outcomes):
-            for item_idx, outcome in zip(shard, results):
-                for position in plan.items[item_idx].positions:
-                    outcomes[position] = (
-                        outcome if position == outcome.index
-                        else outcome.replicated(position)
-                    )
-        assert all(o is not None for o in outcomes)
-        return outcomes  # type: ignore[return-value]
+        return fan_out_outcomes(
+            plan,
+            {
+                item_idx: outcome
+                for shard, results in zip(plan.shards, shard_outcomes)
+                for item_idx, outcome in zip(shard, results)
+            },
+        )
 
     def _record_metrics(
         self,

@@ -74,6 +74,11 @@ class QueryOutcome:
     ``duration_sec`` and ``worker`` are measurement metadata — they vary
     run to run and are excluded from the canonical serialization so
     outcomes stay byte-comparable across backends and worker counts.
+    ``request_id`` is the stable correlation id of the query (derived
+    from the query content, see
+    :func:`repro.service.batch.query_request_id`): the same query
+    carries the same id whether it was answered by ``gpssn batch`` or
+    by the ``gpssn serve`` daemon, so their logs correlate the same way.
     """
 
     index: int
@@ -84,6 +89,7 @@ class QueryOutcome:
     attempts: int = 1
     duration_sec: float = 0.0
     worker: int = -1
+    request_id: str = ""
     stats: Optional[QueryStatistics] = field(default=None, repr=False)
 
     @property
@@ -91,22 +97,30 @@ class QueryOutcome:
         return self.status == STATUS_OK
 
     def replicated(self, index: int) -> "QueryOutcome":
-        """A copy of this outcome re-addressed to a duplicate query."""
+        """A copy of this outcome re-addressed to a duplicate query.
+
+        The ``request_id`` is kept: it identifies the query *content*,
+        which is by construction identical for every duplicate position.
+        """
         return QueryOutcome(
             index=index, status=self.status, answer=self.answer,
             error_kind=self.error_kind, error=self.error,
             attempts=self.attempts, duration_sec=self.duration_sec,
-            worker=self.worker, stats=self.stats,
+            worker=self.worker, request_id=self.request_id,
+            stats=self.stats,
         )
 
     def to_dict(self, timing: bool = False) -> dict:
         """Plain-data form (JSONL line payload).
 
         The default is deterministic: identical queries answered by any
-        backend at any worker count serialize identically. ``timing``
-        adds the run-variant measurement fields.
+        backend at any worker count serialize identically (the
+        ``request_id`` is content-derived, so it is deterministic too).
+        ``timing`` adds the run-variant measurement fields.
         """
         doc: dict = {"index": self.index, "status": self.status}
+        if self.request_id:
+            doc["request_id"] = self.request_id
         if self.status == STATUS_OK and self.answer is not None:
             doc["found"] = self.answer.found
             if self.answer.found:
@@ -134,29 +148,43 @@ def _alarm_supported() -> bool:
     )
 
 
+def _call_posthoc(fn: Callable[[], object], timeout_sec: float):
+    """Run ``fn()`` to completion, then enforce the budget after the fact."""
+    started = time.perf_counter()
+    result = fn()
+    if time.perf_counter() - started > timeout_sec:
+        raise QueryTimeoutError(
+            f"query exceeded {timeout_sec}s (detected post-hoc)"
+        )
+    return result
+
+
 def call_with_timeout(fn: Callable[[], object], timeout_sec: Optional[float]):
     """Run ``fn()`` under the timeout; raises :class:`QueryTimeoutError`.
 
     Pre-emptive (``SIGALRM``) when the caller is the main thread of a
     POSIX process; otherwise the call runs to completion and the
     overrun is detected afterwards — the result is discarded either
-    way.
+    way. The ``gpssn serve`` daemon answers queries on handler threads,
+    so its requests always take the post-hoc path; as a belt-and-braces
+    measure the signal setup itself falling over (CPython raises
+    ``ValueError`` for signal calls off the main thread — possible when
+    ``threading.main_thread()`` misidentifies the main thread, e.g.
+    under embedded interpreters) also falls back post-hoc instead of
+    failing the query.
     """
     if timeout_sec is None:
         return fn()
     if not _alarm_supported():
-        started = time.perf_counter()
-        result = fn()
-        if time.perf_counter() - started > timeout_sec:
-            raise QueryTimeoutError(
-                f"query exceeded {timeout_sec}s (detected post-hoc)"
-            )
-        return result
+        return _call_posthoc(fn, timeout_sec)
 
     def _raise_timeout(signum, frame):
         raise QueryTimeoutError(f"query exceeded {timeout_sec}s")
 
-    previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    try:
+        previous = signal.signal(signal.SIGALRM, _raise_timeout)
+    except ValueError:
+        return _call_posthoc(fn, timeout_sec)
     signal.setitimer(signal.ITIMER_REAL, timeout_sec)
     try:
         return fn()
@@ -170,12 +198,14 @@ def run_with_limits(
     limits: ExecutionLimits,
     index: int,
     worker: int = -1,
+    request_id: str = "",
 ) -> QueryOutcome:
     """Execute one query callable under ``limits``; never raises.
 
     ``fn`` returns ``(answer, stats)`` (the processor's contract). The
     returned envelope records the terminal status, the number of
-    attempts consumed, and the total wall time across attempts.
+    attempts consumed, and the total wall time across attempts;
+    ``request_id`` is stamped on the envelope verbatim.
     """
     started = time.perf_counter()
     attempts = 0
@@ -187,6 +217,7 @@ def run_with_limits(
                 index=index, status=STATUS_OK, answer=answer, stats=stats,
                 attempts=attempts,
                 duration_sec=time.perf_counter() - started, worker=worker,
+                request_id=request_id,
             )
         except QueryTimeoutError as exc:
             return QueryOutcome(
@@ -194,6 +225,7 @@ def run_with_limits(
                 error_kind=type(exc).__name__, error=str(exc),
                 attempts=attempts,
                 duration_sec=time.perf_counter() - started, worker=worker,
+                request_id=request_id,
             )
         except GPSSNError as exc:
             # Deterministic domain failures: retrying reproduces them.
@@ -202,6 +234,7 @@ def run_with_limits(
                 error_kind=type(exc).__name__, error=str(exc),
                 attempts=attempts,
                 duration_sec=time.perf_counter() - started, worker=worker,
+                request_id=request_id,
             )
         except Exception as exc:  # noqa: BLE001 - envelope boundary
             if attempts <= limits.retries:
@@ -211,4 +244,5 @@ def run_with_limits(
                 error_kind=type(exc).__name__, error=str(exc),
                 attempts=attempts,
                 duration_sec=time.perf_counter() - started, worker=worker,
+                request_id=request_id,
             )

@@ -1,0 +1,117 @@
+"""The JSONL query wire protocol shared by ``gpssn batch`` and ``serve``.
+
+One query per line, one outcome per line — the same schema whether the
+batch arrives as a file on the CLI or as a ``POST /query`` body at the
+daemon. Centralizing the parse (strict: unknown keys are typos, not
+extensions) guarantees the two entry points cannot drift apart, which
+is what makes the CI gate "serve answers byte-identical to batch"
+meaningful.
+
+Query line::
+
+    {"user": 3, "tau": 4, "gamma": 0.4, "theta": 0.3, "radius": 2.5,
+     "metric": "dot", "max_groups": 500}
+
+Only ``user`` is required; the rest default to the paper's Table-3
+values (via :class:`~repro.core.query.GPSSNQuery`) or to the caller's
+``default_max_groups``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.metrics import InterestMetric
+from ..core.query import GPSSNQuery
+from .limits import QueryOutcome
+
+__all__ = [
+    "BATCH_LINE_KEYS",
+    "ProtocolError",
+    "outcome_lines",
+    "parse_query_doc",
+    "parse_query_lines",
+]
+
+#: Recognized JSONL query-line keys (anything else is a typo we reject).
+BATCH_LINE_KEYS = {
+    "user", "tau", "gamma", "theta", "radius", "metric", "max_groups",
+}
+
+#: One batch entry: the query plus its refinement cap.
+Entry = Tuple[GPSSNQuery, Optional[int]]
+
+
+class ProtocolError(ValueError):
+    """A malformed query line; ``line`` is its 1-based number (or None)."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.line = line
+
+    def located(self, where: str) -> str:
+        """The message prefixed with ``where:line`` for CLI reporting."""
+        prefix = where if self.line is None else f"{where}:{self.line}"
+        return f"{prefix}: {self}"
+
+
+def parse_query_doc(
+    doc: object, default_max_groups: Optional[int] = None
+) -> Entry:
+    """Validate one decoded query object into an executor entry."""
+    if not isinstance(doc, dict) or "user" not in doc:
+        raise ProtocolError('expected an object with a "user" key')
+    unknown = sorted(set(doc) - BATCH_LINE_KEYS)
+    if unknown:
+        raise ProtocolError(f"unknown keys {unknown}")
+    try:
+        query = GPSSNQuery(
+            query_user=int(doc["user"]),
+            tau=int(doc.get("tau", 5)),
+            gamma=float(doc.get("gamma", 0.5)),
+            theta=float(doc.get("theta", 0.5)),
+            radius=float(doc.get("radius", 2.0)),
+            metric=InterestMetric(doc.get("metric", "dot")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(str(exc))
+    max_groups = doc.get("max_groups", default_max_groups)
+    return query, None if max_groups is None else int(max_groups)
+
+
+def parse_query_lines(
+    lines: Sequence[str], default_max_groups: Optional[int] = None
+) -> List[Entry]:
+    """Parse JSONL query lines (blank lines skipped) into entries.
+
+    Raises :class:`ProtocolError` carrying the offending line number;
+    an input with no query lines at all is also an error — an empty
+    batch is always a caller mistake.
+    """
+    entries: List[Entry] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"invalid JSON: {exc}", line=lineno)
+        try:
+            entries.append(parse_query_doc(doc, default_max_groups))
+        except ProtocolError as exc:
+            raise ProtocolError(str(exc), line=lineno)
+    if not entries:
+        raise ProtocolError("no queries found")
+    return entries
+
+
+def outcome_lines(
+    outcomes: Sequence[QueryOutcome], timing: bool = False
+) -> List[str]:
+    """Serialize outcomes to canonical JSONL lines (sorted keys)."""
+    return [
+        json.dumps(outcome.to_dict(timing=timing), sort_keys=True)
+        for outcome in outcomes
+    ]

@@ -1,0 +1,844 @@
+"""The ``gpssn serve`` daemon: warm workers behind a live observability
+plane.
+
+This is the step from "batch tool" to "system serving traffic": the
+same warm-worker execution the batch executor uses, held open behind an
+HTTP front end with the operational surface a long-lived service needs:
+
+``POST /query``
+    JSONL body, one query object per line — the *same* schema as
+    ``gpssn batch`` (see :mod:`repro.service.protocol`) — answered with
+    one canonical JSONL outcome per line. Byte-identical to what
+    ``gpssn batch``/``gpssn query`` produce for the same bundle, which
+    CI enforces. ``?trace=1`` runs the request with span + funnel
+    capture and stores the trace for ``GET /trace/<request_id>``.
+
+``GET /metrics``
+    Prometheus text exposition over a point-in-time
+    :class:`~repro.obs.registry.MetricsSnapshot` of the long-lived
+    registry: monotone counters (never reset mid-flight), queue-depth
+    gauge, ``process_uptime_seconds``, rolling-window latency
+    histograms (p50/p95/p99 over recent traffic), and — with
+    ``--explain`` — per-rule pruning funnel counters.
+
+``GET /healthz`` / ``GET /readyz``
+    Liveness (the process answers) vs readiness (the snapshot is
+    restored and every worker is warm). Readiness flips to 503 again
+    during shutdown so load balancers drain before the port closes.
+
+``GET /status``
+    The dashboard: pruning funnel, per-phase latency breakdown,
+    admission/backpressure counters, and recent slow queries — HTML by
+    default, ``?format=text`` for terminals
+    (:mod:`repro.service.dashboard`).
+
+Every request carries a correlation ``request_id`` (honoring an
+``X-Request-Id`` header) that is threaded through the structured JSONL
+access log, the recorded spans of traced requests, error responses, and
+the ``X-Request-Id`` response header; each query line additionally
+carries its content-derived
+:func:`~repro.service.batch.query_request_id`, the same id ``gpssn
+batch`` emits — a slow query can be chased from access log to span tree
+to funnel rule counts, across entry points.
+
+Admission control bounds the damage a traffic spike can do: at most
+``workers + max_queue`` requests are in the house at once; the rest see
+``429`` with ``Retry-After`` instead of stacking up unboundedly. Every
+query runs under the per-request timeout envelope of
+:mod:`repro.service.limits` — worker threads use its post-hoc path, so
+timeouts degrade to ``timeout`` outcomes without signals.
+
+Stdlib only (``http.server`` threading front end); no new hard deps.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..exceptions import InvalidParameterError
+from ..network import SpatialSocialNetwork
+from ..obs import ExplainRecorder, Recorder, Tracer, prometheus_text
+from ..obs.exporters import spans_to_jsonl
+from .batch import BatchPlan, plan_batch
+from .executor import (
+    BatchQueryExecutor,
+    NetworkSnapshot,
+    WorkerState,
+    _worker_recorder,
+    fan_out_outcomes,
+)
+from .limits import (
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    ExecutionLimits,
+    QueryOutcome,
+)
+from .protocol import ProtocolError, outcome_lines, parse_query_lines
+
+__all__ = [
+    "GPSSNHTTPServer",
+    "GPSSNService",
+    "ServerConfig",
+    "ServiceOverloadedError",
+    "create_server",
+    "serve",
+]
+
+#: Executor backends the daemon accepts (serial is thread with 1 worker).
+SERVE_BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything ``gpssn serve`` needs beyond the bundle itself."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 2
+    backend: str = "thread"
+    #: Requests allowed to wait beyond the ones actively executing;
+    #: request workers + max_queue + 1 and you get a 429.
+    max_queue: int = 16
+    #: Per-query time budget (the limits envelope); None = unlimited.
+    timeout_sec: Optional[float] = 30.0
+    retries: int = 0
+    #: Reject larger POST bodies with 413 before parsing.
+    max_body_bytes: int = 4 * 1024 * 1024
+    default_max_groups: Optional[int] = None
+    #: Structured JSONL access log path (None = in-memory ring only).
+    access_log_path: Optional[str] = None
+    #: Queries slower than this land in the slow-query ring on /status.
+    slow_query_sec: float = 0.25
+    recent_ring_size: int = 64
+    trace_ring_size: int = 32
+    #: Rolling-window width for the /metrics latency percentiles.
+    window_sec: float = 300.0
+    #: Per-rule funnel accounting in every worker (in-process backends).
+    explain: bool = False
+    #: Span capture in workers so outcomes carry per-phase times.
+    phase_timing: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in SERVE_BACKENDS:
+            raise InvalidParameterError(
+                f"unknown serve backend {self.backend!r}; expected one of "
+                f"{SERVE_BACKENDS}"
+            )
+        if self.workers < 1:
+            raise InvalidParameterError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.max_queue < 0:
+            raise InvalidParameterError(
+                f"max_queue must be >= 0, got {self.max_queue}"
+            )
+
+
+class ServiceOverloadedError(Exception):
+    """Admission control refused the request (the 429 arm)."""
+
+
+class _LockedExplain:
+    """A thread-safe facade over one shared :class:`ExplainRecorder`.
+
+    The daemon's in-process workers all record into the same funnel so
+    ``/metrics`` can expose cumulative per-rule counts; the recorder
+    itself is plain dict-and-int bookkeeping, so concurrent workers
+    serialize here.
+    """
+
+    active = True
+
+    def __init__(self) -> None:
+        self._inner = ExplainRecorder()
+        self._lock = threading.Lock()
+
+    def visit(self, *args, **kwargs) -> None:
+        with self._lock:
+            self._inner.visit(*args, **kwargs)
+
+    def prune(self, *args, **kwargs) -> None:
+        with self._lock:
+            self._inner.prune(*args, **kwargs)
+
+    def survive(self, *args, **kwargs) -> None:
+        with self._lock:
+            self._inner.survive(*args, **kwargs)
+
+    def prune_batch(self, *args, **kwargs) -> None:
+        with self._lock:
+            self._inner.prune_batch(*args, **kwargs)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._inner.clear()
+
+    def iter_phases(self):
+        with self._lock:
+            return list(self._inner.iter_phases())
+
+    def as_dict(self):
+        with self._lock:
+            return self._inner.as_dict()
+
+    def rule_counts(self):
+        with self._lock:
+            return self._inner.rule_counts()
+
+
+@dataclass
+class RequestResult:
+    """What one executed ``POST /query`` resolves to."""
+
+    outcomes: List[QueryOutcome]
+    duration_sec: float
+    traced: bool = False
+
+
+@dataclass
+class _TraceRecord:
+    """One traced request retained for ``GET /trace/<request_id>``."""
+
+    request_id: str
+    span_lines: List[str]
+    explain: Dict[str, object]
+    rule_counts: Dict[str, int]
+    duration_sec: float
+    num_queries: int
+
+
+class GPSSNService:
+    """The daemon engine: warm workers + admission + the metrics plane.
+
+    HTTP-agnostic on purpose — integration tests drive
+    :meth:`execute` / :meth:`metrics_text` / :meth:`status_view`
+    directly, and the handler stays a thin translation layer.
+    """
+
+    def __init__(
+        self,
+        network: SpatialSocialNetwork,
+        config: Optional[ServerConfig] = None,
+        build_args: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        cfg = self.config
+        self.limits = ExecutionLimits(
+            timeout_sec=cfg.timeout_sec, retries=cfg.retries
+        )
+        self.recorder = Recorder()
+        self.registry = self.recorder.metrics
+        self.registry.window_sec = cfg.window_sec
+        self.started_monotonic = time.monotonic()
+        self.started_wall = time.time()
+        self._explain = _LockedExplain() if cfg.explain else None
+
+        self.snapshot = NetworkSnapshot.capture(network, build_args)
+        # In-process worker pool (serial/thread) vs the process-pool
+        # executor; exactly one of the two is populated.
+        self._worker_pool: "queue.Queue[Tuple[int, WorkerState]]" = (
+            queue.Queue()
+        )
+        self._executor: Optional[BatchQueryExecutor] = None
+        if cfg.backend == "process":
+            self._executor = BatchQueryExecutor(
+                network,
+                workers=cfg.workers,
+                backend="process",
+                limits=self.limits,
+                build_args=build_args,
+                worker_tracing=cfg.phase_timing,
+            )
+        # The dedicated in-process worker ?trace=1 requests run on when
+        # the serving backend cannot be traced (process pool) or to
+        # avoid stealing a serving worker; built lazily.
+        self._trace_state: Optional[WorkerState] = None
+        self._trace_lock = threading.Lock()
+
+        self.workers = 1 if cfg.backend == "serial" else cfg.workers
+        #: Admitted requests may number at most workers + max_queue.
+        self.capacity = self.workers + cfg.max_queue
+        self._admission_lock = threading.Lock()
+        self._inflight = 0
+
+        self._ready = threading.Event()
+        self._closing = False
+        self._access_lock = threading.Lock()
+        self._access_fp = (
+            open(cfg.access_log_path, "a", encoding="utf-8")
+            if cfg.access_log_path else None
+        )
+        self.recent: deque = deque(maxlen=cfg.recent_ring_size)
+        self.slow: deque = deque(maxlen=cfg.recent_ring_size)
+        self._traces: "deque[_TraceRecord]" = deque(
+            maxlen=cfg.trace_ring_size
+        )
+
+        self.registry.set_gauge("service.workers", self.workers)
+        self.registry.set_gauge("service.capacity", self.capacity)
+        self.registry.set_gauge("service.queue_depth", 0)
+        self.registry.set_gauge("service.ready", 0)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _worker_state(self) -> WorkerState:
+        recorder = _worker_recorder(self.config.phase_timing)
+        if self._explain is not None:
+            recorder.explain = self._explain
+        return WorkerState(self.snapshot, recorder=recorder)
+
+    def warm(self) -> "GPSSNService":
+        """Build every worker's warm state (idempotent, blocking)."""
+        if self._ready.is_set():
+            return self
+        if self._executor is not None:
+            self._executor.warm()
+        else:
+            while self._worker_pool.qsize() < self.workers:
+                self._worker_pool.put(
+                    (self._worker_pool.qsize(), self._worker_state())
+                )
+        self._ready.set()
+        self.registry.set_gauge("service.ready", 1)
+        return self
+
+    def warm_async(self) -> threading.Thread:
+        """Warm in the background so the HTTP plane is up immediately;
+        ``/readyz`` reports 503 until the thread finishes."""
+        thread = threading.Thread(
+            target=self.warm, name="gpssn-warm", daemon=True
+        )
+        thread.start()
+        return thread
+
+    @property
+    def ready(self) -> bool:
+        return self._ready.is_set() and not self._closing
+
+    def close(self) -> None:
+        self._closing = True
+        self.registry.set_gauge("service.ready", 0)
+        if self._executor is not None:
+            self._executor.close()
+        if self._access_fp is not None:
+            with self._access_lock:
+                self._access_fp.close()
+                self._access_fp = None
+
+    def __enter__(self) -> "GPSSNService":
+        return self.warm()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def uptime_sec(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self) -> None:
+        """Claim an admission slot or raise :class:`ServiceOverloadedError`."""
+        with self._admission_lock:
+            if self._inflight >= self.capacity:
+                self.registry.inc("service.rejected")
+                raise ServiceOverloadedError(
+                    f"{self._inflight} requests in flight >= capacity "
+                    f"{self.capacity} ({self.workers} workers + "
+                    f"{self.config.max_queue} queue slots)"
+                )
+            self._inflight += 1
+            self.registry.set_gauge("service.queue_depth", self._inflight)
+
+    def release(self) -> None:
+        with self._admission_lock:
+            self._inflight = max(0, self._inflight - 1)
+            self.registry.set_gauge("service.queue_depth", self._inflight)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._admission_lock:
+            return self._inflight
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(
+        self,
+        entries: Sequence[Tuple],
+        request_id: str,
+        trace: bool = False,
+    ) -> RequestResult:
+        """Answer one admitted request's entries on a warm worker.
+
+        The caller holds the admission slot; this blocks until a worker
+        frees up (bounded by admission), runs the request's deduped
+        plan, fans outcomes back out, and absorbs every outcome into
+        the service registry.
+        """
+        self._ready.wait()
+        started = time.perf_counter()
+        plan = plan_batch(entries, 1)
+        if trace:
+            item_outcomes, traced = self._run_traced(plan, request_id), True
+        elif self._executor is not None:
+            outcomes = self._executor.submit_shard(list(plan.items)).result()
+            item_outcomes, traced = dict(enumerate(outcomes)), False
+        else:
+            item_outcomes, traced = self._run_pooled(plan), False
+        outcomes = fan_out_outcomes(plan, item_outcomes)
+        duration = time.perf_counter() - started
+        self._absorb(plan, item_outcomes, outcomes, duration, request_id)
+        return RequestResult(
+            outcomes=outcomes, duration_sec=duration, traced=traced
+        )
+
+    def _run_pooled(self, plan: BatchPlan) -> Dict[int, QueryOutcome]:
+        """Run a plan on one checked-out in-process worker."""
+        worker_id, state = self._worker_pool.get()
+        try:
+            state.prewarm_issuers(plan.shard_issuers(0))
+            outcomes = {
+                idx: state.run_item(item, self.limits, worker_id)
+                for idx, item in enumerate(plan.items)
+            }
+            self._drain_tracer(state)
+            return outcomes
+        finally:
+            self._worker_pool.put((worker_id, state))
+
+    def _run_traced(
+        self, plan: BatchPlan, request_id: str
+    ) -> Dict[int, QueryOutcome]:
+        """Run a plan on the dedicated diagnostic worker with span +
+        funnel capture, retaining the trace for ``/trace/<id>``."""
+        with self._trace_lock:
+            if self._trace_state is None:
+                self._trace_state = WorkerState(self.snapshot)
+            state = self._trace_state
+            processor = state.processor
+            saved = processor.recorder
+            capture = Recorder(tracer=Tracer(), explain=ExplainRecorder())
+            processor.recorder = capture
+            try:
+                with capture.span("request") as span:
+                    span.set(
+                        request_id=request_id, queries=plan.num_queries
+                    )
+                    outcomes = {
+                        idx: state.run_item(item, self.limits, worker=-2)
+                        for idx, item in enumerate(plan.items)
+                    }
+            finally:
+                processor.recorder = saved
+        self._traces.append(_TraceRecord(
+            request_id=request_id,
+            span_lines=spans_to_jsonl(capture.tracer.roots),
+            explain=capture.explain.as_dict(),
+            rule_counts=capture.explain.rule_counts(),
+            duration_sec=sum(
+                o.duration_sec for o in outcomes.values()
+            ),
+            num_queries=plan.num_queries,
+        ))
+        return outcomes
+
+    @staticmethod
+    def _drain_tracer(state: WorkerState) -> None:
+        tracer = state.processor.recorder.tracer
+        if getattr(tracer, "active", False):
+            tracer.clear()
+
+    def trace(self, request_id: str) -> Optional[_TraceRecord]:
+        for record in reversed(self._traces):
+            if record.request_id == request_id:
+                return record
+        return None
+
+    def _absorb(
+        self,
+        plan: BatchPlan,
+        item_outcomes: Dict[int, QueryOutcome],
+        outcomes: List[QueryOutcome],
+        duration: float,
+        request_id: str,
+    ) -> None:
+        """Feed one finished request into the long-lived registry."""
+        m = self.registry
+        m.inc("service.requests")
+        m.inc("service.queries", len(outcomes))
+        m.inc("service.dedup_saved", plan.duplicates_saved)
+        m.observe_window("http.request_seconds", duration)
+        slow_cutoff = self.config.slow_query_sec
+        for outcome in item_outcomes.values():
+            m.observe_window("service.query_seconds", outcome.duration_sec)
+            m.observe("service.query_latency_sec", outcome.duration_sec)
+            if outcome.status == STATUS_TIMEOUT:
+                m.inc("service.timeouts")
+            elif outcome.status == STATUS_ERROR:
+                m.inc("service.errors")
+            if outcome.stats is not None:
+                self.recorder.record_query(outcome.stats)
+            if outcome.duration_sec >= slow_cutoff:
+                self.slow.append({
+                    "request_id": request_id,
+                    "query_id": outcome.request_id,
+                    "user": plan.items[_item_index(plan, outcome)]
+                    .query.query_user,
+                    "status": outcome.status,
+                    "duration_sec": round(outcome.duration_sec, 6),
+                    "ts": time.time(),
+                })
+
+    # -- request/access accounting ------------------------------------------
+
+    def log_request(
+        self,
+        request_id: str,
+        method: str,
+        path: str,
+        status: int,
+        duration_sec: float,
+        num_queries: int = 0,
+        query_ids: Sequence[str] = (),
+        error: str = "",
+    ) -> None:
+        """One structured access-log record (JSONL file + recent ring)."""
+        record = {
+            "ts": round(time.time(), 6),
+            "request_id": request_id,
+            "method": method,
+            "path": path,
+            "status": status,
+            "duration_sec": round(duration_sec, 6),
+        }
+        if num_queries:
+            record["queries"] = num_queries
+        if query_ids:
+            record["query_ids"] = list(query_ids)
+        if error:
+            record["error"] = error
+        self.registry.inc(f"http.status.{status}")
+        self.recent.append(record)
+        if self._access_fp is not None:
+            line = json.dumps(record, sort_keys=True)
+            with self._access_lock:
+                if self._access_fp is not None:
+                    self._access_fp.write(line + "\n")
+                    self._access_fp.flush()
+
+    # -- observability outputs ----------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for one scrape (snapshot-consistent)."""
+        self.registry.set_gauge("service.queue_depth", self.queue_depth)
+        snapshot = self.registry.snapshot()
+        return prometheus_text(
+            snapshot, explain=self._explain, uptime_sec=self.uptime_sec
+        )
+
+    def status_view(self) -> Dict[str, object]:
+        """The plain-data view the /status dashboard renders."""
+        snapshot = self.registry.snapshot()
+        cfg = self.config
+        return {
+            "uptime_sec": self.uptime_sec,
+            "started_wall": self.started_wall,
+            "ready": self.ready,
+            "backend": cfg.backend,
+            "workers": self.workers,
+            "capacity": self.capacity,
+            "queue_depth": self.queue_depth,
+            "counters": snapshot.counters,
+            "gauges": snapshot.gauges,
+            "histograms": snapshot.histograms,
+            "windows": snapshot.windows,
+            "slow_queries": list(self.slow),
+            "recent_requests": list(self.recent),
+            "traces": [
+                {
+                    "request_id": record.request_id,
+                    "num_queries": record.num_queries,
+                    "duration_sec": record.duration_sec,
+                }
+                for record in self._traces
+            ],
+            "explain": (
+                self._explain.as_dict() if self._explain is not None else {}
+            ),
+        }
+
+
+def _item_index(plan: BatchPlan, outcome: QueryOutcome) -> int:
+    """The plan item an outcome answers (its first position's item)."""
+    for idx, item in enumerate(plan.items):
+        if outcome.index in item.positions:
+            return idx
+    return 0  # pragma: no cover - outcomes always come from plan items
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+
+class GPSSNHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that owns one :class:`GPSSNService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: GPSSNService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def shutdown(self) -> None:  # graceful: drain readiness first
+        self.service.close()
+        super().shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP verbs onto the service; every response carries the
+    request's correlation id in ``X-Request-Id``."""
+
+    server: GPSSNHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def service(self) -> GPSSNService:
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence the default stderr chatter; the structured access log
+        is the record of truth."""
+
+    def _request_id(self) -> str:
+        supplied = self.headers.get("X-Request-Id", "").strip()
+        if supplied and len(supplied) <= 128:
+            return supplied
+        return f"req-{uuid.uuid4().hex[:12]}"
+
+    def _respond(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        request_id: str,
+        extra_headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", request_id)
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_json_error(
+        self,
+        status: int,
+        message: str,
+        request_id: str,
+        extra_headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
+        body = json.dumps(
+            {"error": message, "request_id": request_id}, sort_keys=True
+        ).encode("utf-8") + b"\n"
+        self._respond(
+            status, body, "application/json", request_id, extra_headers
+        )
+
+    # -- verbs --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        request_id = self._request_id()
+        started = time.perf_counter()
+        split = urlsplit(self.path)
+        path, query = split.path.rstrip("/") or "/", parse_qs(split.query)
+        status = 200
+        error = ""
+        try:
+            if path == "/healthz":
+                self._respond(200, b"ok\n", "text/plain", request_id)
+            elif path == "/readyz":
+                if self.service.ready:
+                    self._respond(200, b"ready\n", "text/plain", request_id)
+                else:
+                    status = 503
+                    self._respond(
+                        503, b"warming\n", "text/plain", request_id
+                    )
+            elif path == "/metrics":
+                body = self.service.metrics_text().encode("utf-8")
+                self._respond(
+                    200, body, "text/plain; version=0.0.4", request_id
+                )
+            elif path == "/status":
+                from .dashboard import render_status_html, render_status_text
+
+                view = self.service.status_view()
+                if query.get("format", [""])[0] == "text":
+                    body = render_status_text(view).encode("utf-8")
+                    self._respond(200, body, "text/plain", request_id)
+                else:
+                    body = render_status_html(view).encode("utf-8")
+                    self._respond(
+                        200, body, "text/html; charset=utf-8", request_id
+                    )
+            elif path.startswith("/trace/"):
+                record = self.service.trace(path[len("/trace/"):])
+                if record is None:
+                    status, error = 404, "unknown trace id"
+                    self._respond_json_error(404, error, request_id)
+                else:
+                    payload = {
+                        "request_id": record.request_id,
+                        "spans": [
+                            json.loads(line) for line in record.span_lines
+                        ],
+                        "explain": record.explain,
+                        "rule_totals": record.rule_counts,
+                    }
+                    body = json.dumps(
+                        payload, indent=2, sort_keys=True
+                    ).encode("utf-8") + b"\n"
+                    self._respond(200, body, "application/json", request_id)
+            else:
+                status, error = 404, f"no route for {path}"
+                self._respond_json_error(404, error, request_id)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            status, error = 499, "client disconnected"
+        finally:
+            self.service.log_request(
+                request_id, "GET", path, status,
+                time.perf_counter() - started, error=error,
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        request_id = self._request_id()
+        started = time.perf_counter()
+        split = urlsplit(self.path)
+        path, query = split.path.rstrip("/") or "/", parse_qs(split.query)
+        service = self.service
+        status = 200
+        error = ""
+        num_queries = 0
+        query_ids: List[str] = []
+        try:
+            if path != "/query":
+                status, error = 404, f"no route for {path}"
+                self._respond_json_error(404, error, request_id)
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = -1
+            if length < 0:
+                status, error = 400, "missing or invalid Content-Length"
+                self._respond_json_error(400, error, request_id)
+                return
+            if length > service.config.max_body_bytes:
+                status, error = 413, (
+                    f"body of {length} bytes exceeds the "
+                    f"{service.config.max_body_bytes} byte limit"
+                )
+                self._respond_json_error(413, error, request_id)
+                return
+            body = self.rfile.read(length).decode("utf-8", errors="replace")
+            try:
+                entries = parse_query_lines(
+                    body.splitlines(),
+                    service.config.default_max_groups,
+                )
+            except ProtocolError as exc:
+                status, error = 400, exc.located("body")
+                self._respond_json_error(400, error, request_id)
+                return
+            num_queries = len(entries)
+            trace = query.get("trace", ["0"])[0] in ("1", "true", "yes")
+            try:
+                service.admit()
+            except ServiceOverloadedError as exc:
+                status, error = 429, str(exc)
+                self._respond_json_error(
+                    429, error, request_id,
+                    extra_headers=(("Retry-After", "1"),),
+                )
+                return
+            try:
+                result = service.execute(entries, request_id, trace=trace)
+            finally:
+                service.release()
+            query_ids = sorted({
+                o.request_id for o in result.outcomes if o.request_id
+            })
+            lines = outcome_lines(result.outcomes)
+            payload = ("\n".join(lines) + "\n").encode("utf-8")
+            failed = sum(not o.ok for o in result.outcomes)
+            headers = [("X-Query-Count", str(len(result.outcomes)))]
+            if failed:
+                headers.append(("X-Failed-Count", str(failed)))
+            if result.traced:
+                headers.append(
+                    ("X-Trace-Url", f"/trace/{request_id}")
+                )
+            self._respond(
+                200, payload, "application/jsonl", request_id, headers
+            )
+        except BrokenPipeError:  # pragma: no cover - client went away
+            status, error = 499, "client disconnected"
+        except Exception as exc:  # noqa: BLE001 - daemon must not die
+            status, error = 500, f"{type(exc).__name__}: {exc}"
+            try:
+                self._respond_json_error(500, error, request_id)
+            except Exception:  # pragma: no cover - socket already gone
+                pass
+        finally:
+            self.service.log_request(
+                request_id, "POST", path, status,
+                time.perf_counter() - started,
+                num_queries=num_queries, query_ids=query_ids, error=error,
+            )
+
+
+def create_server(
+    network: SpatialSocialNetwork,
+    config: Optional[ServerConfig] = None,
+    build_args: Optional[Dict[str, object]] = None,
+) -> GPSSNHTTPServer:
+    """Bind the daemon (without serving); ``server.server_address`` holds
+    the resolved port when ``config.port`` is 0 (tests)."""
+    config = config or ServerConfig()
+    service = GPSSNService(network, config, build_args)
+    return GPSSNHTTPServer((config.host, config.port), service)
+
+
+def serve(
+    network: SpatialSocialNetwork,
+    config: Optional[ServerConfig] = None,
+    build_args: Optional[Dict[str, object]] = None,
+    ready_message=None,
+) -> None:
+    """Run the daemon until interrupted (the ``gpssn serve`` loop)."""
+    server = create_server(network, config, build_args)
+    server.service.warm_async()
+    host, port = server.server_address[:2]
+    if ready_message is not None:
+        ready_message(host, port)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

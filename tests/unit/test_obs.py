@@ -1,5 +1,6 @@
 """Unit tests for the observability layer (tracer, registry, exporters)."""
 
+import dataclasses
 import inspect
 import io
 import json
@@ -439,6 +440,7 @@ class TestPrometheusGolden:
             "# TYPE gpssn_query_cpu_time_sec summary",
             'gpssn_query_cpu_time_sec{quantile="0.5"} 1',
             'gpssn_query_cpu_time_sec{quantile="0.95"} 1',
+            'gpssn_query_cpu_time_sec{quantile="0.99"} 1',
             "gpssn_query_cpu_time_sec_count 1",
             "gpssn_query_cpu_time_sec_sum 1",
             "# HELP gpssn_query_cpu_time_sec_max Per-query measurement of the GP-SSN pipeline",
@@ -513,3 +515,68 @@ class TestNullParity:
 
     def test_active_flags_disagree(self):
         assert Tracer.active and not NullTracer.active
+
+
+class TestMetricsSnapshot:
+    def test_snapshot_is_frozen_and_decoupled(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 2)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 3.0)
+        registry.observe_window("w", 0.25)
+        snap = registry.snapshot()
+        registry.inc("a", 40)
+        registry.observe("h", 100.0)
+        # The snapshot is a point in time: later writes don't leak in.
+        assert snap.counters["a"] == 2
+        assert snap.histograms["h"].count == 1
+        assert snap.windows["w"].total_count == 1
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snap.counters = {}
+
+    def test_snapshot_feeds_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.inc("service.requests", 3)
+        registry.observe_window("http.request_seconds", 0.5)
+        text = prometheus_text(registry.snapshot(), uptime_sec=12.5)
+        assert "process_uptime_seconds 12.5" in text
+        assert "gpssn_service_requests 3" in text
+        assert 'gpssn_http_request_seconds{quantile="0.99"} 0.5' in text
+        assert "gpssn_http_request_seconds_count 1" in text
+        assert "gpssn_http_request_seconds_window_seconds 300" in text
+
+    def test_window_counts_stay_monotone_in_exposition(self):
+        from repro.obs import RollingHistogram
+
+        clock_now = [0.0]
+        registry = MetricsRegistry()
+        registry.windows["w"] = RollingHistogram(
+            window_sec=1.0, clock=lambda: clock_now[0]
+        )
+        for _ in range(3):
+            registry.observe_window("w", 1.0)
+        clock_now[0] = 100.0  # everything ages out of the window
+        snap = registry.snapshot()
+        assert snap.windows["w"].count == 0
+        # ... but the exported _count/_sum never go backwards.
+        text = prometheus_text(snap)
+        assert "gpssn_w_count 3" in text
+
+    def test_histogram_stats_shape(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        stats = hist.stats()
+        assert (stats.count, stats.sum) == (4, 10.0)
+        assert stats.mean == 2.5
+        assert stats.p50 == 2.0
+        assert stats.p99 == 4.0
+        assert stats.max == 4.0
+
+    def test_as_dict_includes_windows(self):
+        registry = MetricsRegistry()
+        registry.observe_window("w", 2.0)
+        doc = registry.as_dict()
+        assert doc["windows"]["w"]["total_count"] == 1
+        json.dumps(doc)  # JSON-serializable
+        assert "windows" not in MetricsRegistry().as_dict()

@@ -1,0 +1,113 @@
+"""Unit tests for the shared JSONL wire protocol (batch CLI + daemon)."""
+
+import json
+
+import pytest
+
+from repro.core.metrics import InterestMetric
+from repro.core.query import GPSSNAnswer, QueryStatistics
+from repro.service import (
+    ExecutionLimits,
+    ProtocolError,
+    outcome_lines,
+    parse_query_doc,
+    parse_query_lines,
+    run_with_limits,
+)
+
+
+class TestParseQueryDoc:
+    def test_full_line_parses(self):
+        query, max_groups = parse_query_doc({
+            "user": 3, "tau": 4, "gamma": 0.4, "theta": 0.3,
+            "radius": 2.5, "metric": "cosine", "max_groups": 500,
+        })
+        assert query.query_user == 3
+        assert query.tau == 4
+        assert query.metric is InterestMetric.COSINE
+        assert max_groups == 500
+
+    def test_defaults_match_table3(self):
+        query, max_groups = parse_query_doc({"user": 1})
+        assert (query.tau, query.gamma, query.theta, query.radius) == (
+            5, 0.5, 0.5, 2.0
+        )
+        assert query.metric is InterestMetric.DOT
+        assert max_groups is None
+
+    def test_default_max_groups_fallback(self):
+        _, max_groups = parse_query_doc({"user": 1}, default_max_groups=64)
+        assert max_groups == 64
+        _, max_groups = parse_query_doc(
+            {"user": 1, "max_groups": 8}, default_max_groups=64
+        )
+        assert max_groups == 8
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ProtocolError, match="unknown keys"):
+            parse_query_doc({"user": 1, "taus": 3})
+
+    def test_rejects_non_object_and_missing_user(self):
+        with pytest.raises(ProtocolError):
+            parse_query_doc([1, 2])
+        with pytest.raises(ProtocolError):
+            parse_query_doc({"tau": 3})
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ProtocolError):
+            parse_query_doc({"user": 1, "metric": "nope"})
+        with pytest.raises(ProtocolError):
+            parse_query_doc({"user": "not-a-number"})
+
+
+class TestParseQueryLines:
+    def test_blank_lines_skipped_numbers_kept(self):
+        entries = parse_query_lines([
+            "", '{"user": 1}', "   ", '{"user": 2, "tau": 3}',
+        ])
+        assert [q.query_user for q, _ in entries] == [1, 2]
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ProtocolError) as info:
+            parse_query_lines(['{"user": 1}', "{broken"])
+        assert info.value.line == 2
+        assert info.value.located("queries.jsonl").startswith(
+            "queries.jsonl:2: "
+        )
+
+    def test_empty_batch_is_an_error(self):
+        with pytest.raises(ProtocolError, match="no queries"):
+            parse_query_lines(["", "   "])
+
+    def test_located_without_line(self):
+        err = ProtocolError("boom")
+        assert err.located("body") == "body: boom"
+
+
+class TestOutcomeLines:
+    def _outcome(self):
+        def fn():
+            return (
+                GPSSNAnswer(found=True, users=frozenset({2, 1}),
+                            pois=frozenset({7}), max_distance=3.5),
+                QueryStatistics(),
+            )
+
+        return run_with_limits(
+            fn, ExecutionLimits(), index=0, worker=3, request_id="q-abc"
+        )
+
+    def test_lines_are_canonical_json(self):
+        [line] = outcome_lines([self._outcome()])
+        doc = json.loads(line)
+        assert doc["request_id"] == "q-abc"
+        assert doc["users"] == [1, 2]
+        assert "worker" not in doc  # run-variant fields stay out
+        # sorted keys: canonical byte form
+        assert line == json.dumps(doc, sort_keys=True)
+
+    def test_timing_flag_adds_measurements(self):
+        [line] = outcome_lines([self._outcome()], timing=True)
+        doc = json.loads(line)
+        assert doc["worker"] == 3
+        assert doc["attempts"] == 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.query import GPSSNQuery
-from repro.service import plan_batch, query_key
+from repro.service import plan_batch, query_key, query_request_id
 
 
 def q(user, tau=4, radius=2.0):
@@ -156,3 +156,28 @@ class TestIssuerAlignment:
                 issuer = plan.items[item_idx].query.query_user
                 issuer_shards.setdefault(issuer, set()).add(idx)
         assert all(len(s) == 1 for s in issuer_shards.values())
+
+
+class TestRequestIds:
+    def test_ids_are_content_derived_and_stable(self):
+        a = query_request_id(q(1), 100)
+        b = query_request_id(q(1), 100)
+        assert a == b
+        assert a.startswith("q-") and len(a) == 14
+
+    def test_any_parameter_changes_the_id(self):
+        base = query_request_id(q(1), None)
+        assert query_request_id(q(2), None) != base
+        assert query_request_id(q(1, tau=9), None) != base
+        assert query_request_id(q(1), 5) != base
+
+    def test_plan_items_carry_their_query_id(self):
+        entries = [(q(1), None), (q(2), None), (q(1), None)]
+        plan = plan_batch(entries, 2)
+        for item in plan.items:
+            assert item.request_id == query_request_id(
+                item.query, item.max_groups
+            )
+        # Duplicates collapse onto one item, hence one shared id.
+        ids = {item.request_id for item in plan.items}
+        assert len(ids) == plan.num_unique == 2

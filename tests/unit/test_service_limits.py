@@ -181,3 +181,73 @@ class TestQueryOutcomeSerialization:
         a, b = outcome.to_dict(), copy.to_dict()
         a.pop("index"), b.pop("index")
         assert a == b
+
+
+class TestSignalFallback:
+    def test_signal_valueerror_falls_back_posthoc(self, monkeypatch):
+        """If SIGALRM setup raises (signal off the real main thread),
+        the call must degrade to post-hoc detection, not fail."""
+        import signal as signal_module
+
+        from repro.service import limits as limits_module
+
+        monkeypatch.setattr(
+            limits_module, "_alarm_supported", lambda: True
+        )
+
+        def explode(*args, **kwargs):
+            raise ValueError("signal only works in main thread")
+
+        monkeypatch.setattr(signal_module, "signal", explode)
+        # Fast call: succeeds through the fallback path.
+        assert call_with_timeout(lambda: "done", 5.0) == "done"
+
+        # Slow call: the overrun is still detected (post-hoc).
+        def slow():
+            time.sleep(0.1)
+            return "late"
+
+        with pytest.raises(QueryTimeoutError, match="post-hoc"):
+            call_with_timeout(slow, 0.02)
+
+
+class TestRequestIdStamping:
+    def test_request_id_on_every_arm(self):
+        ok = run_with_limits(
+            _ok_fn, ExecutionLimits(), index=0, request_id="q-ok"
+        )
+        assert ok.request_id == "q-ok"
+
+        def slow():
+            time.sleep(0.1)
+            return _ok_fn()
+
+        timeout = run_with_limits(
+            slow, ExecutionLimits(timeout_sec=0.02), index=0,
+            request_id="q-slow",
+        )
+        assert timeout.status == STATUS_TIMEOUT
+        assert timeout.request_id == "q-slow"
+
+        def broken():
+            raise UnknownEntityError("user 99")
+
+        error = run_with_limits(
+            broken, ExecutionLimits(), index=0, request_id="q-bad"
+        )
+        assert error.status == STATUS_ERROR
+        assert error.request_id == "q-bad"
+
+    def test_request_id_survives_replication(self):
+        outcome = run_with_limits(
+            _ok_fn, ExecutionLimits(), index=0, request_id="q-dup"
+        )
+        assert outcome.replicated(5).request_id == "q-dup"
+
+    def test_request_id_in_canonical_dict_only_when_set(self):
+        without = run_with_limits(_ok_fn, ExecutionLimits(), index=0)
+        assert "request_id" not in without.to_dict()
+        with_id = run_with_limits(
+            _ok_fn, ExecutionLimits(), index=0, request_id="q-x"
+        )
+        assert with_id.to_dict()["request_id"] == "q-x"
