@@ -22,6 +22,13 @@ Three independent gates, all blocking in CI:
   paths must have produced byte-identical outcome lines. Like the
   kernel gate, both sides ran interleaved in the same process, so the
   ratio survives machine-to-machine noise.
+* **snapshot scale** — validates a ``BENCH_snapshot_scale.json``
+  (``--snapshot-scale``): memmap-attaching a frozen arena must stay at
+  least ``min_speedup`` times faster than the document-mode worker
+  rebuild at the largest benched scale, attached workers must stay
+  within the committed incremental-RSS budget, and attached answers
+  must have matched the in-memory processor at every scale. Attach and
+  rebuild ran in the same process, so the ratio is machine-stable.
 
 Usage::
 
@@ -29,7 +36,8 @@ Usage::
         --baseline benchmarks/results/BENCH_pruning_funnel.json \
         --current  /tmp/BENCH_pruning_funnel.json \
         --pair-kernel benchmarks/results/BENCH_pair_kernel.json \
-        --serve benchmarks/results/BENCH_serve.json
+        --serve benchmarks/results/BENCH_serve.json \
+        --snapshot-scale benchmarks/results/BENCH_snapshot_scale.json
 """
 
 from __future__ import annotations
@@ -131,6 +139,58 @@ def compare_serve(payload: dict, max_overhead: float = None) -> List[str]:
     return failures
 
 
+def compare_snapshot_scale(
+    payload: dict, min_speedup: float = None
+) -> List[str]:
+    """Return one message per violated snapshot-scale invariant (empty
+    list = gate passes).
+
+    Floors/budgets default to the payload's own committed values
+    (``min_speedup``, ``max_attach_rss_fraction``,
+    ``attach_rss_floor_mb``), so CI needs no out-of-band configuration.
+    The speedup gate applies at the largest benched scale only — small
+    arenas legitimately amortize less — while answer equivalence must
+    hold at every scale.
+    """
+    failures: List[str] = []
+    rows = payload.get("rows") or []
+    if not rows:
+        return ["snapshot-scale: no rows recorded"]
+    if min_speedup is None:
+        min_speedup = float(payload.get("min_speedup", 1.0))
+    for row in rows:
+        if row.get("outcomes_match") is not True:
+            failures.append(
+                f"snapshot-scale: attached worker diverged from the "
+                f"in-memory processor at {row.get('road_vertices')} vertices"
+            )
+    top = max(rows, key=lambda r: r.get("road_vertices", 0))
+    speedup = top.get("speedup")
+    if speedup is None:
+        failures.append("snapshot-scale: no attach speedup recorded")
+    elif speedup < min_speedup:
+        failures.append(
+            f"snapshot-scale: attach is only {speedup:.1f}x faster than "
+            f"rebuild at {top.get('road_vertices')} vertices "
+            f"({top.get('rebuild_sec', 0):.3f} s -> "
+            f"{top.get('attach_sec', 0):.4f} s), below the "
+            f"{min_speedup:.1f}x floor"
+        )
+    rss_gate = max(
+        float(payload.get("attach_rss_floor_mb", 32.0)),
+        float(payload.get("max_attach_rss_fraction", 0.25))
+        * float(top.get("rebuild_rss_mb", 0.0)),
+    )
+    attach_rss = top.get("attach_rss_mb")
+    if attach_rss is not None and attach_rss > rss_gate:
+        failures.append(
+            f"snapshot-scale: attached worker added {attach_rss:.1f} MB "
+            f"RSS at {top.get('road_vertices')} vertices "
+            f"(budget {rss_gate:.0f} MB) — the arena is no longer shared"
+        )
+    return failures
+
+
 def latency_report(baseline: dict, current: dict) -> List[str]:
     """Informational per-dataset latency drift lines (never failing)."""
     lines: List[str] = []
@@ -184,14 +244,25 @@ def main(argv=None) -> int:
         "--max-overhead", type=float, default=None,
         help="override the serve payload's committed overhead ceiling",
     )
+    parser.add_argument(
+        "--snapshot-scale",
+        help="BENCH_snapshot_scale.json to validate against its attach "
+        "speedup floor and RSS budget",
+    )
+    parser.add_argument(
+        "--min-attach-speedup", type=float, default=None,
+        help="override the snapshot-scale payload's committed attach "
+        "speedup floor",
+    )
     args = parser.parse_args(argv)
 
     if bool(args.baseline) != bool(args.current):
         parser.error("--baseline and --current must be given together")
-    if not args.baseline and not args.pair_kernel and not args.serve:
+    if not args.baseline and not args.pair_kernel and not args.serve \
+            and not args.snapshot_scale:
         parser.error(
             "nothing to check: give --baseline/--current, --pair-kernel, "
-            "and/or --serve"
+            "--serve, and/or --snapshot-scale"
         )
 
     failures: List[str] = []
@@ -247,6 +318,29 @@ def main(argv=None) -> int:
             )
             print("serve overhead within its committed ceiling")
         failures.extend(serve_failures)
+
+    if args.snapshot_scale:
+        with open(args.snapshot_scale, encoding="utf-8") as fp:
+            scale_payload = json.load(fp)
+        scale_failures = compare_snapshot_scale(
+            scale_payload, min_speedup=args.min_attach_speedup
+        )
+        if not scale_failures:
+            rows = scale_payload.get("rows") or []
+            top = max(rows, key=lambda r: r.get("road_vertices", 0))
+            floor = (
+                args.min_attach_speedup
+                if args.min_attach_speedup is not None
+                else scale_payload.get("min_speedup", 1.0)
+            )
+            print(
+                f"[snapshot-scale] {top.get('road_vertices')} vertices: "
+                f"attach {top.get('speedup', 0):.1f}x over rebuild "
+                f"(floor {float(floor):.1f}x), "
+                f"+{top.get('attach_rss_mb', 0):.1f} MB RSS per worker"
+            )
+            print("snapshot attach above its committed speedup floor")
+        failures.extend(scale_failures)
 
     if failures:
         for message in failures:

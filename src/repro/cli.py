@@ -1,10 +1,13 @@
 """Command-line interface.
 
-Nine subcommands cover the everyday workflow:
+Ten subcommands cover the everyday workflow:
 
 * ``gpssn generate`` — build a synthetic or simulated-real spatial-social
   network and save it as a JSON bundle;
 * ``gpssn stats`` — print Table-2-style statistics of a bundle;
+* ``gpssn freeze`` — compile a bundle (network + built indexes) into a
+  zero-copy frozen snapshot that ``query``/``batch``/``serve`` memmap
+  via ``--snapshot`` instead of rebuilding state per worker;
 * ``gpssn query`` — answer a GP-SSN query (optionally top-k or sampled)
   against a bundle;
 * ``gpssn batch`` — answer a JSONL file of queries concurrently through
@@ -45,7 +48,7 @@ from .core.algorithm import GPSSNQueryProcessor
 from .core.metrics import InterestMetric
 from .core.query import GPSSNQuery
 from .core.tuning import suggest_parameters
-from .exceptions import GPSSNError, InvalidParameterError
+from .exceptions import GPSSNError, InvalidParameterError, SnapshotFormatError
 from .experiments.calibration import calibrate, calibration_rows
 from .datagen.realworld import dataset_stats
 from .experiments import figures as figure_drivers
@@ -92,6 +95,26 @@ def _load_network(path: str):
     except (OSError, json.JSONDecodeError, InvalidParameterError) as exc:
         raise CLIError(EXIT_INPUT, f"cannot load bundle {path}: {exc}")
 
+
+def _frozen_snapshot(path: str):
+    """A frozen-mode :class:`NetworkSnapshot`, or :data:`EXIT_INPUT`."""
+    from .service.executor import NetworkSnapshot
+
+    try:
+        return NetworkSnapshot.from_frozen(path)
+    except (OSError, SnapshotFormatError) as exc:
+        raise CLIError(EXIT_INPUT, f"cannot open snapshot {path}: {exc}")
+
+
+def _require_one_input(args: argparse.Namespace) -> None:
+    """``--input`` and ``--snapshot`` are exclusive and one is required."""
+    if args.input and getattr(args, "snapshot", None):
+        raise CLIError(
+            EXIT_INPUT, "use either --input or --snapshot, not both"
+        )
+    if not args.input and not getattr(args, "snapshot", None):
+        raise CLIError(EXIT_INPUT, "one of --input or --snapshot is required")
+
 FIGURE_DRIVERS = {
     "table2": figure_drivers.table2_datasets,
     "fig7a": figure_drivers.fig7a_index_object_pruning,
@@ -114,7 +137,13 @@ FIGURE_DRIVERS = {
 
 def _add_query_args(parser: argparse.ArgumentParser) -> None:
     """The query-shaped argument set shared by ``query`` and ``explain``."""
-    parser.add_argument("--input", required=True)
+    parser.add_argument("--input", default=None, help="bundle path (.json)")
+    parser.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="memmap a frozen snapshot (gpssn freeze) instead of "
+        "rebuilding from a bundle; the snapshot's recorded build recipe "
+        "(seed, distance engine) wins over the matching flags",
+    )
     parser.add_argument("--user", type=int, required=True)
     parser.add_argument("--tau", type=int, default=5)
     parser.add_argument("--gamma", type=float, default=0.5)
@@ -168,6 +197,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print bundle statistics")
     stats.add_argument("--input", required=True)
 
+    frz = sub.add_parser(
+        "freeze",
+        help="compile a bundle into a zero-copy frozen snapshot "
+        "(memmap arena) for --snapshot attach",
+    )
+    frz.add_argument("--input", required=True, help="bundle path (.json)")
+    frz.add_argument(
+        "--output", required=True, help="snapshot path (.gpssnap)"
+    )
+    frz.add_argument(
+        "--distance-engine", choices=list(DISTANCE_ENGINES), default="plain",
+        help="dist_RN engine baked into the snapshot (ch also freezes "
+        "the preprocessed hierarchy)",
+    )
+    frz.add_argument("--seed", type=int, default=7)
+    frz.add_argument(
+        "--no-index", action="store_true",
+        help="freeze the network arrays only; workers rebuild pivot "
+        "tables and R*-trees on attach",
+    )
+
     query = sub.add_parser("query", help="answer a GP-SSN query")
     _add_query_args(query)
 
@@ -176,7 +226,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer a JSONL file of GP-SSN queries through the "
         "concurrent batch executor",
     )
-    batch.add_argument("--input", required=True, help="bundle path (.json)")
+    batch.add_argument("--input", default=None, help="bundle path (.json)")
+    batch.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="attach workers to a frozen snapshot (gpssn freeze) "
+        "instead of rebuilding per worker",
+    )
     batch.add_argument(
         "--queries", required=True,
         help="JSONL query file: one object per line with a required "
@@ -232,7 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
         "observability plane (/query, /metrics, /healthz, /readyz, "
         "/status)",
     )
-    serve.add_argument("--input", required=True, help="bundle path (.json)")
+    serve.add_argument("--input", default=None, help="bundle path (.json)")
+    serve.add_argument(
+        "--snapshot", default=None, metavar="PATH",
+        help="serve a frozen snapshot (gpssn freeze); workers memmap "
+        "the shared arena instead of rebuilding",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--port", type=int, default=8080,
@@ -416,13 +476,49 @@ def _print_answers(answers) -> None:
         )
 
 
-def cmd_query(args: argparse.Namespace) -> int:
+def _processor_from_args(
+    args: argparse.Namespace, recorder: Recorder
+) -> GPSSNQueryProcessor:
+    """Resolve ``--snapshot``/``--input`` into a ready processor."""
+    _require_one_input(args)
+    if args.snapshot:
+        _, processor = _frozen_snapshot(args.snapshot).build_worker(recorder)
+        return processor
     network = _load_network(args.input)
-    recorder = _recorder_from_args(args)
-    processor = GPSSNQueryProcessor(
+    return GPSSNQueryProcessor(
         network, seed=args.seed, recorder=recorder,
         distance_engine=args.distance_engine,
     )
+
+
+def cmd_freeze(args: argparse.Namespace) -> int:
+    from .io.snapshot import freeze
+
+    network = _load_network(args.input)
+    meta = freeze(
+        network,
+        args.output,
+        build_args={
+            "seed": args.seed, "distance_engine": args.distance_engine,
+        },
+        include_indexes=not args.no_index,
+    )
+    import os
+
+    size = os.path.getsize(args.output)
+    counts = meta["counts"]
+    print(
+        f"froze {args.input} -> {args.output}: {size} bytes, "
+        f"{counts['vertices']} vertices, {counts['pois']} POIs, "
+        f"{counts['users']} users, engine={meta['distance_engine']}, "
+        f"indexes={'yes' if meta.get('index') else 'no'}"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    recorder = _recorder_from_args(args)
+    processor = _processor_from_args(args, recorder)
     answers, stats = _execute_query(processor, args)
     _print_answers(answers)
     print(format_stats_line(stats))
@@ -451,18 +547,31 @@ def _load_batch_entries(
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    network = _load_network(args.input)
+    _require_one_input(args)
     entries = _load_batch_entries(args.queries, args.max_groups)
     recorder = _recorder_from_args(args)
     limits = ExecutionLimits(timeout_sec=args.timeout, retries=args.retries)
-    executor = BatchQueryExecutor(
-        network,
-        workers=args.workers,
-        backend=args.backend,
-        limits=limits,
-        build_args={"seed": args.seed, "distance_engine": args.distance_engine},
-        recorder=recorder,
-    )
+    if args.snapshot:
+        executor = BatchQueryExecutor(
+            None,
+            workers=args.workers,
+            backend=args.backend,
+            limits=limits,
+            recorder=recorder,
+            snapshot=_frozen_snapshot(args.snapshot),
+        )
+    else:
+        network = _load_network(args.input)
+        executor = BatchQueryExecutor(
+            network,
+            workers=args.workers,
+            backend=args.backend,
+            limits=limits,
+            build_args={
+                "seed": args.seed, "distance_engine": args.distance_engine,
+            },
+            recorder=recorder,
+        )
     with executor:
         outcomes = executor.run_entries(entries)
     lines = outcome_lines(outcomes, timing=args.timing)
@@ -489,7 +598,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # HTTP server machinery, which no other subcommand needs.
     from .service.server import ServerConfig, serve as run_server
 
-    network = _load_network(args.input)
+    _require_one_input(args)
+    snapshot = _frozen_snapshot(args.snapshot) if args.snapshot else None
+    network = _load_network(args.input) if args.input else None
     try:
         config = ServerConfig(
             host=args.host,
@@ -519,21 +630,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
     run_server(
         network,
         config,
-        build_args={
+        build_args=None if snapshot else {
             "seed": args.seed, "distance_engine": args.distance_engine,
         },
         ready_message=announce,
+        snapshot=snapshot,
     )
     return EXIT_OK
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    network = _load_network(args.input)
     recorder = _recorder_from_args(args, explaining=True)
-    processor = GPSSNQueryProcessor(
-        network, seed=args.seed, recorder=recorder,
-        distance_engine=args.distance_engine,
-    )
+    processor = _processor_from_args(args, recorder)
     answers, stats = _execute_query(processor, args)
     if args.json:
         print(explain_to_json(recorder.explain, stats=stats))
@@ -589,6 +697,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": cmd_generate,
         "stats": cmd_stats,
+        "freeze": cmd_freeze,
         "query": cmd_query,
         "batch": cmd_batch,
         "serve": cmd_serve,

@@ -6,10 +6,13 @@
   real datasets Bri+Cal (Brightkite + California) and Gow+Col
   (Gowalla + Colorado), whose originals are not redistributable here;
 * :mod:`~repro.datagen.distributions` — the Uniform / Zipf samplers the
-  generators share.
+  generators share;
+* :mod:`~repro.datagen.scale` — a vectorized O(V) grid generator for
+  benchmark sweeps up to 10^5 road vertices.
 """
 
 from .distributions import Distribution, UniformSampler, ZipfSampler, make_sampler
+from .scale import generate_grid_network, grid_road_network
 from .realworld import (
     DatasetStats,
     brightkite_california,
@@ -30,7 +33,9 @@ __all__ = [
     "UniformSampler",
     "ZipfSampler",
     "make_sampler",
+    "generate_grid_network",
     "generate_road_network",
+    "grid_road_network",
     "generate_pois",
     "generate_social_network",
     "generate_spatial_social_network",

@@ -47,3 +47,12 @@ class InfeasibleQueryError(GPSSNError):
 class IndexStateError(GPSSNError):
     """Raised when an index is used before it has been built or after it
     has been invalidated by a mutation of the underlying network."""
+
+
+class SnapshotFormatError(GPSSNError):
+    """Raised when a frozen snapshot file cannot be opened safely.
+
+    Examples: a bad magic string, a truncated file whose section table
+    points past the end, an unsupported format version, or a section
+    whose checksum fails verification.
+    """

@@ -156,6 +156,29 @@ class RoadPivotIndex:
         self.pivots: List[int] = list(pivot_vertices)
         self._maps: List[DistanceMap] = [dijkstra(road, p) for p in self.pivots]
 
+    @classmethod
+    def from_maps(
+        cls,
+        road: RoadNetwork,
+        pivot_vertices: Sequence[int],
+        maps: Sequence,
+    ) -> "RoadPivotIndex":
+        """Revive pivot distances from pre-computed per-pivot maps.
+
+        Frozen snapshots store one dense distance row per pivot; re-running
+        the full Dijkstras on attach would defeat the O(1) open. Each map
+        only needs ``.get(vertex_id, default)``.
+        """
+        if len(pivot_vertices) != len(maps):
+            raise InvalidParameterError(
+                f"{len(pivot_vertices)} pivots but {len(maps)} distance maps"
+            )
+        index = cls.__new__(cls)
+        index.road = road
+        index.pivots = [int(p) for p in pivot_vertices]
+        index._maps = list(maps)
+        return index
+
     @property
     def num_pivots(self) -> int:
         return len(self.pivots)

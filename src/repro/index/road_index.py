@@ -159,10 +159,12 @@ class RoadIndex:
         # Pre-compute per-POI regions and pivot distances. One truncated
         # Dijkstra (radius 2*r_max) per POI; sub regions reuse the same map.
         for poi in pois:
-            region = network.pois_within(poi.poi_id, 2.0 * self.r_max)
+            region_dists = network.poi_distances_within(
+                poi.poi_id, 2.0 * self.r_max
+            )
+            region = list(region_dists)
             inner = [
-                pid for pid in region
-                if network.poi_poi_distance(poi.poi_id, pid) <= self.r_min
+                pid for pid, d in region_dists.items() if d <= self.r_min
             ]
             sup_k = union_keywords(network.poi(pid) for pid in region)
             sub_k = union_keywords(network.poi(pid) for pid in inner)

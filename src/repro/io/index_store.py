@@ -9,6 +9,11 @@ recomputing only the pivot SSSP/BFS tables (a handful of searches).
 The store records the network version at save time; loading against a
 network that has since mutated (or a different network) is rejected, the
 same staleness contract the live processor enforces.
+
+The document-level halves (:func:`processor_to_document` /
+:func:`processor_from_document`) are exposed separately so the frozen
+snapshot arena (:mod:`repro.io.snapshot`) can embed the same index
+document next to its memmapped arrays instead of a second file.
 """
 
 from __future__ import annotations
@@ -32,8 +37,8 @@ FORMAT_NAME = "gpssn-index-store"
 FORMAT_VERSION = 1
 
 
-def save_processor(path: PathLike, processor: GPSSNQueryProcessor) -> None:
-    """Serialize a built processor's indexes to ``path`` (JSON).
+def processor_to_document(processor: GPSSNQueryProcessor) -> dict:
+    """The JSON-serializable image :func:`save_processor` writes.
 
     When the network runs on the ``ch`` distance engine, the contraction
     hierarchy (the other expensive offline artifact) is persisted
@@ -45,7 +50,7 @@ def save_processor(path: PathLike, processor: GPSSNQueryProcessor) -> None:
     engine_doc = {"name": engine.name}
     if isinstance(engine, CHEngine):
         engine_doc["ch"] = engine.snapshot()
-    document = {
+    return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "network_version": processor.network.version,
@@ -55,41 +60,53 @@ def save_processor(path: PathLike, processor: GPSSNQueryProcessor) -> None:
         "social_index": processor.social_index.snapshot(),
         "distance_engine": engine_doc,
     }
+
+
+def save_processor(path: PathLike, processor: GPSSNQueryProcessor) -> None:
+    """Serialize a built processor's indexes to ``path`` (JSON)."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
+        json.dump(processor_to_document(processor), handle)
 
 
-def load_processor(
-    path: PathLike,
+def processor_from_document(
+    document: dict,
     network: SpatialSocialNetwork,
     toggles: Optional[PruningToggles] = None,
+    source: str = "<index-document>",
+    road_pivots: Optional[RoadPivotIndex] = None,
+    build_args: Optional[dict] = None,
 ) -> GPSSNQueryProcessor:
-    """Reconstruct a processor from :func:`save_processor` output.
+    """Reconstruct a processor from a :func:`processor_to_document` image.
 
     Args:
-        path: the saved index store.
-        network: the *same* network the store was built against (checked
-            via the version counter).
+        document: the parsed index document.
+        network: the *same* network the document was built against
+            (checked via the version counter).
         toggles: optional pruning toggles for the revived processor.
+        source: where the document came from (error messages only).
+        road_pivots: optional pre-built pivot index — frozen snapshots
+            carry the pivot distance rows and pass a revived index here
+            so no per-pivot Dijkstra runs on attach.
+        build_args: optional ``_build_args`` override recorded on the
+            revived processor (frozen snapshots persist the originals).
 
     Raises:
-        InvalidParameterError: wrong file format/version.
+        InvalidParameterError: wrong document format/version.
         IndexStateError: the network mutated since the store was written.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
     if document.get("format") != FORMAT_NAME:
         raise InvalidParameterError(
-            f"{path}: not a {FORMAT_NAME} file "
+            f"{source}: not a {FORMAT_NAME} document "
             f"(format={document.get('format')!r})"
         )
     if document.get("version") != FORMAT_VERSION:
         raise InvalidParameterError(
-            f"{path}: unsupported store version {document.get('version')!r}"
+            f"{source}: unsupported store version "
+            f"{document.get('version')!r}"
         )
     if document["network_version"] != network.version:
         raise IndexStateError(
-            f"{path}: built against network version "
+            f"{source}: built against network version "
             f"{document['network_version']}, current is {network.version}; "
             "rebuild the indexes instead of loading the store"
         )
@@ -107,7 +124,8 @@ def load_processor(
 
     road_snapshot = document["road_index"]
     social_snapshot = document["social_index"]
-    road_pivots = RoadPivotIndex(network.road, road_snapshot["pivots"])
+    if road_pivots is None:
+        road_pivots = RoadPivotIndex(network.road, road_snapshot["pivots"])
     social_pivots = SocialPivotIndex(
         network.social, social_snapshot["social_pivots"]
     )
@@ -132,7 +150,7 @@ def load_processor(
     # the PairKernel lazily like a freshly constructed one).
     processor.refinement_kernel = "vector"
     processor._kernel = None
-    processor._build_args = dict(
+    processor._build_args = dict(build_args) if build_args else dict(
         num_road_pivots=road_pivots.num_pivots,
         num_social_pivots=social_pivots.num_pivots,
         r_min=processor.r_min, r_max=processor.r_max,
@@ -143,3 +161,16 @@ def load_processor(
         refinement_kernel="vector",
     )
     return processor
+
+
+def load_processor(
+    path: PathLike,
+    network: SpatialSocialNetwork,
+    toggles: Optional[PruningToggles] = None,
+) -> GPSSNQueryProcessor:
+    """Reconstruct a processor from :func:`save_processor` output."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return processor_from_document(
+        document, network, toggles=toggles, source=str(path)
+    )

@@ -13,7 +13,7 @@ coupling invariants at construction time:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .config import NETWORK_DISTANCE_CACHE_SIZE
 from .exceptions import GraphConstructionError, UnknownEntityError
@@ -35,30 +35,42 @@ class SpatialSocialNetwork:
         num_keywords: int,
         distance_cache_size: int = NETWORK_DISTANCE_CACHE_SIZE,
         distance_engine: str = "plain",
+        validate: bool = True,
     ) -> None:
         self.road = road
         self.social = social
         self.num_keywords = int(num_keywords)
         self._pois: Dict[int, POI] = {}
-        for poi in pois:
-            if poi.poi_id in self._pois:
-                raise GraphConstructionError(f"duplicate POI id {poi.poi_id}")
-            road.validate_position(poi.position)
-            for keyword in poi.keywords:
-                if not 0 <= keyword < self.num_keywords:
+        if validate:
+            for poi in pois:
+                if poi.poi_id in self._pois:
                     raise GraphConstructionError(
-                        f"POI {poi.poi_id} keyword {keyword} outside "
-                        f"[0, {self.num_keywords})"
+                        f"duplicate POI id {poi.poi_id}"
                     )
-            self._pois[poi.poi_id] = poi
-        for user in social.users():
-            road.validate_position(user.home)
-            if user.dimensions != self.num_keywords:
-                raise GraphConstructionError(
-                    f"user {user.user_id} has {user.dimensions}-dim interests "
-                    f"but the network declares d={self.num_keywords}"
-                )
+                road.validate_position(poi.position)
+                for keyword in poi.keywords:
+                    if not 0 <= keyword < self.num_keywords:
+                        raise GraphConstructionError(
+                            f"POI {poi.poi_id} keyword {keyword} outside "
+                            f"[0, {self.num_keywords})"
+                        )
+                self._pois[poi.poi_id] = poi
+            for user in social.users():
+                road.validate_position(user.home)
+                if user.dimensions != self.num_keywords:
+                    raise GraphConstructionError(
+                        f"user {user.user_id} has {user.dimensions}-dim "
+                        f"interests but the network declares "
+                        f"d={self.num_keywords}"
+                    )
+        else:
+            # Attaching a frozen snapshot: the coupling invariants were
+            # validated when the file was written, and re-walking every
+            # POI/user would defeat the O(1) open.
+            for poi in pois:
+                self._pois[poi.poi_id] = poi
         self._poi_version = 0
+        self._endpoint_pois: Optional[Tuple[int, Dict[int, List[int]]]] = None
         #: shared oracle for dist_RN lookups; keys are ("user", id) and
         #: ("poi", id) so users and POIs never collide.
         self.distances = DistanceOracle(
@@ -190,6 +202,63 @@ class SpatialSocialNetwork:
             if d <= radius:
                 result.append(other.poi_id)
         return result
+
+    def _pois_by_endpoint(self) -> Dict[int, List[int]]:
+        """Edge-endpoint vertex -> ids of POIs anchored on that vertex.
+
+        Version-guarded lazy cache; lets bounded region sweeps gather
+        candidates from the searched neighbourhood instead of scanning
+        every POI.
+        """
+        cached = self._endpoint_pois
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        by_vertex: Dict[int, List[int]] = {}
+        for poi in self._pois.values():
+            for vertex in (poi.position.u, poi.position.v):
+                by_vertex.setdefault(vertex, []).append(poi.poi_id)
+        self._endpoint_pois = (self.version, by_vertex)
+        return by_vertex
+
+    def poi_distances_within(self, poi_id: int, radius: float) -> Dict[int, float]:
+        """``{o.id: dist_RN(o_i, o)}`` over POIs within ``radius`` of ``poi_id``.
+
+        One *bounded*, uncached search per call: offline index builds
+        sweep every POI once, where caching |P| full vertex maps would
+        both evict the query-relevant oracle entries and pay O(|V|) per
+        POI. The truncation is lossless — the edge endpoint realizing a
+        qualifying POI's distance lies on its shortest path, so that
+        vertex distance never exceeds ``radius``. Distances are exactly
+        the values :meth:`poi_poi_distance` would report.
+        """
+        from .roadnet.shortest_path import (
+            position_distance_from_map,
+            position_seeds,
+        )
+
+        center = self.poi(poi_id)
+        dist_map = self.distances.engine.sssp(
+            position_seeds(self.road, center.position),
+            max_distance=radius + 1e-9,
+        )
+        self.distances.searches_run += 1
+        by_endpoint = self._pois_by_endpoint()
+        candidates: set = set()
+        for vertex in dist_map:
+            candidates.update(by_endpoint.get(vertex, ()))
+        # Same-edge POIs reach the center by the direct along-edge walk,
+        # which needs no vertex map entry — always consider them.
+        for vertex in (center.position.u, center.position.v):
+            candidates.update(by_endpoint.get(vertex, ()))
+        out: Dict[int, float] = {}
+        for pid in sorted(candidates):
+            other = self._pois[pid]
+            d = position_distance_from_map(
+                self.road, dist_map, other.position, center.position
+            )
+            if d <= radius:
+                out[pid] = d
+        return out
 
     def __repr__(self) -> str:
         return (

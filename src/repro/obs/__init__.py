@@ -27,6 +27,7 @@ from .registry import (
     MetricsRegistry,
     MetricsSnapshot,
     Recorder,
+    process_rss_bytes,
 )
 from .rolling import RollingHistogram, WindowStats
 from .tracer import NullTracer, Span, Tracer, aggregate_spans
@@ -62,6 +63,7 @@ __all__ = [
     "explain_to_json",
     "format_stats_line",
     "phase_table",
+    "process_rss_bytes",
     "prometheus_text",
     "rule_info",
     "spans_to_jsonl",

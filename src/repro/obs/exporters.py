@@ -128,6 +128,8 @@ METRIC_HELP = {
     "explain.": "Pruning-funnel (EXPLAIN ANALYZE) statistics",
     "service.": "Query service (batch executor and serve daemon) statistics",
     "http.": "gpssn serve HTTP request statistics",
+    "snapshot.": "Frozen-snapshot (memmap arena) attach statistics",
+    "process.": "Process-level resource gauges",
 }
 _DEFAULT_HELP = "GP-SSN metric"
 

@@ -31,7 +31,34 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "Recorder",
+    "process_rss_bytes",
 ]
+
+
+def process_rss_bytes() -> float:
+    """This process's resident set size in bytes (0.0 if unknown).
+
+    Reads ``/proc/self/status`` (Linux); falls back to
+    ``resource.getrusage`` peak-RSS elsewhere. Used for the
+    ``process.rss_bytes`` gauge and the frozen-snapshot scale benchmark,
+    which measures how little incremental RSS a memmap-attached worker
+    adds over the shared page cache.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) * 1024.0
+    except OSError:
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return float(usage) * (1.0 if usage > 1 << 32 else 1024.0)
+    except Exception:  # pragma: no cover - platform without getrusage
+        return 0.0
 
 
 @dataclasses.dataclass(frozen=True)

@@ -34,6 +34,15 @@ from .csr import CSRGraph
 DEFAULT_WITNESS_SETTLE_CAP = 120
 
 
+def _as_list(x) -> list:
+    """Plain-Python list from a list or a (possibly memmapped) array.
+
+    ``.tolist()`` also unboxes numpy scalars, which matters for the
+    JSON snapshot path (``np.int64`` is not JSON-serializable).
+    """
+    return list(x) if isinstance(x, list) else x.tolist()
+
+
 class ContractionHierarchy:
     """A built hierarchy: vertex ranks plus the upward search graph.
 
@@ -46,15 +55,16 @@ class ContractionHierarchy:
     __slots__ = (
         "n", "rank", "up_indptr", "up_indices", "up_weights",
         "shortcuts_added", "preprocess_seconds", "query_settles",
+        "_up_cache",
     )
 
     def __init__(
         self,
         n: int,
-        rank: List[int],
-        up_indptr: List[int],
-        up_indices: List[int],
-        up_weights: List[float],
+        rank,
+        up_indptr,
+        up_indices,
+        up_weights,
         shortcuts_added: int,
         preprocess_seconds: float,
     ) -> None:
@@ -67,6 +77,18 @@ class ContractionHierarchy:
         self.preprocess_seconds = preprocess_seconds
         #: total vertices settled across all upward searches (obs counter)
         self.query_settles = 0
+        # Plain-list mirrors of the upward CSR for the heap kernel,
+        # materialized lazily when the arrays arrive borrowed (memmap).
+        self._up_cache: Optional[Tuple[list, list, list]] = None
+
+    def _upward_lists(self) -> Tuple[list, list, list]:
+        if self._up_cache is None:
+            self._up_cache = (
+                _as_list(self.up_indptr),
+                _as_list(self.up_indices),
+                _as_list(self.up_weights),
+            )
+        return self._up_cache
 
     # ------------------------------------------------------------------
     # preprocessing
@@ -80,9 +102,7 @@ class ContractionHierarchy:
     ) -> "ContractionHierarchy":
         started = time.perf_counter()
         n = csr.num_vertices
-        indptr = csr._indptr_l
-        indices = csr._indices_l
-        weights = csr._weights_l
+        indptr, indices, weights = csr._lists()
         # Mutable remaining-graph adjacency, shrinking as nodes contract.
         adj: List[Dict[int, float]] = [{} for _ in range(n)]
         for u in range(n):
@@ -225,9 +245,7 @@ class ContractionHierarchy:
         a shorter meeting, so the search stops there.
         """
         inf = math.inf
-        up_indptr = self.up_indptr
-        up_indices = self.up_indices
-        up_weights = self.up_weights
+        up_indptr, up_indices, up_weights = self._upward_lists()
         dist: Dict[int, float] = {}
         heap: List[Tuple[float, int]] = []
         for idx, d0 in seeds:
@@ -273,7 +291,7 @@ class ContractionHierarchy:
         if not backward:
             return math.inf
         _, best = self._upward(seeds_a, other=backward)
-        return best
+        return float(best)
 
     # ------------------------------------------------------------------
     # persistence
@@ -282,13 +300,13 @@ class ContractionHierarchy:
     def snapshot(self) -> dict:
         """A JSON-serializable image of the built hierarchy."""
         return {
-            "n": self.n,
-            "rank": list(self.rank),
-            "up_indptr": list(self.up_indptr),
-            "up_indices": list(self.up_indices),
-            "up_weights": list(self.up_weights),
-            "shortcuts_added": self.shortcuts_added,
-            "preprocess_seconds": self.preprocess_seconds,
+            "n": int(self.n),
+            "rank": _as_list(self.rank),
+            "up_indptr": _as_list(self.up_indptr),
+            "up_indices": _as_list(self.up_indices),
+            "up_weights": _as_list(self.up_weights),
+            "shortcuts_added": int(self.shortcuts_added),
+            "preprocess_seconds": float(self.preprocess_seconds),
         }
 
     @classmethod

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Mapping
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -43,6 +44,98 @@ except ImportError:  # pragma: no cover - CI always has scipy
 SCIPY_MIN_VERTICES = 256
 
 
+class _SortedIdIndex:
+    """Dict-like ``vertex_id -> internal_index`` over a sorted id array.
+
+    Borrowed (memmapped) graphs keep their ids as a strictly ascending
+    numpy array; building an n-entry dict on attach would defeat the
+    O(1) open, so lookups binary-search the array instead. Implements
+    the subset of the dict protocol the engines and seed translation
+    actually use.
+    """
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids: np.ndarray) -> None:
+        self._ids = ids
+
+    def __getitem__(self, vid: int) -> int:
+        pos = int(np.searchsorted(self._ids, vid))
+        if pos >= len(self._ids) or int(self._ids[pos]) != vid:
+            raise KeyError(vid)
+        return pos
+
+    def get(self, vid: int, default=None):
+        try:
+            return self[vid]
+        except KeyError:
+            return default
+
+    def __contains__(self, vid: int) -> bool:
+        return self.get(vid) is not None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+class DenseDistanceView(Mapping):
+    """Dict-like view of one dense SSSP row (``vertex_id -> distance``).
+
+    Materializing an n-entry Python dict per scipy search is the single
+    biggest cost of a full-graph SSSP on large networks, yet consumers
+    (``position_distance_from_map``, the oracle cache) probe only a few
+    vertices per map. The view answers ``get``/``[]``/``in`` straight
+    from the float64 row; unreached vertices (``inf``) read as absent,
+    matching the dict the Dijkstra kernels return. Iteration walks the
+    reachable vertices only, so bounded searches stay proportional to
+    the searched neighbourhood. ``row`` exposes the dense array for
+    vectorized consumers (internal-index order, ``inf`` = unreached).
+    """
+
+    __slots__ = ("row", "_ids", "_index")
+
+    def __init__(self, ids, index, row: np.ndarray) -> None:
+        self.row = row
+        self._ids = ids
+        self._index = index
+
+    def __getitem__(self, vid: int) -> float:
+        idx = self._index.get(vid)
+        if idx is None:
+            raise KeyError(vid)
+        d = self.row[idx]
+        if not math.isfinite(d):
+            raise KeyError(vid)
+        return float(d)
+
+    def get(self, vid: int, default=None):
+        idx = self._index.get(vid)
+        if idx is None:
+            return default
+        d = self.row[idx]
+        return float(d) if math.isfinite(d) else default
+
+    def __contains__(self, vid: int) -> bool:
+        return self.get(vid) is not None
+
+    def _finite(self) -> np.ndarray:
+        return np.flatnonzero(np.isfinite(self.row))
+
+    def __len__(self) -> int:
+        return int(self._finite().size)
+
+    def __iter__(self):
+        ids = self._ids
+        for i in self._finite().tolist():
+            yield int(ids[i])
+
+    def items(self):
+        ids, row = self._ids, self.row
+        return (
+            (int(ids[i]), float(row[i])) for i in self._finite().tolist()
+        )
+
+
 class CSRGraph:
     """An immutable CSR image of a :class:`RoadNetwork`.
 
@@ -54,7 +147,7 @@ class CSRGraph:
     """
 
     __slots__ = (
-        "ids", "index_of", "indptr", "indices", "weights",
+        "ids", "_index_of", "indptr", "indices", "weights",
         "_indptr_l", "_indices_l", "_weights_l",
         "road_version", "_sp_matrix", "kernel_runs", "scipy_runs",
     )
@@ -76,7 +169,7 @@ class CSRGraph:
                 weights[pos] = w
                 pos += 1
         self.ids = ids
-        self.index_of = index_of
+        self._index_of = index_of
         self._indptr_l = indptr
         self._indices_l = indices
         self._weights_l = weights
@@ -90,6 +183,60 @@ class CSRGraph:
         #: number of scipy C-kernel searches run
         self.scipy_runs = 0
 
+    @classmethod
+    def from_arrays(
+        cls,
+        ids,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        road_version: int = 0,
+    ) -> "CSRGraph":
+        """Wrap borrowed (read-only, possibly memmapped) CSR arrays.
+
+        Nothing is copied and no per-vertex Python structures are built:
+        the id index and the list mirrors the heap kernel uses are
+        materialized lazily on first need, so attaching a memmapped
+        graph is O(1) regardless of size.
+        """
+        graph = cls.__new__(cls)
+        graph.ids = ids
+        graph._index_of = None
+        graph._indptr_l = None
+        graph._indices_l = None
+        graph._weights_l = None
+        graph.indptr = indptr
+        graph.indices = indices
+        graph.weights = weights
+        graph.road_version = road_version
+        graph._sp_matrix = None
+        graph.kernel_runs = 0
+        graph.scipy_runs = 0
+        return graph
+
+    @property
+    def index_of(self):
+        """``vertex_id -> internal_index`` (dict, or a binary-search
+        facade over the id array when ids are sorted borrowed arrays)."""
+        if self._index_of is None:
+            arr = np.asarray(self.ids, dtype=np.int64)
+            if arr.size > 1 and bool(np.all(arr[1:] > arr[:-1])):
+                self._index_of = _SortedIdIndex(arr)
+            else:
+                self._index_of = {
+                    int(vid): i for i, vid in enumerate(self.ids)
+                }
+        return self._index_of
+
+    def _lists(self) -> Tuple[List[int], List[int], List[float]]:
+        """The plain-list mirrors of the CSR arrays (heap-kernel fuel),
+        materialized on first use for borrowed graphs."""
+        if self._indptr_l is None:
+            self._indptr_l = self.indptr.tolist()
+            self._indices_l = self.indices.tolist()
+            self._weights_l = self.weights.tolist()
+        return self._indptr_l, self._indices_l, self._weights_l
+
     # -- pickling (batch workers ship CSR state inside network snapshots) ----
 
     def __getstate__(self) -> Dict[str, object]:
@@ -97,6 +244,14 @@ class CSRGraph:
         # The scipy matrix is derived state: wrapping the same arrays
         # again is cheap, and dropping it keeps snapshots lean.
         state["_sp_matrix"] = None
+        # Borrowed/memmapped arrays must not leak into pickles — the
+        # receiving process may not be able to re-open the backing file,
+        # and np.memmap pickles by absolute path. Own everything.
+        for key in ("indptr", "indices", "weights"):
+            state[key] = np.ascontiguousarray(state[key])
+        if not isinstance(state["ids"], list):
+            state["ids"] = [int(i) for i in state["ids"]]
+            state["_index_of"] = None  # rebuilt lazily on the other side
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
@@ -111,7 +266,7 @@ class CSRGraph:
 
     @property
     def num_edges(self) -> int:
-        return len(self._indices_l) // 2
+        return len(self.indices) // 2
 
     def __repr__(self) -> str:
         return (
@@ -154,9 +309,7 @@ class CSRGraph:
             vertex within the bound.
         """
         self.kernel_runs += 1
-        indptr = self._indptr_l
-        indices = self._indices_l
-        weights = self._weights_l
+        indptr, indices, weights = self._lists()
         inf = math.inf
         dist: Dict[int, float] = {}
         heap: List[Tuple[float, int]] = []
@@ -223,13 +376,9 @@ class CSRGraph:
         self,
         seeds: Sequence[Tuple[int, float]],
         max_distance: float,
-    ) -> Dict[int, float]:
+    ) -> Mapping:
         best = self._scipy_dense(seeds, max_distance)
-        ids = self.ids
-        return {
-            ids[int(i)]: float(best[i])
-            for i in np.flatnonzero(np.isfinite(best))
-        }
+        return DenseDistanceView(self.ids, self.index_of, best)
 
     def _use_scipy(self) -> bool:
         return HAVE_SCIPY and self.num_vertices >= SCIPY_MIN_VERTICES
@@ -247,7 +396,7 @@ class CSRGraph:
             return self._scipy_sssp(internal, max_distance)
         out = self.kernel(internal, max_distance)
         ids = self.ids
-        return {ids[i]: d for i, d in out.items()}
+        return {int(ids[i]): d for i, d in out.items()}
 
     def sssp_dense(
         self,

@@ -146,6 +146,16 @@ class CSREngine(DistanceEngine):
             self._invalidate_derived()
         return self._graph
 
+    def adopt_graph(self, graph: CSRGraph) -> None:
+        """Install a pre-built (possibly memmapped) CSR snapshot.
+
+        The caller vouches that ``graph`` images this engine's road
+        network at its current version; the lazy-rebuild check keeps
+        guarding against later mutations.
+        """
+        self._graph = graph
+        self._invalidate_derived()
+
     def _invalidate_derived(self) -> None:
         """Hook for subclasses holding structures derived from the CSR."""
 
@@ -217,6 +227,11 @@ class CHEngine(CSREngine):
     def _invalidate_derived(self) -> None:
         self._ch = None
 
+    def adopt(self, graph: CSRGraph, ch: ContractionHierarchy) -> None:
+        """Install a pre-built CSR snapshot plus its hierarchy together."""
+        self.adopt_graph(graph)
+        self._ch = ch
+
     def hierarchy(self) -> ContractionHierarchy:
         graph = self.graph()  # may invalidate a stale self._ch
         if self._ch is None:
@@ -251,8 +266,8 @@ class CHEngine(CSREngine):
         graph = self.graph()
         ch = self.hierarchy()
         return {
-            "road_version": graph.road_version,
-            "ids": list(graph.ids),
+            "road_version": int(graph.road_version),
+            "ids": [int(i) for i in graph.ids],
             "hierarchy": ch.snapshot(),
         }
 
@@ -268,7 +283,7 @@ class CHEngine(CSREngine):
         graph = engine.graph()
         if (
             int(data["road_version"]) != graph.road_version
-            or [int(i) for i in data["ids"]] != graph.ids
+            or [int(i) for i in data["ids"]] != [int(i) for i in graph.ids]
         ):
             raise IndexStateError(
                 "contraction-hierarchy snapshot does not match the current "

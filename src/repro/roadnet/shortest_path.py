@@ -360,10 +360,9 @@ class DistanceOracle:
         Shares the dict cache and hit/miss accounting with
         :meth:`distances_from` — a dense request for a cached source is
         a cache hit, a miss runs exactly one engine search — and keeps a
-        dense side-row per cached entry. When the engine can hand back
-        the dense row directly (the scipy CSR path), the dict is rebuilt
-        from it instead of the other way round, skipping a marshalling
-        pass.
+        dense side-row per cached entry. When the engine's map is a
+        dense-row view (the scipy CSR path), its row is reused directly
+        — no marshalling pass in either direction.
         """
         indexer = self.vertex_indexer()
         cached = self._cache.get(key)
@@ -373,20 +372,19 @@ class DistanceOracle:
             dense_entry = self._dense_cache.get(key)
             if dense_entry is not None and dense_entry[0] is cached:
                 return dense_entry[1]
-            row = indexer.dense_distances(cached)
+            row = getattr(cached, "row", None)
+            if row is None:
+                row = indexer.dense_distances(cached)
             self._dense_cache[key] = (cached, row)
             return row
         seeds = position_seeds(self.road, pos)
-        row = self.engine.sssp_dense(seeds)
+        dist_map = self.engine.sssp(seeds)
+        # The scipy CSR path hands back a dense-row view (internal order
+        # == indexer order, the invariant sssp_dense already relies on):
+        # the row doubles as the dense companion with no marshalling.
+        row = getattr(dist_map, "row", None)
         if row is None:
-            dist_map = self.engine.sssp(seeds)
             row = indexer.dense_distances(dist_map)
-        else:
-            ids = indexer.ids
-            dist_map = {
-                ids[int(i)]: float(row[i])
-                for i in np.flatnonzero(np.isfinite(row))
-            }
         self.searches_run += 1
         self._cache[key] = dist_map
         self._dense_cache[key] = (dist_map, row)

@@ -40,10 +40,12 @@ scheduling order never change outcomes.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.algorithm import GPSSNQueryProcessor
 from ..core.query import GPSSNQuery
@@ -64,22 +66,37 @@ from .limits import (
 #: The selectable executor backends.
 BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class NetworkSnapshot:
     """A picklable, restore-exact image of a network + processor recipe.
 
-    ``document`` is the gpssn-bundle document (plain data, pickle- and
-    JSON-safe); ``build_args`` is the processor construction recipe;
-    ``engine_state`` optionally carries a preprocessed
-    contraction-hierarchy image so workers skip CH preprocessing when
-    the snapshot matches (they silently rebuild when it does not).
+    Two modes share one worker-building contract
+    (:meth:`build_worker`):
+
+    *document mode* (``capture``) — ``document`` is the gpssn-bundle
+    document (plain data, pickle- and JSON-safe); ``build_args`` is the
+    processor construction recipe; ``engine_state`` optionally carries a
+    preprocessed contraction-hierarchy image so workers skip CH
+    preprocessing when the snapshot matches. Every worker rebuilds the
+    network and indexes from the document.
+
+    *frozen mode* (``from_frozen``) — ``snapshot_path`` points at a
+    :func:`repro.io.snapshot.freeze` arena on disk and ``header_hash``
+    pins the exact file that was opened at capture time. Pickling ships
+    only the path + hash; each worker ``np.memmap``-attaches the shared
+    pages instead of rebuilding, so warm-up is O(1) in network size and
+    the page cache is shared across the pool.
     """
 
-    document: dict
+    document: Optional[dict] = None
     build_args: Dict[str, object] = field(default_factory=dict)
     distance_engine: str = "plain"
     engine_state: Optional[dict] = None
+    snapshot_path: Optional[str] = None
+    header_hash: Optional[str] = None
 
     @classmethod
     def capture(
@@ -103,8 +120,32 @@ class NetworkSnapshot:
             engine_state=engine_state,
         )
 
-    def restore(self) -> SpatialSocialNetwork:
+    @classmethod
+    def from_frozen(cls, path: Union[str, Path]) -> "NetworkSnapshot":
+        """A snapshot that attaches to a frozen arena instead of rebuilding.
+
+        Opens the file once to validate the format and record its header
+        hash; workers re-open (O(1)) and verify they see the same file.
+        """
+        from ..io.snapshot import FrozenSnapshot
+
+        frozen = FrozenSnapshot.open(path)
+        meta = frozen.meta
+        return cls(
+            build_args=dict(meta.get("build_args") or {}),
+            distance_engine=meta.get("distance_engine") or "plain",
+            snapshot_path=str(path),
+            header_hash=frozen.header_hash,
+        )
+
+    def restore(
+        self, recorder: Optional[Recorder] = None
+    ) -> SpatialSocialNetwork:
         """A fresh network, structurally identical on every restore."""
+        if self.document is None:
+            from ..io.snapshot import FrozenSnapshot
+
+            return FrozenSnapshot.open(self.snapshot_path).attach_network()
         network = network_from_document(self.document, source="<snapshot>")
         engine = network.use_distance_engine(self.distance_engine)
         if self.engine_state is not None and isinstance(engine, CHEngine):
@@ -113,9 +154,63 @@ class NetworkSnapshot:
                     network.road, self.engine_state
                 )
                 network.distances.engine = restored
-            except IndexStateError:
-                pass  # version drift: the lazy rebuild path is correct
+            except IndexStateError as exc:
+                # Version drift: the lazy rebuild path is correct but the
+                # worker silently re-pays CH preprocessing — surface it.
+                logger.warning(
+                    "snapshot engine state does not match the restored "
+                    "network; rebuilding the hierarchy lazily (%s)", exc
+                )
+                if recorder is not None:
+                    recorder.metrics.inc("snapshot.rebuild_fallback")
         return network
+
+    def build_worker(
+        self, recorder: Optional[Recorder] = None
+    ) -> Tuple[SpatialSocialNetwork, GPSSNQueryProcessor]:
+        """One worker's warm ``(network, processor)`` pair.
+
+        Frozen mode memmap-attaches the arena (timed into the
+        ``snapshot.attach_seconds`` / ``snapshot.bytes_mapped`` gauges on
+        ``recorder``); document mode rebuilds from the bundle document.
+        """
+        recorder = recorder or Recorder()
+        if self.snapshot_path is not None:
+            from ..io.snapshot import FrozenSnapshot
+
+            started = time.perf_counter()
+            frozen = FrozenSnapshot.open(self.snapshot_path)
+            if (
+                self.header_hash is not None
+                and frozen.header_hash != self.header_hash
+            ):
+                logger.warning(
+                    "frozen snapshot %s changed since it was captured "
+                    "(header %s, expected %s); attaching the current file",
+                    self.snapshot_path,
+                    frozen.header_hash[:12], self.header_hash[:12],
+                )
+                recorder.metrics.inc("snapshot.rebuild_fallback")
+            network, processor = frozen.attach()
+            if processor is None:
+                # The arena was frozen without indexes: replay the recipe.
+                processor = GPSSNQueryProcessor(
+                    network, recorder=recorder, **self.build_args
+                )
+            else:
+                processor.recorder = recorder
+            recorder.metrics.set_gauge(
+                "snapshot.attach_seconds", time.perf_counter() - started
+            )
+            recorder.metrics.set_gauge(
+                "snapshot.bytes_mapped", float(frozen.bytes_mapped)
+            )
+            return network, processor
+        network = self.restore(recorder=recorder)
+        processor = GPSSNQueryProcessor(
+            network, recorder=recorder, **self.build_args
+        )
+        return network, processor
 
 
 class WorkerState:
@@ -130,11 +225,8 @@ class WorkerState:
     def __init__(
         self, snapshot: NetworkSnapshot, recorder: Optional[Recorder] = None
     ) -> None:
-        self.network = snapshot.restore()
-        self.processor = GPSSNQueryProcessor(
-            self.network,
-            recorder=recorder or Recorder(),
-            **snapshot.build_args,
+        self.network, self.processor = snapshot.build_worker(
+            recorder or Recorder()
         )
 
     def run_item(
@@ -267,13 +359,14 @@ class BatchQueryExecutor:
 
     def __init__(
         self,
-        network: SpatialSocialNetwork,
+        network: Optional[SpatialSocialNetwork],
         workers: int = 0,
         backend: str = "auto",
         limits: Optional[ExecutionLimits] = None,
         build_args: Optional[Dict[str, object]] = None,
         recorder: Optional[Recorder] = None,
         worker_tracing: bool = False,
+        snapshot: Optional[NetworkSnapshot] = None,
     ) -> None:
         if backend == "auto":
             backend = "serial" if workers <= 0 else "process"
@@ -296,7 +389,14 @@ class BatchQueryExecutor:
         # outcome's stats (the serve daemon's latency breakdown); off by
         # default so batch runs keep the zero-overhead null tracer.
         self.worker_tracing = worker_tracing
-        self.snapshot = NetworkSnapshot.capture(network, build_args)
+        if snapshot is not None:
+            self.snapshot = snapshot
+        elif network is not None:
+            self.snapshot = NetworkSnapshot.capture(network, build_args)
+        else:
+            raise InvalidParameterError(
+                "BatchQueryExecutor needs a network or a prepared snapshot"
+            )
         self._serial_state: Optional[WorkerState] = None
         self._thread_states: List[WorkerState] = []
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
@@ -318,6 +418,31 @@ class BatchQueryExecutor:
             limits=limits,
             build_args=dict(processor._build_args),
             recorder=recorder,
+        )
+
+    @classmethod
+    def from_frozen(
+        cls,
+        path: Union[str, Path],
+        workers: int = 0,
+        backend: str = "auto",
+        limits: Optional[ExecutionLimits] = None,
+        recorder: Optional[Recorder] = None,
+        worker_tracing: bool = False,
+    ) -> "BatchQueryExecutor":
+        """An executor whose workers memmap-attach a frozen arena.
+
+        Workers skip the per-worker network/index rebuild entirely; the
+        pickled snapshot carries only the file path + header hash.
+        """
+        return cls(
+            None,
+            workers=workers,
+            backend=backend,
+            limits=limits,
+            recorder=recorder,
+            worker_tracing=worker_tracing,
+            snapshot=NetworkSnapshot.from_frozen(path),
         )
 
     # -- lifetime -----------------------------------------------------------

@@ -66,7 +66,13 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..exceptions import InvalidParameterError
 from ..network import SpatialSocialNetwork
-from ..obs import ExplainRecorder, Recorder, Tracer, prometheus_text
+from ..obs import (
+    ExplainRecorder,
+    Recorder,
+    Tracer,
+    process_rss_bytes,
+    prometheus_text,
+)
 from ..obs.exporters import spans_to_jsonl
 from .batch import BatchPlan, plan_batch
 from .executor import (
@@ -226,9 +232,10 @@ class GPSSNService:
 
     def __init__(
         self,
-        network: SpatialSocialNetwork,
+        network: Optional[SpatialSocialNetwork],
         config: Optional[ServerConfig] = None,
         build_args: Optional[Dict[str, object]] = None,
+        snapshot: Optional[NetworkSnapshot] = None,
     ) -> None:
         self.config = config or ServerConfig()
         cfg = self.config
@@ -242,7 +249,10 @@ class GPSSNService:
         self.started_wall = time.time()
         self._explain = _LockedExplain() if cfg.explain else None
 
-        self.snapshot = NetworkSnapshot.capture(network, build_args)
+        if snapshot is not None:
+            self.snapshot = snapshot
+        else:
+            self.snapshot = NetworkSnapshot.capture(network, build_args)
         # In-process worker pool (serial/thread) vs the process-pool
         # executor; exactly one of the two is populated.
         self._worker_pool: "queue.Queue[Tuple[int, WorkerState]]" = (
@@ -257,6 +267,7 @@ class GPSSNService:
                 limits=self.limits,
                 build_args=build_args,
                 worker_tracing=cfg.phase_timing,
+                snapshot=self.snapshot,
             )
         # The dedicated in-process worker ?trace=1 requests run on when
         # the serving backend cannot be traced (process pool) or to
@@ -290,11 +301,25 @@ class GPSSNService:
 
     # -- lifecycle ----------------------------------------------------------
 
+    def _adopt_snapshot_gauges(self, recorder: Recorder) -> None:
+        """Copy a worker's snapshot-attach telemetry onto the service
+        registry so ``/metrics`` and ``/status`` can surface it (worker
+        recorders are private and never scraped directly)."""
+        for name in ("snapshot.attach_seconds", "snapshot.bytes_mapped"):
+            value = recorder.metrics.gauges.get(name)
+            if value is not None:
+                self.registry.set_gauge(name, value)
+        fallback = recorder.metrics.counters.get("snapshot.rebuild_fallback")
+        if fallback:
+            self.registry.inc("snapshot.rebuild_fallback", fallback)
+
     def _worker_state(self) -> WorkerState:
         recorder = _worker_recorder(self.config.phase_timing)
         if self._explain is not None:
             recorder.explain = self._explain
-        return WorkerState(self.snapshot, recorder=recorder)
+        state = WorkerState(self.snapshot, recorder=recorder)
+        self._adopt_snapshot_gauges(recorder)
+        return state
 
     def warm(self) -> "GPSSNService":
         """Build every worker's warm state (idempotent, blocking)."""
@@ -302,6 +327,13 @@ class GPSSNService:
             return self
         if self._executor is not None:
             self._executor.warm()
+            if self.snapshot.snapshot_path is not None:
+                # Pool workers attach in their own processes where we
+                # cannot scrape; one local attach (cheap by design) makes
+                # the gauges visible on the service registry too.
+                probe = Recorder()
+                self.snapshot.build_worker(probe)
+                self._adopt_snapshot_gauges(probe)
         else:
             while self._worker_pool.qsize() < self.workers:
                 self._worker_pool.put(
@@ -324,9 +356,14 @@ class GPSSNService:
     def ready(self) -> bool:
         return self._ready.is_set() and not self._closing
 
-    def close(self) -> None:
+    def drain(self) -> None:
+        """Stop admitting new work; output files stay open so in-flight
+        handlers can still log their requests."""
         self._closing = True
         self.registry.set_gauge("service.ready", 0)
+
+    def close(self) -> None:
+        self.drain()
         if self._executor is not None:
             self._executor.close()
         if self._access_fp is not None:
@@ -540,6 +577,7 @@ class GPSSNService:
     def metrics_text(self) -> str:
         """The Prometheus exposition for one scrape (snapshot-consistent)."""
         self.registry.set_gauge("service.queue_depth", self.queue_depth)
+        self.registry.set_gauge("process.rss_bytes", process_rss_bytes())
         snapshot = self.registry.snapshot()
         return prometheus_text(
             snapshot, explain=self._explain, uptime_sec=self.uptime_sec
@@ -547,6 +585,7 @@ class GPSSNService:
 
     def status_view(self) -> Dict[str, object]:
         """The plain-data view the /status dashboard renders."""
+        self.registry.set_gauge("process.rss_bytes", process_rss_bytes())
         snapshot = self.registry.snapshot()
         cfg = self.config
         return {
@@ -593,15 +632,22 @@ def _item_index(plan: BatchPlan, outcome: QueryOutcome) -> int:
 class GPSSNHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server that owns one :class:`GPSSNService`."""
 
-    daemon_threads = True
+    # Non-daemon handler threads + block_on_close means server_close()
+    # joins in-flight handlers, so their access-log writes land before
+    # the service closes its files.
+    daemon_threads = False
 
     def __init__(self, address, service: GPSSNService) -> None:
         super().__init__(address, _Handler)
         self.service = service
 
     def shutdown(self) -> None:  # graceful: drain readiness first
-        self.service.close()
+        self.service.drain()
         super().shutdown()
+
+    def server_close(self) -> None:
+        super().server_close()  # joins handler threads
+        self.service.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -610,6 +656,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     server: GPSSNHTTPServer
     protocol_version = "HTTP/1.1"
+    #: Socket timeout so an idle keep-alive client cannot wedge
+    #: ``server_close()``'s handler-thread join indefinitely.
+    timeout = 10
 
     # -- plumbing -----------------------------------------------------------
 
@@ -812,25 +861,29 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 def create_server(
-    network: SpatialSocialNetwork,
+    network: Optional[SpatialSocialNetwork],
     config: Optional[ServerConfig] = None,
     build_args: Optional[Dict[str, object]] = None,
+    snapshot: Optional[NetworkSnapshot] = None,
 ) -> GPSSNHTTPServer:
     """Bind the daemon (without serving); ``server.server_address`` holds
-    the resolved port when ``config.port`` is 0 (tests)."""
+    the resolved port when ``config.port`` is 0 (tests). Pass a
+    frozen-mode ``snapshot`` (``NetworkSnapshot.from_frozen``) to serve a
+    memmapped arena without an in-memory network."""
     config = config or ServerConfig()
-    service = GPSSNService(network, config, build_args)
+    service = GPSSNService(network, config, build_args, snapshot=snapshot)
     return GPSSNHTTPServer((config.host, config.port), service)
 
 
 def serve(
-    network: SpatialSocialNetwork,
+    network: Optional[SpatialSocialNetwork],
     config: Optional[ServerConfig] = None,
     build_args: Optional[Dict[str, object]] = None,
     ready_message=None,
+    snapshot: Optional[NetworkSnapshot] = None,
 ) -> None:
     """Run the daemon until interrupted (the ``gpssn serve`` loop)."""
-    server = create_server(network, config, build_args)
+    server = create_server(network, config, build_args, snapshot=snapshot)
     server.service.warm_async()
     host, port = server.server_address[:2]
     if ready_message is not None:

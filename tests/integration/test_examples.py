@@ -26,6 +26,14 @@ def test_quickstart(capsys):
     assert "CPU time" in out or "No (S, R) pair" in out
 
 
+def test_frozen_snapshot_pipeline(capsys):
+    out = run_example("frozen_snapshot_pipeline.py", capsys)
+    assert "DIMACS road graph" in out
+    assert "frozen arena" in out
+    assert "worker attach" in out
+    assert "identical to the in-memory build" in out
+
+
 @pytest.mark.slow
 def test_group_marketing(capsys):
     out = run_example("group_marketing.py", capsys)
