@@ -22,6 +22,11 @@ Three independent gates, all blocking in CI:
   paths must have produced byte-identical outcome lines. Like the
   kernel gate, both sides ran interleaved in the same process, so the
   ratio survives machine-to-machine noise.
+* **telemetry overhead** — validates a ``BENCH_telemetry.json``
+  (``--telemetry``): worker metric-delta shipping and the sampling
+  profiler must each stay within the payload's committed
+  ``max_overhead`` of their telemetry-off baselines, with outcomes
+  byte-identical and shipped counters exactly equal to serial tallies.
 * **snapshot scale** — validates a ``BENCH_snapshot_scale.json``
   (``--snapshot-scale``): memmap-attaching a frozen arena must stay at
   least ``min_speedup`` times faster than the document-mode worker
@@ -191,6 +196,49 @@ def compare_snapshot_scale(
     return failures
 
 
+def compare_telemetry(payload: dict, max_overhead: float = None) -> List[str]:
+    """Return one message per violated telemetry-gate invariant (empty
+    list = gate passes).
+
+    Two arms, both interleaved in one process so the ratios are
+    machine-stable: ``delta`` (worker metric/funnel shipping vs the
+    telemetry-off executor) and ``profiler`` (the sampling profiler
+    running over the same workload vs unprofiled). Each must stay within
+    the payload's committed ``max_overhead``; outcomes must be
+    byte-identical with telemetry on and off, and the shipped counters
+    must equal the serial tallies exactly.
+    """
+    if max_overhead is None:
+        max_overhead = float(payload.get("max_overhead", 0.05))
+    failures: List[str] = []
+    for arm in ("delta", "profiler"):
+        entry = payload.get(arm)
+        if not entry:
+            failures.append(f"telemetry: no {arm} arm recorded")
+            continue
+        overhead = entry.get("overhead")
+        if overhead is None:
+            failures.append(f"telemetry: {arm} arm has no overhead")
+        elif overhead > max_overhead:
+            failures.append(
+                f"telemetry: {arm} costs {overhead:+.1%} over its "
+                f"baseline ({entry.get('off_sec', 0):.3f} s -> "
+                f"{entry.get('on_sec', 0):.3f} s), above the "
+                f"{max_overhead:.0%} ceiling"
+            )
+    if payload.get("outcomes_match") is not True:
+        failures.append(
+            "telemetry: outcomes diverged between telemetry on/off "
+            "(outcomes_match is not true)"
+        )
+    if payload.get("counters_match") is not True:
+        failures.append(
+            "telemetry: shipped worker counters diverged from serial "
+            "tallies (counters_match is not true)"
+        )
+    return failures
+
+
 def latency_report(baseline: dict, current: dict) -> List[str]:
     """Informational per-dataset latency drift lines (never failing)."""
     lines: List[str] = []
@@ -250,6 +298,11 @@ def main(argv=None) -> int:
         "speedup floor and RSS budget",
     )
     parser.add_argument(
+        "--telemetry",
+        help="BENCH_telemetry.json to validate against its overhead "
+        "ceiling (delta shipping + sampling profiler)",
+    )
+    parser.add_argument(
         "--min-attach-speedup", type=float, default=None,
         help="override the snapshot-scale payload's committed attach "
         "speedup floor",
@@ -259,10 +312,10 @@ def main(argv=None) -> int:
     if bool(args.baseline) != bool(args.current):
         parser.error("--baseline and --current must be given together")
     if not args.baseline and not args.pair_kernel and not args.serve \
-            and not args.snapshot_scale:
+            and not args.snapshot_scale and not args.telemetry:
         parser.error(
             "nothing to check: give --baseline/--current, --pair-kernel, "
-            "--serve, and/or --snapshot-scale"
+            "--serve, --snapshot-scale, and/or --telemetry"
         )
 
     failures: List[str] = []
@@ -341,6 +394,31 @@ def main(argv=None) -> int:
             )
             print("snapshot attach above its committed speedup floor")
         failures.extend(scale_failures)
+
+    if args.telemetry:
+        with open(args.telemetry, encoding="utf-8") as fp:
+            telemetry_payload = json.load(fp)
+        telemetry_failures = compare_telemetry(
+            telemetry_payload, max_overhead=args.max_overhead
+        )
+        if not telemetry_failures:
+            ceiling = (
+                args.max_overhead
+                if args.max_overhead is not None
+                else telemetry_payload.get("max_overhead", 0.05)
+            )
+            for arm in ("delta", "profiler"):
+                entry = telemetry_payload.get(arm, {})
+                print(
+                    f"[telemetry] {arm}: "
+                    f"{entry.get('overhead', 0):+.1%} "
+                    f"(ceiling {float(ceiling):.0%})"
+                )
+            print(
+                "telemetry overhead within its committed ceiling; "
+                "outcomes and counters exact"
+            )
+        failures.extend(telemetry_failures)
 
     if failures:
         for message in failures:

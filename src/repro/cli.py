@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands cover the everyday workflow:
+Eleven subcommands cover the everyday workflow:
 
 * ``gpssn generate`` — build a synthetic or simulated-real spatial-social
   network and save it as a JSON bundle;
@@ -18,6 +18,9 @@ Ten subcommands cover the everyday workflow:
   control, plus the live observability plane (``/metrics`` Prometheus
   exposition, ``/healthz``, ``/readyz``, ``/status`` dashboard,
   ``?trace=1`` request tracing);
+* ``gpssn profile`` — answer a query repeatedly under the stdlib
+  sampling profiler and print per-phase CPU attribution plus the
+  hottest frames (``--out`` collapsed stacks, ``--flamegraph`` HTML);
 * ``gpssn explain`` — answer the same query with the pruning funnel
   recorded and print the EXPLAIN ANALYZE report (``--json`` for the
   machine-readable document);
@@ -343,11 +346,56 @@ def build_parser() -> argparse.ArgumentParser:
         "/status per-phase latency table, removes tracing overhead)",
     )
     serve.add_argument(
+        "--trace-sample", type=float, default=0.0, metavar="RATE",
+        help="head-sample this fraction of requests for end-to-end "
+        "tracing (deterministic in the request id; ?trace=1 always "
+        "traces)",
+    )
+    serve.add_argument(
+        "--profile", action="store_true",
+        help="expose GET /debug/profile?seconds=N (in-process sampling "
+        "profiler; collapsed/flamegraph/json formats)",
+    )
+    serve.add_argument(
         "--distance-engine", choices=list(DISTANCE_ENGINES), default="plain",
     )
     serve.add_argument("--max-groups", type=int, default=None,
                        help="default refinement cap for lines without one")
     serve.add_argument("--seed", type=int, default=7)
+
+    profile = sub.add_parser(
+        "profile",
+        help="answer a query repeatedly under the sampling profiler and "
+        "print per-phase CPU attribution plus the hottest frames",
+    )
+    _add_query_args(profile)
+    profile.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="run the query at least N times inside the profiled window",
+    )
+    profile.add_argument(
+        "--min-seconds", type=float, default=1.0, metavar="SEC",
+        help="keep repeating until at least this much wall time is "
+        "sampled (short queries need many runs for stable profiles)",
+    )
+    profile.add_argument(
+        "--interval-ms", type=float, default=5.0, metavar="MS",
+        help="sampling interval in milliseconds",
+    )
+    profile.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write Brendan-Gregg collapsed stacks ('f;g;h count') to "
+        "PATH for external flamegraph tooling",
+    )
+    profile.add_argument(
+        "--flamegraph", metavar="PATH", default=None,
+        help="write a self-contained flamegraph HTML page to PATH",
+    )
+    profile.add_argument(
+        "--timer", choices=("thread", "signal"), default="thread",
+        help="thread = wall-clock sampling of all threads (py-spy "
+        "style); signal = SIGPROF on-CPU sampling (main thread only)",
+    )
 
     explain = sub.add_parser(
         "explain",
@@ -615,6 +663,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             window_sec=args.window,
             explain=args.explain,
             phase_timing=not args.no_phase_timing,
+            trace_sample_rate=args.trace_sample,
+            profile_endpoint=args.profile,
         )
     except InvalidParameterError as exc:
         raise CLIError(EXIT_INPUT, str(exc))
@@ -637,6 +687,69 @@ def cmd_serve(args: argparse.Namespace) -> int:
         snapshot=snapshot,
     )
     return EXIT_OK
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .obs import SamplingProfiler
+
+    recorder = Recorder.traced()
+    processor = _processor_from_args(args, recorder)
+    # One warm run outside the profiled window, so index builds and
+    # cold caches do not drown the steady-state profile.
+    _execute_query(processor, args)
+    try:
+        profiler = SamplingProfiler(
+            interval_sec=args.interval_ms / 1000.0,
+            tracers=(recorder.tracer,),
+            timer=args.timer,
+        )
+    except ValueError as exc:
+        raise CLIError(EXIT_INPUT, str(exc))
+    runs = 0
+    answers: list = []
+    stats = None
+    started = _time.perf_counter()
+    with profiler:
+        while (
+            runs < max(args.repeat, 1)
+            or _time.perf_counter() - started < args.min_seconds
+        ):
+            answers, stats = _execute_query(processor, args)
+            runs += 1
+    report = profiler.report
+    _print_answers(answers)
+    print(format_stats_line(stats))
+    print(
+        f"profiled {runs} run{'s' if runs != 1 else ''}: "
+        f"{report.num_samples} samples over {report.duration_sec:.2f}s "
+        f"at {args.interval_ms:g} ms ({report.timer} timer)"
+    )
+    phases = report.phase_rows()
+    if phases:
+        print(format_table(
+            ["phase", "samples", "share"],
+            [[name, count, f"{share:.1%}"]
+             for name, count, share in phases],
+            title="Per-phase CPU attribution",
+        ))
+    top = report.top_functions(10)
+    if top:
+        print(format_table(
+            ["frame", "self", "total"],
+            [[frame, self_n, total_n] for frame, self_n, total_n in top],
+            title="Hottest frames (by self samples)",
+        ))
+    if args.out:
+        count = report.write_collapsed(args.out)
+        print(f"wrote {count} collapsed stacks to {args.out}")
+    if args.flamegraph:
+        with open(args.flamegraph, "w", encoding="utf-8") as fp:
+            fp.write(report.flamegraph_html())
+        print(f"wrote flamegraph to {args.flamegraph}")
+    _emit_recorder_outputs(recorder, args)
+    return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -701,6 +814,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": cmd_query,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "profile": cmd_profile,
         "explain": cmd_explain,
         "figure": cmd_figure,
         "calibrate": cmd_calibrate,

@@ -18,7 +18,17 @@ place they flow through:
   ANALYZE layer: per-rule pruning funnels (visited → pruned → survived,
   with bound-tightness margins) recorded at every pruning site, a
   zero-overhead :class:`NullExplain` default, and the tree-of-phases
-  report renderer.
+  report renderer;
+* :mod:`repro.obs.delta` / :mod:`repro.obs.context` — the cross-process
+  telemetry plane: capture-and-reset :class:`MetricsDelta` envelopes
+  workers ship back with their results (counters, gauges, histogram
+  sketches, funnel deltas, sampled span forests) and the picklable
+  :class:`TraceContext` that carries head-sampled trace decisions
+  across the pool boundary;
+* :mod:`repro.obs.profiler` — a stdlib-only sampling profiler
+  (``sys._current_frames`` / ``SIGPROF``) with collapsed-stack and
+  flamegraph-HTML export plus per-phase CPU attribution keyed off the
+  tracer's active spans.
 """
 
 from .registry import (
@@ -41,9 +51,19 @@ from .exporters import (
 )
 from .funnel import NULL_EXPLAIN, ExplainRecorder, NullExplain, PhaseFunnel
 from .explain import RULES, explain_report, rule_info
+from .context import TraceContext, head_sample
+from .delta import HistogramSketch, MetricsDelta, split_worker_metric
+from .profiler import ProfileReport, SamplingProfiler
 
 __all__ = [
     "ExplainRecorder",
+    "HistogramSketch",
+    "MetricsDelta",
+    "ProfileReport",
+    "SamplingProfiler",
+    "TraceContext",
+    "head_sample",
+    "split_worker_metric",
     "Histogram",
     "HistogramStats",
     "MetricsRegistry",

@@ -1,0 +1,64 @@
+"""Trace context that crosses the worker-pool boundary.
+
+A traced request must stay one request no matter which backend answers
+it: the daemon stamps the correlation id into a :class:`TraceContext`
+and ships it with the shard, the worker captures its span forest under
+that id, and the parent grafts the returned forest into one end-to-end
+tree for ``GET /trace/<id>``. The context is a frozen plain-data
+dataclass so it pickles to process-pool workers unchanged.
+
+Head sampling is *deterministic in the request id*: whether a request
+is traced is decided once, up front, by hashing the id against the
+configured rate (:func:`head_sample`). Every hop — parent, worker,
+retries — therefore agrees on the decision without coordination, and
+replaying a request id reproduces its sampling fate exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .delta import MAX_TRACE_SPANS
+
+__all__ = ["TraceContext", "head_sample"]
+
+#: Resolution of the sampling hash: rates are effectively quantized to
+#: 1/2^24, far finer than any sensible trace-sampling configuration.
+_HASH_SPACE = 1 << 24
+
+
+def head_sample(request_id: str, rate: float) -> bool:
+    """Deterministically decide whether ``request_id`` is traced.
+
+    ``rate`` is the target fraction in [0, 1]. The decision hashes only
+    the id, so it is stable across processes, backends, and replays —
+    the property that lets a worker and its parent agree without
+    shipping any extra state.
+    """
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    digest = hashlib.sha256(request_id.encode("utf-8")).digest()
+    bucket = int.from_bytes(digest[:3], "big")
+    return bucket < rate * _HASH_SPACE
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What a worker needs to capture one request's span forest."""
+
+    request_id: str
+    #: Ship at most this many span-JSONL lines back (prefix of the
+    #: forest; the remainder is counted as obs.worker_spans_dropped).
+    max_spans: int = MAX_TRACE_SPANS
+
+    @classmethod
+    def sampled(
+        cls, request_id: str, rate: float, force: bool = False
+    ) -> "TraceContext | None":
+        """A context when ``request_id`` should be traced, else None."""
+        if force or head_sample(request_id, rate):
+            return cls(request_id=request_id)
+        return None

@@ -21,6 +21,7 @@ import json
 import re
 from typing import IO, Dict, List, Optional, Sequence, Union
 
+from .delta import split_worker_metric
 from .registry import MetricsRegistry
 from .tracer import Span, aggregate_spans
 
@@ -130,6 +131,7 @@ METRIC_HELP = {
     "http.": "gpssn serve HTTP request statistics",
     "snapshot.": "Frozen-snapshot (memmap arena) attach statistics",
     "process.": "Process-level resource gauges",
+    "obs.": "Observability-plane internals (delta shipping, span drops)",
 }
 _DEFAULT_HELP = "GP-SSN metric"
 
@@ -170,21 +172,62 @@ def prometheus_text(
         out.append(f"# HELP {prom} {_prom_help(name)}")
         out.append(f"# TYPE {prom} {kind}")
 
+    def split_labelled(names) -> tuple:
+        """Partition registry names into plain names and per-worker
+        families (``metric -> [(label, name)]``, both levels sorted) so
+        every ``gpssn_worker_*`` family renders as one contiguous block
+        with a single HELP/TYPE header."""
+        plain: List[str] = []
+        families: Dict[str, List[tuple]] = {}
+        for name in sorted(names):
+            parts = split_worker_metric(name)
+            if parts is None:
+                plain.append(name)
+            else:
+                metric, label = parts
+                families.setdefault(metric, []).append((label, name))
+        for series in families.values():
+            series.sort()
+        return plain, families
+
+    def worker_header(metric: str, kind: str) -> str:
+        prom = "gpssn_worker_" + _NAME_RE.sub("_", metric)
+        out.append(f"# HELP {prom} {_prom_help(metric)} (per worker)")
+        out.append(f"# TYPE {prom} {kind}")
+        return prom
+
     if uptime_sec is not None:
         out.append(
             "# HELP process_uptime_seconds Seconds since service start"
         )
         out.append("# TYPE process_uptime_seconds gauge")
         out.append(f"process_uptime_seconds {float(uptime_sec):g}")
-    for name in sorted(registry.counters):
+    plain_counters, worker_counters = split_labelled(registry.counters)
+    for name in plain_counters:
         prom = _prom_name(name)
         header(prom, name, "counter")
         out.append(f"{prom} {registry.counters[name]:g}")
-    for name in sorted(registry.gauges):
+    for metric in sorted(worker_counters):
+        prom = worker_header(metric, "counter")
+        for label, name in worker_counters[metric]:
+            out.append(
+                f'{prom}{{worker="{_prom_label_value(label)}"}} '
+                f"{registry.counters[name]:g}"
+            )
+    plain_gauges, worker_gauges = split_labelled(registry.gauges)
+    for name in plain_gauges:
         prom = _prom_name(name)
         header(prom, name, "gauge")
         out.append(f"{prom} {registry.gauges[name]:g}")
-    for name in sorted(registry.histograms):
+    for metric in sorted(worker_gauges):
+        prom = worker_header(metric, "gauge")
+        for label, name in worker_gauges[metric]:
+            out.append(
+                f'{prom}{{worker="{_prom_label_value(label)}"}} '
+                f"{registry.gauges[name]:g}"
+            )
+    plain_hists, worker_hists = split_labelled(registry.histograms)
+    for name in plain_hists:
         hist = registry.histograms[name]
         prom = _prom_name(name)
         header(prom, name, "summary")
@@ -195,6 +238,16 @@ def prometheus_text(
         out.append(f"{prom}_sum {hist.sum:g}")
         header(f"{prom}_max", name, "gauge")
         out.append(f"{prom}_max {hist.max:g}")
+    for metric in sorted(worker_hists):
+        prom = worker_header(metric, "summary")
+        for label, name in worker_hists[metric]:
+            hist = registry.histograms[name]
+            worker = f'worker="{_prom_label_value(label)}"'
+            out.append(f'{prom}{{{worker},quantile="0.5"}} {hist.p50:g}')
+            out.append(f'{prom}{{{worker},quantile="0.95"}} {hist.p95:g}')
+            out.append(f'{prom}{{{worker},quantile="0.99"}} {hist.p99:g}')
+            out.append(f"{prom}_count{{{worker}}} {hist.count}")
+            out.append(f"{prom}_sum{{{worker}}} {hist.sum:g}")
     for name in sorted(getattr(registry, "windows", {})):
         window = registry.windows[name]
         stats = window.snapshot() if hasattr(window, "snapshot") else window

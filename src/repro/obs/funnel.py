@@ -210,6 +210,37 @@ class ExplainRecorder:
                 totals[rule] = totals.get(rule, 0) + stats.pruned
         return totals
 
+    def absorb(self, phases_doc: Dict[str, dict]) -> None:
+        """Fold a plain-data funnel delta in (worker delta shipping).
+
+        ``phases_doc`` is the shape :func:`repro.obs.delta._funnel_doc`
+        captures: per phase ``visited``/``survived`` and per rule the
+        exact ``pruned``/``margin_count``/``margin_sum``/``margin_max``
+        tallies plus capped margin samples. Tallies add exactly — the
+        funnel invariant (visited == survived + pruned) is preserved by
+        construction — and margin samples refresh the reservoir via
+        :meth:`~repro.obs.registry.Histogram.absorb`.
+        """
+        for phase, doc in phases_doc.items():
+            funnel = self.phase(phase)
+            funnel.visited += int(doc.get("visited", 0))
+            funnel.survived += int(doc.get("survived", 0))
+            for rule, entry in (doc.get("rules") or {}).items():
+                stats = funnel.rules.get(rule)
+                if stats is None:
+                    stats = funnel.rules[rule] = RuleStats(
+                        rule, self._max_margin_samples
+                    )
+                stats.pruned += int(entry.get("pruned", 0))
+                count = int(entry.get("margin_count", 0))
+                if count:
+                    stats.margins.absorb(
+                        count,
+                        float(entry.get("margin_sum", 0.0)),
+                        float(entry.get("margin_max", 0.0)),
+                        entry.get("margins", ()),
+                    )
+
     def iter_phases(self) -> Iterator[PhaseFunnel]:
         return iter(self.phases.values())
 
@@ -250,6 +281,9 @@ class NullExplain:
 
     def rule_counts(self) -> Dict[str, int]:
         return {}
+
+    def absorb(self, phases_doc: Dict[str, dict]) -> None:
+        return None
 
     def iter_phases(self) -> Iterator[PhaseFunnel]:
         return iter(())

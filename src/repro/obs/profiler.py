@@ -1,0 +1,433 @@
+"""A stdlib-only sampling profiler with span-aware CPU attribution.
+
+Deterministic instrumentation (the tracer) answers *which phase* was
+slow; this module answers *which code inside the phase*. Two sampling
+timers share one report shape:
+
+``thread`` (default)
+    A daemon thread wakes every ``interval_sec`` and walks
+    ``sys._current_frames()``: every thread's Python stack is recorded,
+    so it works off the main thread, inside the serve daemon, and under
+    worker pools. Wall-clock sampling — blocked threads show where they
+    block, exactly like ``py-spy`` in its default mode.
+
+``signal``
+    ``signal.setitimer(ITIMER_PROF)`` delivers ``SIGPROF`` after CPU
+    time is consumed; the handler records the interrupted frame. Pure
+    on-CPU attribution, but POSIX restricts it to the main thread — the
+    ``gpssn profile`` CLI can opt in, the daemon cannot.
+
+Per-phase attribution rides on the span tracer: each sample consults
+the registered tracers' :meth:`~repro.obs.tracer.Tracer.active_stacks`
+and charges the innermost open span of the sampled thread, so the
+report can say "71% of CPU inside ``refine.pair_distance``" without any
+extra instrumentation in the hot path.
+
+Exports: Brendan-Gregg collapsed stacks (``frame;frame;frame count``,
+the format every flamegraph toolchain eats) and a self-contained
+flamegraph HTML page (inline CSS, no external assets — the same
+air-gap stance as the ``/status`` dashboard).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ProfileReport", "SamplingProfiler"]
+
+#: Stop extending the per-stack table past this many unique stacks;
+#: further new stacks aggregate under ``(other)``. Keeps a pathological
+#: workload (deep recursion over varying line numbers) O(1) in memory.
+MAX_UNIQUE_STACKS = 20_000
+
+#: Frames deeper than this are truncated (marker frame appended).
+MAX_STACK_DEPTH = 64
+
+_TRUNCATED = "(deeper frames truncated)"
+_OTHER = "(other)"
+_UNATTRIBUTED = "(no active span)"
+
+
+def _frame_label(frame) -> str:
+    """One collapsed-stack frame token: ``func(file:line)``.
+
+    No spaces or semicolons — both are structural in the collapsed
+    format (``;`` separates frames, the final space separates the
+    count). Filenames can contain either (``<frozen runpy>``), so the
+    token is sanitized.
+    """
+    code = frame.f_code
+    label = (
+        f"{code.co_name}"
+        f"({os.path.basename(code.co_filename)}:{frame.f_lineno})"
+    )
+    return label.replace(";", ",").replace(" ", "_")
+
+
+def _walk_stack(frame) -> List[str]:
+    """Root-first frame labels for one thread's current stack."""
+    labels: List[str] = []
+    depth = 0
+    while frame is not None and depth < MAX_STACK_DEPTH:
+        labels.append(_frame_label(frame))
+        frame = frame.f_back
+        depth += 1
+    if frame is not None:
+        labels.append(_TRUNCATED)
+    labels.reverse()
+    return labels
+
+
+@dataclass
+class ProfileReport:
+    """What one profiling session measured (plain data, renderable)."""
+
+    interval_sec: float
+    duration_sec: float
+    #: collapsed stack ("f;g;h") -> sample count
+    samples: Dict[str, int] = field(default_factory=dict)
+    #: innermost open span name -> sample count (span-aware attribution)
+    phase_samples: Dict[str, int] = field(default_factory=dict)
+    timer: str = "thread"
+
+    @property
+    def num_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def collapsed_lines(self) -> List[str]:
+        """``stack count`` lines, most-sampled first (stable order)."""
+        ordered = sorted(
+            self.samples.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [f"{stack} {count}" for stack, count in ordered]
+
+    def write_collapsed(self, path) -> int:
+        """Write the collapsed-stack file; returns the line count."""
+        lines = self.collapsed_lines()
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write("\n".join(lines) + ("\n" if lines else ""))
+        return len(lines)
+
+    def top_functions(self, n: int = 10) -> List[Tuple[str, int, int]]:
+        """``(frame, self_samples, total_samples)`` rows, by self time.
+
+        ``self`` counts samples where the frame was the leaf (actually
+        executing); ``total`` counts samples where it was anywhere on
+        the stack (inclusive time).
+        """
+        self_counts: Dict[str, int] = {}
+        total_counts: Dict[str, int] = {}
+        for stack, count in self.samples.items():
+            frames = stack.split(";")
+            self_counts[frames[-1]] = (
+                self_counts.get(frames[-1], 0) + count
+            )
+            for frame in set(frames):
+                total_counts[frame] = total_counts.get(frame, 0) + count
+        ordered = sorted(
+            self_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [
+            (frame, self_count, total_counts[frame])
+            for frame, self_count in ordered[:n]
+        ]
+
+    def phase_rows(self) -> List[Tuple[str, int, float]]:
+        """``(phase, samples, share)`` rows, most-sampled first."""
+        total = sum(self.phase_samples.values())
+        ordered = sorted(
+            self.phase_samples.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [
+            (phase, count, count / total if total else 0.0)
+            for phase, count in ordered
+        ]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "gpssn.profile/1",
+            "timer": self.timer,
+            "interval_sec": self.interval_sec,
+            "duration_sec": round(self.duration_sec, 6),
+            "num_samples": self.num_samples,
+            "unique_stacks": len(self.samples),
+            "phases": {
+                phase: count
+                for phase, count in sorted(self.phase_samples.items())
+            },
+            "top": [
+                {"frame": frame, "self": s, "total": t}
+                for frame, s, t in self.top_functions(20)
+            ],
+        }
+
+    # -- flamegraph ---------------------------------------------------------
+
+    def _tree(self) -> dict:
+        root = {"name": "all", "value": 0, "children": {}}
+        for stack, count in self.samples.items():
+            root["value"] += count
+            node = root
+            for frame in stack.split(";"):
+                child = node["children"].get(frame)
+                if child is None:
+                    child = node["children"][frame] = {
+                        "name": frame, "value": 0, "children": {},
+                    }
+                child["value"] += count
+                node = child
+        return root
+
+    def flamegraph_html(self, title: str = "gpssn profile") -> str:
+        """A self-contained flamegraph page (no external assets)."""
+        import html as _html
+
+        total = max(self.num_samples, 1)
+        parts: List[str] = []
+
+        def emit(node: dict, depth: int) -> None:
+            share = node["value"] / total
+            if share < 0.001:  # sub-0.1% slivers are unreadable anyway
+                return
+            label = _html.escape(node["name"])
+            tip = _html.escape(
+                f"{node['name']} — {node['value']} samples "
+                f"({share:.1%})"
+            )
+            parts.append(
+                f'<div class="f d{depth % 6}" '
+                f'style="width:{share * 100:.3f}%" title="{tip}">'
+                f"<span>{label}</span>"
+            )
+            children = sorted(
+                node["children"].values(),
+                key=lambda c: (-c["value"], c["name"]),
+            )
+            if children:
+                parts.append('<div class="r">')
+                for child in children:
+                    emit_child(child, node["value"], depth + 1)
+                parts.append("</div>")
+            parts.append("</div>")
+
+        def emit_child(node: dict, parent_value: int, depth: int) -> None:
+            # Width inside a row is relative to the parent, so sibling
+            # widths sum to <= 100% and the layout nests without JS.
+            share_of_total = node["value"] / total
+            if share_of_total < 0.001:
+                return
+            label = _html.escape(node["name"])
+            tip = _html.escape(
+                f"{node['name']} — {node['value']} samples "
+                f"({share_of_total:.1%} of all)"
+            )
+            width = node["value"] / max(parent_value, 1) * 100
+            parts.append(
+                f'<div class="f d{depth % 6}" '
+                f'style="width:{width:.3f}%" title="{tip}">'
+                f"<span>{label}</span>"
+            )
+            children = sorted(
+                node["children"].values(),
+                key=lambda c: (-c["value"], c["name"]),
+            )
+            if children:
+                parts.append('<div class="r">')
+                for child in children:
+                    emit_child(child, node["value"], depth + 1)
+                parts.append("</div>")
+            parts.append("</div>")
+
+        emit(self._tree(), 0)
+        phase_list = "".join(
+            f"<li>{_html.escape(phase)} — {count} samples "
+            f"({share:.1%})</li>"
+            for phase, count, share in self.phase_rows()
+        )
+        style = (
+            "body{font-family:ui-monospace,Menlo,monospace;margin:1.5rem;"
+            "background:#fafafa;color:#1a1a1a}"
+            ".f{display:inline-block;vertical-align:top;overflow:hidden;"
+            "white-space:nowrap;box-sizing:border-box;"
+            "border:1px solid #fff;border-radius:2px;font-size:11px}"
+            ".f>span{display:block;overflow:hidden;text-overflow:ellipsis;"
+            "padding:1px 3px}"
+            ".r{width:100%}"
+            ".d0{background:#fde68a}.d1{background:#fca5a5}"
+            ".d2{background:#fdba74}.d3{background:#f9a8d4}"
+            ".d4{background:#fcd34d}.d5{background:#f87171}"
+            ".muted{color:#777;font-size:.85rem}"
+        )
+        return (
+            "<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>{_html.escape(title)}</title>"
+            f"<style>{style}</style></head><body>"
+            f"<h1>{_html.escape(title)}</h1>"
+            f"<p class='muted'>{self.num_samples} samples over "
+            f"{self.duration_sec:.2f}s at {self.interval_sec * 1000:.0f}ms "
+            f"({self.timer} timer); widths are sample shares, hover for "
+            "counts</p>"
+            + "".join(parts)
+            + ("<h2>Per-phase CPU attribution</h2><ul>"
+               f"{phase_list}</ul>" if phase_list else "")
+            + "</body></html>"
+        )
+
+
+class SamplingProfiler:
+    """Sample Python stacks on a timer; see the module docstring.
+
+    Usage::
+
+        profiler = SamplingProfiler(interval_sec=0.005, tracers=[tracer])
+        with profiler:
+            run_workload()
+        report = profiler.report
+        report.write_collapsed("profile.collapsed")
+
+    or the blocking helper ``SamplingProfiler(...).run_for(2.0)`` used
+    by the daemon's ``/debug/profile`` endpoint.
+    """
+
+    def __init__(
+        self,
+        interval_sec: float = 0.005,
+        tracers: Sequence[object] = (),
+        timer: str = "thread",
+    ) -> None:
+        if interval_sec <= 0:
+            raise ValueError(
+                f"interval_sec must be > 0, got {interval_sec}"
+            )
+        if timer not in ("thread", "signal"):
+            raise ValueError(
+                f"timer must be 'thread' or 'signal', got {timer!r}"
+            )
+        if timer == "signal":
+            if not hasattr(signal, "setitimer"):  # pragma: no cover
+                raise ValueError(
+                    "signal timer needs POSIX setitimer; "
+                    "use timer='thread'"
+                )
+            if threading.current_thread() is not threading.main_thread():
+                raise ValueError(
+                    "signal timer only works from the main thread; "
+                    "use timer='thread'"
+                )
+        self.interval_sec = float(interval_sec)
+        self.timer = timer
+        self._tracers = list(tracers)
+        self._samples: Dict[str, int] = {}
+        self._phase_samples: Dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+        self._old_handler = None
+        self.report: Optional[ProfileReport] = None
+
+    # -- sample recording ---------------------------------------------------
+
+    def _record_stack(self, labels: List[str]) -> None:
+        if not labels:
+            return
+        key = ";".join(labels)
+        if key in self._samples:
+            self._samples[key] += 1
+        elif len(self._samples) < MAX_UNIQUE_STACKS:
+            self._samples[key] = 1
+        else:
+            self._samples[_OTHER] = self._samples.get(_OTHER, 0) + 1
+
+    def _record_phase(self, ident: int) -> None:
+        phase = _UNATTRIBUTED
+        for tracer in self._tracers:
+            stacks = getattr(tracer, "active_stacks", None)
+            if stacks is None:
+                continue
+            names = stacks().get(ident)
+            if names:
+                phase = names[-1]
+                break
+        self._phase_samples[phase] = self._phase_samples.get(phase, 0) + 1
+
+    def _sample_all_threads(self, skip_ident: int) -> None:
+        for ident, frame in sys._current_frames().items():
+            if ident == skip_ident:
+                continue
+            self._record_stack(_walk_stack(frame))
+            self._record_phase(ident)
+
+    def _sampler_loop(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.wait(self.interval_sec):
+            self._sample_all_threads(own)
+
+    def _on_sigprof(self, signum, frame) -> None:
+        self._record_stack(_walk_stack(frame))
+        self._record_phase(threading.get_ident())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None or self._old_handler is not None:
+            raise RuntimeError("profiler already running")
+        self._samples = {}
+        self._phase_samples = {}
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        if self.timer == "signal":
+            self._old_handler = signal.signal(
+                signal.SIGPROF, self._on_sigprof
+            )
+            signal.setitimer(
+                signal.ITIMER_PROF, self.interval_sec, self.interval_sec
+            )
+        else:
+            self._thread = threading.Thread(
+                target=self._sampler_loop,
+                name="gpssn-profiler",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> ProfileReport:
+        duration = time.perf_counter() - self._started_at
+        if self.timer == "signal":
+            signal.setitimer(signal.ITIMER_PROF, 0.0, 0.0)
+            if self._old_handler is not None:
+                signal.signal(signal.SIGPROF, self._old_handler)
+                self._old_handler = None
+        elif self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.report = ProfileReport(
+            interval_sec=self.interval_sec,
+            duration_sec=duration,
+            samples=self._samples,
+            phase_samples=self._phase_samples,
+            timer=self.timer,
+        )
+        return self.report
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def run_for(self, seconds: float) -> ProfileReport:
+        """Block for ``seconds`` while sampling (the endpoint's shape)."""
+        self.start()
+        try:
+            time.sleep(max(seconds, 0.0))
+        finally:
+            report = self.stop()
+        return report

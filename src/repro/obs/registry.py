@@ -17,7 +17,7 @@ import dataclasses
 import math
 import random
 import threading
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .rolling import RollingHistogram, WindowStats
 from .tracer import NullTracer, Tracer
@@ -170,6 +170,39 @@ class Histogram:
     def p99(self) -> float:
         return self.percentile(99.0)
 
+    def absorb(
+        self,
+        count: int,
+        total: float,
+        maximum: float,
+        samples: Sequence[float] = (),
+    ) -> None:
+        """Fold another histogram's observations in (delta merge).
+
+        ``count``/``sum``/``max`` stay exact — they are summed/maxed
+        directly, never re-derived from samples. The samples refresh
+        the reservoir: below the cap they are kept verbatim, above it
+        each takes a slot with probability ``cap / merged_count``,
+        mirroring what Algorithm R would have converged to had the
+        observations streamed in individually.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            had = self._count
+            self._count += count
+            self._sum += float(total)
+            if not had or maximum > self._max:
+                self._max = float(maximum)
+            for value in samples:
+                value = float(value)
+                if len(self.values) < self.max_samples:
+                    self.values.append(value)
+                else:
+                    slot = self._rng.randrange(self._count)
+                    if slot < self.max_samples:
+                        self.values[slot] = value
+
     def stats(self) -> HistogramStats:
         """One consistent summary (count/sum/quantiles read atomically)."""
         with self._lock:
@@ -258,6 +291,36 @@ class MetricsRegistry:
     def counter(self, name: str) -> float:
         with self._lock:
             return self.counters.get(name, 0.0)
+
+    def absorb_histogram(self, name: str, sketch) -> None:
+        """Fold a :class:`~repro.obs.delta.HistogramSketch`-shaped
+        object (``count``/``sum``/``max``/``samples``) into the named
+        histogram — the parent-side arm of worker delta shipping."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+        hist.absorb(sketch.count, sketch.sum, sketch.max, sketch.samples)
+
+    def drain(
+        self,
+    ) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, Histogram]]:
+        """Atomically hand over counters/gauges/histograms and reset.
+
+        The capture side of worker delta shipping: the returned
+        histograms are *removed* from the registry (fresh ones are
+        created on next observe), so the caller may read them without
+        racing the worker's next chunk. Rolling windows stay — workers
+        never populate them; they are parent-side latency state.
+        """
+        with self._lock:
+            counters = self.counters
+            gauges = self.gauges
+            histograms = self.histograms
+            self.counters = {}
+            self.gauges = {}
+            self.histograms = {}
+        return counters, gauges, histograms
 
     def reset(self) -> None:
         """Zero everything — for short-lived runs (CLI, tests) only.

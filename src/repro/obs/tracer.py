@@ -98,6 +98,12 @@ class Tracer:
         self.roots: List[Span] = []
         self._local = threading.local()
         self._roots_lock = threading.Lock()
+        # thread ident -> tuple of open span names, outermost first.
+        # Written only by the owning thread (one dict store per span
+        # open/close); read by the sampling profiler to attribute CPU
+        # samples to the phase that was running. A torn read returns a
+        # slightly stale tuple, never a broken one.
+        self._active: Dict[int, Tuple[str, ...]] = {}
 
     @property
     def _stack(self) -> List[Span]:
@@ -112,7 +118,9 @@ class Tracer:
         return Span(name, self)
 
     def _push(self, span: Span) -> None:
-        self._stack.append(span)
+        stack = self._stack
+        stack.append(span)
+        self._active[threading.get_ident()] = tuple(s.name for s in stack)
 
     def _pop(self, span: Span) -> None:
         stack = self._stack
@@ -122,11 +130,23 @@ class Tracer:
                 f"span nesting violated: closing {span.name!r} "
                 f"but {popped.name!r} is innermost"
             )
+        ident = threading.get_ident()
         if stack:
             stack[-1].children.append(span)
+            self._active[ident] = tuple(s.name for s in stack)
         else:
+            self._active.pop(ident, None)
             with self._roots_lock:
                 self.roots.append(span)
+
+    def active_stacks(self) -> Dict[int, Tuple[str, ...]]:
+        """Open span names per thread ident (outermost first).
+
+        The sampling profiler's phase-attribution hook: a CPU sample
+        taken in thread ``t`` belongs to ``active_stacks()[t][-1]``,
+        the innermost open span at that instant.
+        """
+        return dict(self._active)
 
     def clear(self) -> None:
         """Drop recorded roots (the calling thread's stack must be empty)."""
@@ -180,6 +200,9 @@ class NullTracer:
 
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
+
+    def active_stacks(self) -> Dict[int, Tuple[str, ...]]:
+        return {}
 
     def clear(self) -> None:
         return None

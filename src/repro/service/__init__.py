@@ -28,6 +28,7 @@ from .executor import (
     BACKENDS,
     BatchQueryExecutor,
     NetworkSnapshot,
+    ShardResult,
     WorkerState,
 )
 from .limits import (
@@ -62,6 +63,7 @@ __all__ = [
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_TIMEOUT",
+    "ShardResult",
     "WorkerState",
     "call_with_timeout",
     "outcome_lines",

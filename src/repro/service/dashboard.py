@@ -24,7 +24,14 @@ import html
 import time
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["funnel_rows", "render_status_html", "render_status_text"]
+from ..obs.delta import split_worker_metric
+
+__all__ = [
+    "funnel_rows",
+    "render_status_html",
+    "render_status_text",
+    "worker_rows",
+]
 
 
 def _fmt_sec(seconds: float) -> str:
@@ -113,6 +120,44 @@ def _window_rows(windows: Dict[str, object]) -> List[List[str]]:
     return rows
 
 
+def worker_rows(view: Dict[str, object]) -> List[List[str]]:
+    """The per-worker panel: one row per ``worker.<label>.*`` series.
+
+    Everything here arrives on shard metric deltas, so the panel is
+    populated identically whether the workers are the serial state
+    (label ``0``), threads (``0..n``), or pool processes (``pid<n>``) —
+    the cross-process telemetry plane's visible payoff.
+    """
+    counters: Dict[str, float] = view.get("counters", {})  # type: ignore
+    gauges: Dict[str, float] = view.get("gauges", {})  # type: ignore
+    histograms: Dict[str, object] = view.get("histograms", {})  # type: ignore
+    labels = sorted({
+        parts[1]
+        for source in (counters, gauges, histograms)
+        for name in source
+        for parts in (split_worker_metric(name),)
+        if parts is not None
+    })
+    rows: List[List[str]] = []
+    for label in labels:
+        prefix = f"worker.{label}."
+        queries = counters.get(f"{prefix}query.count", 0.0)
+        cpu = histograms.get(f"{prefix}query.cpu_time_sec")
+        hits = counters.get(f"{prefix}dijkstra.cache_hits", 0.0)
+        searches = counters.get(f"{prefix}dijkstra.searches", 0.0)
+        attach = gauges.get(f"{prefix}snapshot.attach_seconds")
+        dropped = counters.get(f"{prefix}obs.worker_spans_dropped", 0.0)
+        rows.append([
+            label,
+            str(int(queries)),
+            _fmt_ms(cpu.p95) if cpu is not None else "-",
+            _rate(hits, hits + searches),
+            _fmt_ms(attach) if attach is not None else "-",
+            str(int(dropped)),
+        ])
+    return rows
+
+
 def _admission_rows(view: Dict[str, object]) -> List[Tuple[str, str]]:
     counters = view["counters"]
     return [
@@ -191,6 +236,13 @@ def render_status_text(view: Dict[str, object]) -> str:
     lines += _text_table(
         ["phase", "n", "mean", "p50", "p95", "max"],
         _phase_rows(view["histograms"]),
+    )
+
+    lines += ["", "Workers (from shipped metric deltas)", "-" * 36]
+    lines += _text_table(
+        ["worker", "queries", "cpu p95", "cache hits", "attach",
+         "spans dropped"],
+        worker_rows(view),
     )
 
     lines += ["", "Pruning funnel (cumulative, Fig. 7 view)", "-" * 40]
@@ -282,6 +334,13 @@ def render_status_html(view: Dict[str, object]) -> str:
         _html_table(
             ["phase", "n", "mean", "p50", "p95", "max"],
             _phase_rows(view["histograms"]),
+        ),
+        "<h2>Workers <span class='muted'>(from shipped metric deltas; "
+        "identical plane on serial/thread/process backends)</span></h2>",
+        _html_table(
+            ["worker", "queries", "cpu p95", "cache hits", "attach",
+             "spans dropped"],
+            worker_rows(view),
         ),
         "<h2>Pruning funnel <span class='muted'>(cumulative; the live "
         "Fig.&nbsp;7 view — see docs/paper_mapping.md)</span></h2>",

@@ -35,6 +35,15 @@ stalling the batch.
 Answers are deterministic in (snapshot, build args, query): all
 backends restore workers from the *same* snapshot, so worker count and
 scheduling order never change outcomes.
+
+Worker telemetry is not lost to process boundaries: every shard comes
+back as a :class:`ShardResult` whose
+:class:`~repro.obs.delta.MetricsDelta` carries the worker's counters,
+gauges, histogram sketches, pruning-funnel tallies, and (for traced
+requests) a bounded span forest. The parent merges each delta into its
+own recorder — once under the original names (so aggregate funnel
+counts match a serial run exactly, on any backend) and once under
+``worker.<label>.*`` for the per-worker plane.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from __future__ import annotations
 import concurrent.futures
 import logging
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -52,7 +62,14 @@ from ..core.query import GPSSNQuery
 from ..exceptions import IndexStateError, InvalidParameterError
 from ..io.bundle import network_from_document, network_to_document
 from ..network import SpatialSocialNetwork
-from ..obs import Recorder
+from ..obs import (
+    ExplainRecorder,
+    MetricsDelta,
+    Recorder,
+    TraceContext,
+    Tracer,
+)
+from ..obs.exporters import spans_to_jsonl
 from ..roadnet.engines import CHEngine
 from .batch import BatchPlan, PlanItem, plan_batch, query_request_id
 from .limits import (
@@ -269,6 +286,123 @@ class WorkerState:
             except Exception:  # pragma: no cover - warm-up must not fail
                 continue
 
+    def run_shard(
+        self,
+        items: Sequence[PlanItem],
+        limits: ExecutionLimits,
+        worker: int,
+        trace_ctx: Optional[TraceContext] = None,
+        collect: bool = True,
+        label: Optional[str] = None,
+    ) -> "ShardResult":
+        """Answer one shard and ship its telemetry delta back.
+
+        Prewarms the shard's issuers, runs every item under the limits
+        envelope, then captures this worker's recorder into a
+        :class:`~repro.obs.delta.MetricsDelta` (disjoint per shard —
+        capture resets the registry and funnel). With a
+        :class:`~repro.obs.context.TraceContext`, the shard runs under
+        span + funnel capture and the delta carries the bounded span
+        forest for the parent's ``/trace/<id>`` merge. ``collect=False``
+        restores the pre-delta behavior (telemetry discarded, spans
+        counted as dropped) for overhead baselines.
+        """
+        self.prewarm_issuers(
+            list(dict.fromkeys(item.query.query_user for item in items))
+        )
+        trace_doc: Optional[dict] = None
+        if trace_ctx is not None:
+            outcomes, trace_doc = self._run_traced_items(
+                items, limits, worker, trace_ctx
+            )
+        else:
+            outcomes = [self.run_item(item, limits, worker) for item in items]
+        if not collect:
+            _drain_worker_tracer(self)
+            return ShardResult(outcomes=outcomes)
+        return ShardResult(
+            outcomes=outcomes,
+            delta=self.collect_delta(
+                label if label is not None else str(worker), trace=trace_doc
+            ),
+        )
+
+    def collect_delta(
+        self, label: str, trace: Optional[dict] = None
+    ) -> MetricsDelta:
+        """Capture-and-reset this worker's telemetry since last capture.
+
+        Unshipped span forests (phase-timing tracers accumulate one
+        root per query) cannot ride a metrics delta wholesale; they are
+        counted into ``obs.worker_spans_dropped`` *before* the capture
+        so the tally itself ships, then cleared.
+        """
+        _drain_worker_tracer(self)
+        return MetricsDelta.capture(
+            self.processor.recorder, worker=label, trace=trace
+        )
+
+    def _run_traced_items(
+        self,
+        items: Sequence[PlanItem],
+        limits: ExecutionLimits,
+        worker: int,
+        trace_ctx: TraceContext,
+    ) -> Tuple[List[QueryOutcome], dict]:
+        """Run items with span + funnel capture for one traced request.
+
+        The capture recorder shares this worker's metrics registry (the
+        delta stays complete) but swaps in a fresh tracer — and a fresh
+        funnel when the worker is not already explaining — so the trace
+        describes exactly this request.
+        """
+        processor = self.processor
+        saved = processor.recorder
+        explain = (
+            saved.explain
+            if getattr(saved.explain, "active", False)
+            else ExplainRecorder()
+        )
+        capture = Recorder(
+            tracer=Tracer(), metrics=saved.metrics, explain=explain
+        )
+        processor.recorder = capture
+        shard_started = time.perf_counter()
+        try:
+            with capture.span("worker.shard") as span:
+                span.set(
+                    request_id=trace_ctx.request_id,
+                    worker=worker,
+                    pid=os.getpid(),
+                    queries=len(items),
+                )
+                outcomes = [
+                    self.run_item(item, limits, worker) for item in items
+                ]
+        finally:
+            processor.recorder = saved
+        lines = spans_to_jsonl(capture.tracer.roots)
+        shipped = lines[:trace_ctx.max_spans]
+        dropped = len(lines) - len(shipped)
+        if dropped:
+            saved.metrics.inc("obs.worker_spans_dropped", dropped)
+        trace_doc = {
+            "request_id": trace_ctx.request_id,
+            "spans": shipped,
+            "funnel": explain.as_dict(),
+            "rule_counts": explain.rule_counts(),
+            "shard_sec": time.perf_counter() - shard_started,
+        }
+        return outcomes, trace_doc
+
+
+@dataclass
+class ShardResult:
+    """One shard's outcomes plus the worker's piggybacked telemetry."""
+
+    outcomes: List[QueryOutcome]
+    delta: Optional[MetricsDelta] = None
+
 
 def fan_out_outcomes(
     plan: BatchPlan, item_outcomes: Dict[int, QueryOutcome]
@@ -296,32 +430,48 @@ def fan_out_outcomes(
 _PROCESS_STATE: Optional[WorkerState] = None
 
 
-def _worker_recorder(traced: bool) -> Recorder:
+def _worker_recorder(traced: bool, explain: bool = False) -> Recorder:
     """A worker's private recorder; ``traced`` turns span capture on so
     every outcome's ``stats.phase_times`` is populated (the daemon's
-    per-phase latency breakdown). Traced workers must drain their span
-    forest after each shard or their memory grows with traffic."""
-    if traced:
-        from ..obs import Tracer
-
-        return Recorder(tracer=Tracer())
-    return Recorder()
+    per-phase latency breakdown); ``explain`` adds per-rule funnel
+    accounting, shipped to the parent via the shard's metrics delta."""
+    return Recorder(
+        tracer=Tracer() if traced else None,
+        explain=ExplainRecorder() if explain else None,
+    )
 
 
 def _drain_worker_tracer(state: WorkerState) -> None:
-    """Drop a traced worker's accumulated span forest (phase times were
-    already copied into each outcome's stats); no-op for null tracers."""
-    tracer = state.processor.recorder.tracer
-    if getattr(tracer, "active", False):
+    """Count-and-drop a worker's accumulated span forest.
+
+    Phase times were already copied into each outcome's stats; the
+    trees themselves only ship for traced requests. Discarded roots are
+    tallied into ``obs.worker_spans_dropped`` (they ride the next
+    delta) instead of vanishing silently; no-op for null tracers.
+    """
+    recorder = state.processor.recorder
+    tracer = recorder.tracer
+    if getattr(tracer, "active", False) and tracer.roots:
+        recorder.metrics.inc("obs.worker_spans_dropped", len(tracer.roots))
         tracer.clear()
 
 
+def _process_worker_label() -> str:
+    """The ``worker`` label of this pool process. Pool processes are
+    anonymous (no stable index), so the pid names the series — which
+    also makes per-process facts like attach time land on the process
+    that actually paid them."""
+    return f"pid{os.getpid()}"
+
+
 def _process_initializer(
-    snapshot: NetworkSnapshot, traced: bool = False
+    snapshot: NetworkSnapshot, traced: bool = False, explain: bool = False
 ) -> None:
     """Build this worker process's warm state exactly once."""
     global _PROCESS_STATE
-    _PROCESS_STATE = WorkerState(snapshot, recorder=_worker_recorder(traced))
+    _PROCESS_STATE = WorkerState(
+        snapshot, recorder=_worker_recorder(traced, explain)
+    )
 
 
 def _process_warmup() -> bool:
@@ -329,19 +479,18 @@ def _process_warmup() -> bool:
 
 
 def _process_run_shard(
-    worker: int, items: List[PlanItem], limits: ExecutionLimits
-) -> List[QueryOutcome]:
+    worker: int,
+    items: List[PlanItem],
+    limits: ExecutionLimits,
+    trace_ctx: Optional[TraceContext] = None,
+    collect: bool = True,
+) -> ShardResult:
     assert _PROCESS_STATE is not None, "worker initializer did not run"
-    _PROCESS_STATE.prewarm_issuers(
-        list(dict.fromkeys(item.query.query_user for item in items))
+    return _PROCESS_STATE.run_shard(
+        items, limits, worker,
+        trace_ctx=trace_ctx, collect=collect,
+        label=_process_worker_label(),
     )
-    outcomes = [
-        _PROCESS_STATE.run_item(item, limits, worker) for item in items
-    ]
-    # Traced workers (the daemon's phase-timing mode) would otherwise
-    # accumulate one span tree per query forever.
-    _drain_worker_tracer(_PROCESS_STATE)
-    return outcomes
 
 
 def _fork_or_default_context():
@@ -366,6 +515,8 @@ class BatchQueryExecutor:
         build_args: Optional[Dict[str, object]] = None,
         recorder: Optional[Recorder] = None,
         worker_tracing: bool = False,
+        worker_explain: bool = False,
+        telemetry: bool = True,
         snapshot: Optional[NetworkSnapshot] = None,
     ) -> None:
         if backend == "auto":
@@ -389,6 +540,14 @@ class BatchQueryExecutor:
         # outcome's stats (the serve daemon's latency breakdown); off by
         # default so batch runs keep the zero-overhead null tracer.
         self.worker_tracing = worker_tracing
+        # Per-rule funnel accounting in every worker; the tallies ship
+        # back on each shard's delta, so it works on any backend.
+        self.worker_explain = worker_explain
+        # Delta shipping: workers capture their recorder per shard and
+        # the parent merges into self.recorder.metrics (aggregate +
+        # worker-labelled series). False = the pre-delta behavior, kept
+        # for the telemetry-overhead benchmark baseline.
+        self.telemetry = telemetry
         if snapshot is not None:
             self.snapshot = snapshot
         elif network is not None:
@@ -429,6 +588,7 @@ class BatchQueryExecutor:
         limits: Optional[ExecutionLimits] = None,
         recorder: Optional[Recorder] = None,
         worker_tracing: bool = False,
+        worker_explain: bool = False,
     ) -> "BatchQueryExecutor":
         """An executor whose workers memmap-attach a frozen arena.
 
@@ -442,6 +602,7 @@ class BatchQueryExecutor:
             limits=limits,
             recorder=recorder,
             worker_tracing=worker_tracing,
+            worker_explain=worker_explain,
             snapshot=NetworkSnapshot.from_frozen(path),
         )
 
@@ -457,13 +618,17 @@ class BatchQueryExecutor:
             if self._serial_state is None:
                 self._serial_state = WorkerState(
                     self.snapshot,
-                    recorder=_worker_recorder(self.worker_tracing),
+                    recorder=_worker_recorder(
+                        self.worker_tracing, self.worker_explain
+                    ),
                 )
         elif self.backend == "thread":
             while len(self._thread_states) < self.workers:
                 self._thread_states.append(WorkerState(
                     self.snapshot,
-                    recorder=_worker_recorder(self.worker_tracing),
+                    recorder=_worker_recorder(
+                        self.worker_tracing, self.worker_explain
+                    ),
                 ))
         else:
             pool = self._ensure_pool()
@@ -487,14 +652,19 @@ class BatchQueryExecutor:
                 max_workers=self.workers,
                 mp_context=_fork_or_default_context(),
                 initializer=_process_initializer,
-                initargs=(self.snapshot, self.worker_tracing),
+                initargs=(
+                    self.snapshot, self.worker_tracing, self.worker_explain,
+                ),
             )
         return self._pool
 
     # -- execution ----------------------------------------------------------
 
     def submit_shard(
-        self, items: List[PlanItem], worker: int = 0
+        self,
+        items: List[PlanItem],
+        worker: int = 0,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> "concurrent.futures.Future":
         """Dispatch one shard of planned items asynchronously.
 
@@ -504,14 +674,19 @@ class BatchQueryExecutor:
         pool without stepping on per-worker state (submissions are
         serialized by :class:`concurrent.futures.ProcessPoolExecutor`,
         which is thread-safe by contract). ``worker`` only labels the
-        outcomes for metrics.
+        outcomes for metrics; the resolved value is a
+        :class:`ShardResult` whose delta carries the worker's telemetry
+        (and, with a ``trace_ctx``, its span forest).
         """
         if self.backend != "process":
             raise InvalidParameterError(
                 f"submit_shard needs the process backend, got {self.backend!r}"
             )
         pool = self._ensure_pool()
-        return pool.submit(_process_run_shard, worker, items, self.limits)
+        return pool.submit(
+            _process_run_shard, worker, items, self.limits,
+            trace_ctx, self.telemetry,
+        )
 
     def run(
         self,
@@ -533,27 +708,31 @@ class BatchQueryExecutor:
         started = time.perf_counter()
         with self.recorder.span("service.batch") as span:
             if self.backend == "serial":
-                outcomes = self._run_serial(entries)
+                shard_results = [self._run_serial(entries)]
+                outcomes = shard_results[0].outcomes
                 plan = None
             else:
                 plan = plan_batch(entries, self.workers)
                 if self.backend == "thread":
-                    shard_outcomes = self._run_thread(plan)
+                    shard_results = self._run_thread(plan)
                 else:
-                    shard_outcomes = self._run_process(plan)
-                outcomes = self._fan_out(plan, shard_outcomes)
+                    shard_results = self._run_process(plan)
+                outcomes = self._fan_out(plan, shard_results)
             elapsed = time.perf_counter() - started
             span.set(
                 backend=self.backend, workers=self.workers,
                 queries=len(entries),
                 unique=plan.num_unique if plan else len(entries),
             )
+        for result in shard_results:
+            if result.delta is not None:
+                result.delta.apply(self.recorder.metrics)
         self._record_metrics(outcomes, plan, elapsed)
         return outcomes
 
     def _run_serial(
         self, entries: Sequence[Tuple[GPSSNQuery, Optional[int]]]
-    ) -> List[QueryOutcome]:
+    ) -> ShardResult:
         self.warm()
         state = self._serial_state
         outcomes = [
@@ -566,50 +745,50 @@ class BatchQueryExecutor:
             )
             for i, (query, mg) in enumerate(entries)
         ]
-        _drain_worker_tracer(state)
-        return outcomes
+        if not self.telemetry:
+            _drain_worker_tracer(state)
+            return ShardResult(outcomes=outcomes)
+        return ShardResult(
+            outcomes=outcomes, delta=state.collect_delta("0")
+        )
 
-    def _run_thread(self, plan: BatchPlan) -> List[List[QueryOutcome]]:
+    def _run_thread(self, plan: BatchPlan) -> List[ShardResult]:
         self.warm()
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=len(plan.shards)
         ) as pool:
-            def run_shard(state: WorkerState, w: int) -> List[QueryOutcome]:
-                state.prewarm_issuers(plan.shard_issuers(w))
-                outcomes = [
-                    state.run_item(plan.items[i], self.limits, w)
-                    for i in plan.shards[w]
-                ]
-                _drain_worker_tracer(state)
-                return outcomes
-
             futures = [
-                pool.submit(run_shard, self._thread_states[w], w)
+                pool.submit(
+                    self._thread_states[w].run_shard,
+                    [plan.items[i] for i in plan.shards[w]],
+                    self.limits, w, None, self.telemetry,
+                )
                 for w in range(len(plan.shards))
             ]
             return [f.result() for f in futures]
 
-    def _run_process(self, plan: BatchPlan) -> List[List[QueryOutcome]]:
+    def _run_process(self, plan: BatchPlan) -> List[ShardResult]:
         pool = self._ensure_pool()
         futures = [
             pool.submit(
                 _process_run_shard,
                 w, [plan.items[i] for i in shard], self.limits,
+                None, self.telemetry,
             )
             for w, shard in enumerate(plan.shards)
         ]
         return [f.result() for f in futures]
 
     def _fan_out(
-        self, plan: BatchPlan, shard_outcomes: List[List[QueryOutcome]]
+        self, plan: BatchPlan, shard_results: List[ShardResult]
     ) -> List[QueryOutcome]:
         """Re-address per-item outcomes to every original batch position."""
         return fan_out_outcomes(
             plan,
             {
                 item_idx: outcome
-                for shard, results in zip(plan.shards, shard_outcomes)
-                for item_idx, outcome in zip(shard, results)
+                for shard, result in zip(plan.shards, shard_results)
+                for item_idx, outcome in zip(shard, result.outcomes)
             },
         )
 

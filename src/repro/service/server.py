@@ -68,16 +68,18 @@ from ..exceptions import InvalidParameterError
 from ..network import SpatialSocialNetwork
 from ..obs import (
     ExplainRecorder,
+    ProfileReport,
     Recorder,
-    Tracer,
+    SamplingProfiler,
+    TraceContext,
     process_rss_bytes,
     prometheus_text,
 )
-from ..obs.exporters import spans_to_jsonl
 from .batch import BatchPlan, plan_batch
 from .executor import (
     BatchQueryExecutor,
     NetworkSnapshot,
+    ShardResult,
     WorkerState,
     _worker_recorder,
     fan_out_outcomes,
@@ -93,6 +95,7 @@ from .protocol import ProtocolError, outcome_lines, parse_query_lines
 __all__ = [
     "GPSSNHTTPServer",
     "GPSSNService",
+    "ProfilerBusyError",
     "ServerConfig",
     "ServiceOverloadedError",
     "create_server",
@@ -128,10 +131,17 @@ class ServerConfig:
     trace_ring_size: int = 32
     #: Rolling-window width for the /metrics latency percentiles.
     window_sec: float = 300.0
-    #: Per-rule funnel accounting in every worker (in-process backends).
+    #: Per-rule funnel accounting in every worker. Works on *every*
+    #: backend: workers keep private funnels whose tallies ride each
+    #: shard's metrics delta back to the parent's merged recorder.
     explain: bool = False
     #: Span capture in workers so outcomes carry per-phase times.
     phase_timing: bool = True
+    #: Head-sample this fraction of requests for tracing (deterministic
+    #: in the request id; ``?trace=1`` always traces regardless).
+    trace_sample_rate: float = 0.0
+    #: Expose ``GET /debug/profile?seconds=N`` (the sampling profiler).
+    profile_endpoint: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in SERVE_BACKENDS:
@@ -147,10 +157,19 @@ class ServerConfig:
             raise InvalidParameterError(
                 f"max_queue must be >= 0, got {self.max_queue}"
             )
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise InvalidParameterError(
+                f"trace_sample_rate must be in [0, 1], got "
+                f"{self.trace_sample_rate}"
+            )
 
 
 class ServiceOverloadedError(Exception):
     """Admission control refused the request (the 429 arm)."""
+
+
+class ProfilerBusyError(Exception):
+    """Another ``/debug/profile`` run is in progress (the 409 arm)."""
 
 
 class _LockedExplain:
@@ -199,6 +218,11 @@ class _LockedExplain:
     def rule_counts(self):
         with self._lock:
             return self._inner.rule_counts()
+
+    def absorb(self, phases_doc):
+        """Merge one worker's shipped funnel delta (delta plane)."""
+        with self._lock:
+            self._inner.absorb(phases_doc)
 
 
 @dataclass
@@ -267,13 +291,13 @@ class GPSSNService:
                 limits=self.limits,
                 build_args=build_args,
                 worker_tracing=cfg.phase_timing,
+                worker_explain=cfg.explain,
                 snapshot=self.snapshot,
             )
-        # The dedicated in-process worker ?trace=1 requests run on when
-        # the serving backend cannot be traced (process pool) or to
-        # avoid stealing a serving worker; built lazily.
-        self._trace_state: Optional[WorkerState] = None
-        self._trace_lock = threading.Lock()
+        # In-process worker tracers, registered at warm-up so the
+        # sampling profiler can attribute CPU samples to active spans.
+        self._worker_tracers: List[object] = []
+        self._profile_lock = threading.Lock()
 
         self.workers = 1 if cfg.backend == "serial" else cfg.workers
         #: Admitted requests may number at most workers + max_queue.
@@ -301,24 +325,31 @@ class GPSSNService:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def _adopt_snapshot_gauges(self, recorder: Recorder) -> None:
+    def _adopt_snapshot_gauges(
+        self, recorder: Recorder, counters: bool = True
+    ) -> None:
         """Copy a worker's snapshot-attach telemetry onto the service
-        registry so ``/metrics`` and ``/status`` can surface it (worker
-        recorders are private and never scraped directly)."""
+        registry so ``/metrics`` and ``/status`` can surface it before
+        the first shard delta arrives. ``counters=False`` skips the
+        rebuild-fallback counter for pooled workers — their first delta
+        ships the same count and would double it; the warm-probe
+        recorder (which never ships a delta) keeps ``counters=True``."""
         for name in ("snapshot.attach_seconds", "snapshot.bytes_mapped"):
             value = recorder.metrics.gauges.get(name)
             if value is not None:
                 self.registry.set_gauge(name, value)
+        if not counters:
+            return
         fallback = recorder.metrics.counters.get("snapshot.rebuild_fallback")
         if fallback:
             self.registry.inc("snapshot.rebuild_fallback", fallback)
 
     def _worker_state(self) -> WorkerState:
-        recorder = _worker_recorder(self.config.phase_timing)
-        if self._explain is not None:
-            recorder.explain = self._explain
+        recorder = _worker_recorder(self.config.phase_timing, self.config.explain)
         state = WorkerState(self.snapshot, recorder=recorder)
-        self._adopt_snapshot_gauges(recorder)
+        if getattr(recorder.tracer, "active", False):
+            self._worker_tracers.append(recorder.tracer)
+        self._adopt_snapshot_gauges(recorder, counters=False)
         return state
 
     def warm(self) -> "GPSSNService":
@@ -424,75 +455,153 @@ class GPSSNService:
         self._ready.wait()
         started = time.perf_counter()
         plan = plan_batch(entries, 1)
-        if trace:
-            item_outcomes, traced = self._run_traced(plan, request_id), True
-        elif self._executor is not None:
-            outcomes = self._executor.submit_shard(list(plan.items)).result()
-            item_outcomes, traced = dict(enumerate(outcomes)), False
+        ctx = TraceContext.sampled(
+            request_id, self.config.trace_sample_rate, force=trace
+        )
+        if self._executor is not None:
+            shard = self._executor.submit_shard(
+                list(plan.items), trace_ctx=ctx
+            ).result()
+            queue_wait = None  # derived from the shard's own wall time
         else:
-            item_outcomes, traced = self._run_pooled(plan), False
+            shard, queue_wait = self._run_pooled(plan, ctx)
+        item_outcomes = dict(enumerate(shard.outcomes))
         outcomes = fan_out_outcomes(plan, item_outcomes)
         duration = time.perf_counter() - started
+        traced = False
+        if shard.delta is not None:
+            shard.delta.apply(self.registry, explain=self._explain)
+            if shard.delta.trace is not None:
+                if queue_wait is None:
+                    shard_sec = shard.delta.trace.get("shard_sec", duration)
+                    queue_wait = max(duration - float(shard_sec), 0.0)
+                self._store_trace(
+                    plan, duration, queue_wait, shard.delta
+                )
+                traced = True
         self._absorb(plan, item_outcomes, outcomes, duration, request_id)
         return RequestResult(
             outcomes=outcomes, duration_sec=duration, traced=traced
         )
 
-    def _run_pooled(self, plan: BatchPlan) -> Dict[int, QueryOutcome]:
-        """Run a plan on one checked-out in-process worker."""
+    def _run_pooled(
+        self, plan: BatchPlan, ctx: Optional[TraceContext]
+    ) -> Tuple[ShardResult, float]:
+        """Run a plan on one checked-out in-process worker.
+
+        Returns the shard result plus the measured queue wait — the time
+        this request spent blocked on worker checkout, which becomes the
+        ``queue.wait`` span of a merged trace.
+        """
+        wait_started = time.perf_counter()
         worker_id, state = self._worker_pool.get()
+        queue_wait = time.perf_counter() - wait_started
         try:
-            state.prewarm_issuers(plan.shard_issuers(0))
-            outcomes = {
-                idx: state.run_item(item, self.limits, worker_id)
-                for idx, item in enumerate(plan.items)
-            }
-            self._drain_tracer(state)
-            return outcomes
+            return (
+                state.run_shard(
+                    list(plan.items), self.limits, worker_id, trace_ctx=ctx
+                ),
+                queue_wait,
+            )
         finally:
             self._worker_pool.put((worker_id, state))
 
-    def _run_traced(
-        self, plan: BatchPlan, request_id: str
-    ) -> Dict[int, QueryOutcome]:
-        """Run a plan on the dedicated diagnostic worker with span +
-        funnel capture, retaining the trace for ``/trace/<id>``."""
-        with self._trace_lock:
-            if self._trace_state is None:
-                self._trace_state = WorkerState(self.snapshot)
-            state = self._trace_state
-            processor = state.processor
-            saved = processor.recorder
-            capture = Recorder(tracer=Tracer(), explain=ExplainRecorder())
-            processor.recorder = capture
-            try:
-                with capture.span("request") as span:
-                    span.set(
-                        request_id=request_id, queries=plan.num_queries
-                    )
-                    outcomes = {
-                        idx: state.run_item(item, self.limits, worker=-2)
-                        for idx, item in enumerate(plan.items)
-                    }
-            finally:
-                processor.recorder = saved
+    def _store_trace(
+        self,
+        plan: BatchPlan,
+        duration: float,
+        queue_wait: float,
+        delta,
+    ) -> None:
+        """Retain one merged end-to-end trace for ``GET /trace/<id>``."""
+        trace_doc = delta.trace
         self._traces.append(_TraceRecord(
-            request_id=request_id,
-            span_lines=spans_to_jsonl(capture.tracer.roots),
-            explain=capture.explain.as_dict(),
-            rule_counts=capture.explain.rule_counts(),
-            duration_sec=sum(
-                o.duration_sec for o in outcomes.values()
+            request_id=trace_doc["request_id"],
+            span_lines=self._merged_trace_lines(
+                trace_doc, duration, queue_wait, delta.worker
             ),
+            explain=trace_doc.get("funnel", {}),
+            rule_counts=trace_doc.get("rule_counts", {}),
+            duration_sec=duration,
             num_queries=plan.num_queries,
         ))
-        return outcomes
 
-    @staticmethod
-    def _drain_tracer(state: WorkerState) -> None:
-        tracer = state.processor.recorder.tracer
-        if getattr(tracer, "active", False):
-            tracer.clear()
+    def _merged_trace_lines(
+        self,
+        trace_doc: Dict[str, object],
+        duration: float,
+        queue_wait: float,
+        worker_label: str,
+    ) -> List[str]:
+        """Stitch the worker's shipped span forest into one request tree.
+
+        Synthetic parent spans carry the service-side story the worker
+        cannot see — total request wall time, the queue/checkout wait,
+        and the (amortized) snapshot attach cost — and the worker's
+        spans hang off a ``dispatch`` node with their clocks shifted
+        past the queue wait, so the rendered tree reads as one
+        end-to-end timeline on every backend.
+        """
+        attach = self.registry.gauges.get(
+            f"worker.{worker_label}.snapshot.attach_seconds",
+            self.registry.gauges.get("snapshot.attach_seconds", 0.0),
+        )
+        synthetic = [
+            {
+                "id": 0, "parent": None, "name": "request",
+                "start": 0.0, "duration": round(duration, 9),
+                "attrs": {
+                    "request_id": trace_doc["request_id"],
+                    "backend": self.config.backend,
+                    "worker": worker_label,
+                },
+            },
+            {
+                "id": 1, "parent": 0, "name": "queue.wait",
+                "start": 0.0, "duration": round(queue_wait, 9),
+            },
+            {
+                "id": 2, "parent": 0, "name": "worker.attach",
+                "start": 0.0, "duration": round(float(attach), 9),
+                "attrs": {"amortized": True},
+            },
+            {
+                "id": 3, "parent": 0, "name": "dispatch",
+                "start": round(queue_wait, 9),
+                "duration": round(max(duration - queue_wait, 0.0), 9),
+            },
+        ]
+        offset = len(synthetic)
+        lines = [json.dumps(record) for record in synthetic]
+        for raw in trace_doc.get("spans", ()):
+            record = json.loads(raw)
+            record["id"] += offset
+            record["parent"] = (
+                3 if record["parent"] is None else record["parent"] + offset
+            )
+            record["start"] = round(record["start"] + queue_wait, 9)
+            lines.append(json.dumps(record))
+        return lines
+
+    def profile(
+        self, seconds: float, interval_sec: float = 0.005
+    ) -> "ProfileReport":
+        """Run the sampling profiler against this process for ``seconds``.
+
+        One run at a time (concurrent callers get
+        :class:`ProfilerBusyError` and the HTTP layer's 409): the
+        signal/thread timer and the per-phase attribution both assume a
+        single active sampler.
+        """
+        if not self._profile_lock.acquire(blocking=False):
+            raise ProfilerBusyError("another profiling run is in progress")
+        try:
+            profiler = SamplingProfiler(
+                interval_sec=interval_sec, tracers=tuple(self._worker_tracers)
+            )
+            return profiler.run_for(seconds)
+        finally:
+            self._profile_lock.release()
 
     def trace(self, request_id: str) -> Optional[_TraceRecord]:
         for record in reversed(self._traces):
@@ -522,8 +631,9 @@ class GPSSNService:
                 m.inc("service.timeouts")
             elif outcome.status == STATUS_ERROR:
                 m.inc("service.errors")
-            if outcome.stats is not None:
-                self.recorder.record_query(outcome.stats)
+            # query.*/pruning.*/phase.* tallies arrive on the shard's
+            # metrics delta now — absorbing outcome.stats here as well
+            # would double-count them.
             if outcome.duration_sec >= slow_cutoff:
                 self.slow.append({
                     "request_id": request_id,
@@ -762,6 +872,8 @@ class _Handler(BaseHTTPRequestHandler):
                         payload, indent=2, sort_keys=True
                     ).encode("utf-8") + b"\n"
                     self._respond(200, body, "application/json", request_id)
+            elif path == "/debug/profile":
+                status, error = self._handle_profile(query, request_id)
             else:
                 status, error = 404, f"no route for {path}"
                 self._respond_json_error(404, error, request_id)
@@ -772,6 +884,60 @@ class _Handler(BaseHTTPRequestHandler):
                 request_id, "GET", path, status,
                 time.perf_counter() - started, error=error,
             )
+
+    def _handle_profile(
+        self, query: Dict[str, List[str]], request_id: str
+    ) -> Tuple[int, str]:
+        """``GET /debug/profile``: run the sampling profiler in-process.
+
+        Gated behind ``--profile`` (404 otherwise, indistinguishable
+        from an unknown route); ``seconds`` is clamped to 60 and the
+        sampling interval to [1, 100] ms so a stray request cannot pin
+        the daemon. Returns ``(status, error)`` for the access log.
+        """
+        service = self.service
+        if not service.config.profile_endpoint:
+            error = "no route for /debug/profile (serve with --profile)"
+            self._respond_json_error(404, error, request_id)
+            return 404, error
+        try:
+            seconds = float(query.get("seconds", ["2"])[0])
+            interval_ms = float(query.get("interval_ms", ["5"])[0])
+        except ValueError:
+            error = "seconds and interval_ms must be numbers"
+            self._respond_json_error(400, error, request_id)
+            return 400, error
+        seconds = min(max(seconds, 0.05), 60.0)
+        interval_sec = min(max(interval_ms, 1.0), 100.0) / 1000.0
+        fmt = query.get("format", ["json"])[0]
+        if fmt not in ("json", "collapsed", "flamegraph"):
+            error = f"unknown profile format {fmt!r}"
+            self._respond_json_error(400, error, request_id)
+            return 400, error
+        try:
+            report = service.profile(seconds, interval_sec=interval_sec)
+        except ProfilerBusyError as exc:
+            error = str(exc)
+            self._respond_json_error(
+                409, error, request_id,
+                extra_headers=(("Retry-After", str(int(seconds) + 1)),),
+            )
+            return 409, error
+        if fmt == "collapsed":
+            lines = report.collapsed_lines()
+            body = ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+            self._respond(200, body, "text/plain", request_id)
+        elif fmt == "flamegraph":
+            body = report.flamegraph_html().encode("utf-8")
+            self._respond(
+                200, body, "text/html; charset=utf-8", request_id
+            )
+        else:
+            body = json.dumps(
+                report.as_dict(), indent=2, sort_keys=True
+            ).encode("utf-8") + b"\n"
+            self._respond(200, body, "application/json", request_id)
+        return 200, ""
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         request_id = self._request_id()

@@ -1,0 +1,161 @@
+"""Unit tests for the stdlib-only sampling profiler.
+
+The workload under profile is a pure-Python spin loop, so the sampler
+is guaranteed a runnable Python frame to catch; assertions stay loose
+on counts (timers are timers) but strict on format and attribution.
+"""
+
+import re
+import threading
+import time
+
+import pytest
+
+from repro.obs import ProfileReport, SamplingProfiler, Tracer
+
+#: collapsed line = frames joined by ';', one space, integer count.
+_COLLAPSED_RE = re.compile(r"^\S+( ;?\S+)* \d+$")
+
+
+def _spin(stop: threading.Event) -> int:
+    total = 0
+    while not stop.is_set():
+        for i in range(2000):
+            total += i * i
+    return total
+
+
+def _profile_spin(seconds: float = 0.25, **kwargs) -> ProfileReport:
+    stop = threading.Event()
+    worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+    worker.start()
+    try:
+        profiler = SamplingProfiler(interval_sec=0.002, **kwargs)
+        with profiler:
+            time.sleep(seconds)
+        return profiler.report
+    finally:
+        stop.set()
+        worker.join(timeout=5.0)
+
+
+class TestThreadTimer:
+    def test_collects_samples_from_other_threads(self):
+        report = _profile_spin()
+        assert report.num_samples > 0
+        assert report.timer == "thread"
+        # The spin loop must appear somewhere in the sampled stacks.
+        assert any("_spin(" in stack for stack in report.samples)
+
+    def test_collapsed_lines_are_well_formed(self):
+        report = _profile_spin()
+        lines = report.collapsed_lines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and count.isdigit()
+            assert " " not in stack
+        # Most-sampled first.
+        counts = [int(line.rpartition(" ")[2]) for line in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_write_collapsed_roundtrip(self, tmp_path):
+        report = _profile_spin()
+        path = tmp_path / "profile.collapsed"
+        n = report.write_collapsed(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n == len(report.collapsed_lines())
+
+    def test_phase_attribution_via_tracer(self):
+        tracer = Tracer()
+        stop = threading.Event()
+
+        def traced_spin():
+            with tracer.span("refine.spin"):
+                _spin(stop)
+
+        worker = threading.Thread(target=traced_spin, daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(
+                interval_sec=0.002, tracers=(tracer,)
+            )
+            with profiler:
+                time.sleep(0.25)
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
+        report = profiler.report
+        assert report.phase_samples.get("refine.spin", 0) > 0
+        rows = report.phase_rows()
+        assert rows and rows[0][2] <= 1.0
+
+    def test_run_for_returns_report(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            report = SamplingProfiler(interval_sec=0.002).run_for(0.1)
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
+        assert isinstance(report, ProfileReport)
+        assert report.duration_sec >= 0.1
+        assert report.num_samples > 0
+
+
+class TestReportShape:
+    def test_top_functions_self_le_total(self):
+        report = _profile_spin()
+        rows = report.top_functions(5)
+        assert rows
+        for frame, self_count, total_count in rows:
+            assert self_count <= total_count <= report.num_samples
+
+    def test_as_dict_schema(self):
+        report = _profile_spin()
+        doc = report.as_dict()
+        assert doc["schema"] == "gpssn.profile/1"
+        assert doc["num_samples"] == report.num_samples
+        assert doc["unique_stacks"] == len(report.samples)
+        assert isinstance(doc["top"], list)
+
+    def test_flamegraph_html_contains_frames(self):
+        report = _profile_spin()
+        html = report.flamegraph_html(title="t")
+        assert html.startswith("<!doctype html>")
+        assert "_spin" in html
+        assert "samples over" in html
+
+
+class TestGuards:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="interval_sec"):
+            SamplingProfiler(interval_sec=0.0)
+
+    def test_rejects_unknown_timer(self):
+        with pytest.raises(ValueError, match="timer"):
+            SamplingProfiler(timer="perf")
+
+    def test_signal_timer_rejected_off_main_thread(self):
+        errors = []
+
+        def try_signal():
+            try:
+                SamplingProfiler(timer="signal")
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        worker = threading.Thread(target=try_signal)
+        worker.start()
+        worker.join(timeout=5.0)
+        assert errors and "main thread" in errors[0]
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler(interval_sec=0.01)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                profiler.start()
+        finally:
+            profiler.stop()
