@@ -27,6 +27,14 @@ Three independent gates, all blocking in CI:
   profiler must each stay within the payload's committed
   ``max_overhead`` of their telemetry-off baselines, with outcomes
   byte-identical and shipped counters exactly equal to serial tallies.
+* **dynamic maintenance** — validates a ``BENCH_dynamic.json``
+  (``--dynamic``): incrementally re-answering standing queries after a
+  mutation batch must stay at least ``min_speedup`` times faster than
+  rebuilding every index from scratch and re-answering cold, the two
+  paths must have produced byte-identical outcome lines, and
+  slack-triggered compaction must have restored exact social-index
+  bounds. Both arms ran interleaved in one process, so the ratio is
+  machine-stable.
 * **snapshot scale** — validates a ``BENCH_snapshot_scale.json``
   (``--snapshot-scale``): memmap-attaching a frozen arena must stay at
   least ``min_speedup`` times faster than the document-mode worker
@@ -196,6 +204,47 @@ def compare_snapshot_scale(
     return failures
 
 
+def compare_dynamic(payload: dict, min_speedup: float = None) -> List[str]:
+    """Return one message per violated dynamic-maintenance invariant
+    (empty list = gate passes).
+
+    The floor defaults to the payload's own committed ``min_speedup``
+    (what the benchmark asserted when the baseline was written), so CI
+    needs no out-of-band configuration. Three invariants:
+
+    * incremental apply + re-answer beats rebuild-from-scratch +
+      re-answer by at least the floor;
+    * the incremental answers were byte-identical to the cold rebuild's
+      after every measured batch (``outcomes_match``);
+    * forcing a slack-triggered ``compact()`` left every social-index
+      bound exactly equal to a fresh recompute (``compaction_exact``).
+    """
+    if min_speedup is None:
+        min_speedup = float(payload.get("min_speedup", 1.0))
+    failures: List[str] = []
+    speedup = payload.get("speedup")
+    if speedup is None:
+        failures.append("dynamic: no incremental speedup recorded")
+    elif speedup < min_speedup:
+        failures.append(
+            f"dynamic: incremental re-answer only {speedup:.1f}x faster "
+            f"than full rebuild ({payload.get('rebuild_sec', 0):.3f} s -> "
+            f"{payload.get('incremental_sec', 0):.3f} s), below the "
+            f"{min_speedup:.1f}x floor"
+        )
+    if payload.get("outcomes_match") is not True:
+        failures.append(
+            "dynamic: incremental answers diverged from the from-scratch "
+            "rebuild (outcomes_match is not true)"
+        )
+    if payload.get("compaction_exact") is not True:
+        failures.append(
+            "dynamic: compact() did not restore exact social-index "
+            "bounds (compaction_exact is not true)"
+        )
+    return failures
+
+
 def compare_telemetry(payload: dict, max_overhead: float = None) -> List[str]:
     """Return one message per violated telemetry-gate invariant (empty
     list = gate passes).
@@ -303,6 +352,16 @@ def main(argv=None) -> int:
         "ceiling (delta shipping + sampling profiler)",
     )
     parser.add_argument(
+        "--dynamic",
+        help="BENCH_dynamic.json to validate against its incremental "
+        "speedup floor and exactness invariants",
+    )
+    parser.add_argument(
+        "--min-dynamic-speedup", type=float, default=None,
+        help="override the dynamic payload's committed incremental "
+        "speedup floor",
+    )
+    parser.add_argument(
         "--min-attach-speedup", type=float, default=None,
         help="override the snapshot-scale payload's committed attach "
         "speedup floor",
@@ -312,10 +371,11 @@ def main(argv=None) -> int:
     if bool(args.baseline) != bool(args.current):
         parser.error("--baseline and --current must be given together")
     if not args.baseline and not args.pair_kernel and not args.serve \
-            and not args.snapshot_scale and not args.telemetry:
+            and not args.snapshot_scale and not args.telemetry \
+            and not args.dynamic:
         parser.error(
             "nothing to check: give --baseline/--current, --pair-kernel, "
-            "--serve, --snapshot-scale, and/or --telemetry"
+            "--serve, --snapshot-scale, --telemetry, and/or --dynamic"
         )
 
     failures: List[str] = []
@@ -394,6 +454,28 @@ def main(argv=None) -> int:
             )
             print("snapshot attach above its committed speedup floor")
         failures.extend(scale_failures)
+
+    if args.dynamic:
+        with open(args.dynamic, encoding="utf-8") as fp:
+            dynamic_payload = json.load(fp)
+        dynamic_failures = compare_dynamic(
+            dynamic_payload, min_speedup=args.min_dynamic_speedup
+        )
+        if not dynamic_failures:
+            floor = (
+                args.min_dynamic_speedup
+                if args.min_dynamic_speedup is not None
+                else dynamic_payload.get("min_speedup", 1.0)
+            )
+            print(
+                f"[dynamic] incremental re-answer "
+                f"{dynamic_payload.get('speedup', 0):.1f}x over full "
+                f"rebuild (floor {float(floor):.1f}x) across "
+                f"{dynamic_payload.get('mutations', 0)} mutations; "
+                f"outcomes byte-identical, compaction exact"
+            )
+            print("dynamic maintenance above its committed speedup floor")
+        failures.extend(dynamic_failures)
 
     if args.telemetry:
         with open(args.telemetry, encoding="utf-8") as fp:

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Regenerate every paper table/figure in one run.
+"""Regenerate paper tables/figures (all of them, or just the missing ones).
 
-Runs all experiment drivers at the benchmark scale, writes each table to
-``benchmarks/results/``, and prints a combined report — the one-command
-reproduction entry point (the pytest benchmarks assert the same shapes
-with per-figure granularity).
+Runs experiment drivers at the benchmark scale, writes each table to
+``benchmarks/results/<name>.txt``, and prints a combined report — the
+one-command reproduction entry point (the pytest benchmarks assert the
+same shapes with per-figure granularity).
+
+The rendered ``.txt`` tables are per-run output and deliberately not
+committed (only the ``BENCH_*.json`` trajectory payloads are), so a
+fresh checkout has none of them: ``--missing-only`` regenerates exactly
+the absent ones on demand, and ``--only name[,name...]`` regenerates a
+chosen subset without paying for the full sweep.
 
 Usage:
     python scripts/reproduce_all.py [--scale-users N] [--queries Q]
+    python scripts/reproduce_all.py --missing-only
+    python scripts/reproduce_all.py --only fig9_group_size,appendix_gamma
 """
 
 import argparse
@@ -23,6 +31,63 @@ from repro.experiments.reporting import format_table  # noqa: E402
 
 RESULTS = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
 
+#: name -> (title, driver); drivers take (scale, num_queries, seed).
+#: The fig7* panels share one workload run, handled specially below.
+DRIVERS = {
+    "table2_datasets": ("Table 2", lambda s, q, seed:
+                        figures.table2_datasets(s, seed=seed)),
+    "fig8_vs_baseline": ("Figure 8", lambda s, q, seed:
+                         figures.fig8_vs_baseline(s, num_queries=q,
+                                                  seed=seed)),
+    "fig9_group_size": ("Figure 9 (tau)", lambda s, q, seed:
+                        figures.fig9_group_size(s, num_queries=q, seed=seed)),
+    "fig10_num_pois": ("Figure 10 (n)", lambda s, q, seed:
+                       figures.fig10_num_pois(s, num_queries=q, seed=seed)),
+    "fig11_road_size": ("Figure 11 (|V(G_r)|)", lambda s, q, seed:
+                        figures.fig11_road_size(s, num_queries=q, seed=seed)),
+    "appendix_gamma": ("Appendix P (gamma)", lambda s, q, seed:
+                       figures.appendix_gamma(s, num_queries=q, seed=seed)),
+    "appendix_theta": ("Appendix P (theta)", lambda s, q, seed:
+                       figures.appendix_theta(s, num_queries=q, seed=seed)),
+    "appendix_radius": ("Appendix P (r)", lambda s, q, seed:
+                        figures.appendix_radius(s, num_queries=q, seed=seed)),
+    "appendix_pivots": ("Appendix P (pivots)", lambda s, q, seed:
+                        figures.appendix_pivots(s, num_queries=2, seed=seed)),
+    "appendix_social_size": ("Appendix (|V(G_s)|)", lambda s, q, seed:
+                             figures.appendix_social_size(s, num_queries=q,
+                                                          seed=seed)),
+    "ablation_pruning": ("Pruning ablation", lambda s, q, seed:
+                         figures.ablation_pruning(s, num_queries=2,
+                                                  seed=seed)),
+}
+
+FIG7_NAMES = {
+    "fig7a_index_object_pruning": ("Figure 7(a)", "7a"),
+    "fig7b_user_pruning": ("Figure 7(b)", "7b"),
+    "fig7c_poi_pruning": ("Figure 7(c)", "7c"),
+    "fig7d_pair_pruning": ("Figure 7(d)", "7d"),
+}
+
+ALL_NAMES = list(DRIVERS) + list(FIG7_NAMES)
+
+
+def select_names(args: argparse.Namespace) -> list:
+    """The tables this invocation regenerates, in a stable order."""
+    if args.only:
+        requested = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = sorted(set(requested) - set(ALL_NAMES))
+        if unknown:
+            raise SystemExit(
+                f"unknown table name(s) {unknown}; "
+                f"choose from {sorted(ALL_NAMES)}"
+            )
+        names = requested
+    else:
+        names = list(ALL_NAMES)
+    if args.missing_only:
+        names = [n for n in names if not (RESULTS / f"{n}.txt").exists()]
+    return names
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -31,6 +96,16 @@ def main() -> int:
     parser.add_argument("--scale-road", type=int, default=300)
     parser.add_argument("--queries", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--only", metavar="NAME[,NAME...]", default=None,
+        help="regenerate only these tables (comma-separated names)",
+    )
+    parser.add_argument(
+        "--missing-only", action="store_true",
+        help="regenerate only tables whose .txt output is absent "
+        "(the rendered tables are not committed; this fills a fresh "
+        "checkout on demand)",
+    )
     args = parser.parse_args()
 
     scale = ExperimentScale(
@@ -39,10 +114,16 @@ def main() -> int:
         num_users=args.scale_users,
         max_groups=1500,
     )
-    RESULTS.mkdir(exist_ok=True)
+    RESULTS.mkdir(parents=True, exist_ok=True)
+
+    names = select_names(args)
+    if not names:
+        print("# nothing to do: every requested table already exists")
+        return 0
 
     started = time.time()
-    print(f"# GP-SSN full reproduction (scale: {scale})\n")
+    print(f"# GP-SSN reproduction of {len(names)} table(s) "
+          f"(scale: {scale})\n")
 
     def emit(name: str, title: str, table) -> None:
         headers, rows = table
@@ -51,35 +132,21 @@ def main() -> int:
         print(text)
         print()
 
-    emit("table2_datasets", "Table 2",
-         figures.table2_datasets(scale, seed=args.seed))
+    fig7_wanted = [n for n in names if n in FIG7_NAMES]
+    if fig7_wanted:
+        # One shared workload run serves all four Figure-7 panels.
+        fig7 = figures.fig7_all(
+            scale, num_queries=args.queries, seed=args.seed
+        )
+        for name in fig7_wanted:
+            title, panel = FIG7_NAMES[name]
+            emit(name, title, fig7[panel])
 
-    fig7 = figures.fig7_all(scale, num_queries=args.queries, seed=args.seed)
-    emit("fig7a_index_object_pruning", "Figure 7(a)", fig7["7a"])
-    emit("fig7b_user_pruning", "Figure 7(b)", fig7["7b"])
-    emit("fig7c_poi_pruning", "Figure 7(c)", fig7["7c"])
-    emit("fig7d_pair_pruning", "Figure 7(d)", fig7["7d"])
-
-    emit("fig8_vs_baseline", "Figure 8",
-         figures.fig8_vs_baseline(scale, num_queries=args.queries, seed=args.seed))
-    emit("fig9_group_size", "Figure 9 (tau)",
-         figures.fig9_group_size(scale, num_queries=args.queries, seed=args.seed))
-    emit("fig10_num_pois", "Figure 10 (n)",
-         figures.fig10_num_pois(scale, num_queries=args.queries, seed=args.seed))
-    emit("fig11_road_size", "Figure 11 (|V(G_r)|)",
-         figures.fig11_road_size(scale, num_queries=args.queries, seed=args.seed))
-    emit("appendix_gamma", "Appendix P (gamma)",
-         figures.appendix_gamma(scale, num_queries=args.queries, seed=args.seed))
-    emit("appendix_theta", "Appendix P (theta)",
-         figures.appendix_theta(scale, num_queries=args.queries, seed=args.seed))
-    emit("appendix_radius", "Appendix P (r)",
-         figures.appendix_radius(scale, num_queries=args.queries, seed=args.seed))
-    emit("appendix_pivots", "Appendix P (pivots)",
-         figures.appendix_pivots(scale, num_queries=2, seed=args.seed))
-    emit("appendix_social_size", "Appendix (|V(G_s)|)",
-         figures.appendix_social_size(scale, num_queries=args.queries, seed=args.seed))
-    emit("ablation_pruning", "Pruning ablation",
-         figures.ablation_pruning(scale, num_queries=2, seed=args.seed))
+    for name in names:
+        if name in FIG7_NAMES:
+            continue
+        title, driver = DRIVERS[name]
+        emit(name, title, driver(scale, args.queries, args.seed))
 
     print(f"# done in {time.time() - started:.1f}s; tables in {RESULTS}")
     return 0

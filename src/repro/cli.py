@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eleven subcommands cover the everyday workflow:
+Thirteen subcommands cover the everyday workflow:
 
 * ``gpssn generate`` — build a synthetic or simulated-real spatial-social
   network and save it as a JSON bundle;
@@ -28,7 +28,14 @@ Eleven subcommands cover the everyday workflow:
 * ``gpssn tune`` — suggest (gamma, theta, r) from the data
   distributions (the paper's Section-2.2 percentile rule);
 * ``gpssn figure`` — regenerate one of the paper's figures/tables at a
-  chosen scale and print the rows.
+  chosen scale and print the rows;
+* ``gpssn mutate`` — synthesize a deterministic mutation stream
+  (move_user / add_friend / remove_friend / add_poi / remove_poi) for a
+  bundle as JSONL;
+* ``gpssn replay`` — stream a mutation JSONL against standing queries
+  with incremental index maintenance, optionally cross-checking every
+  prefix against a from-scratch rebuild (``--oracle-every``) and saving
+  the mutated network (``--save-bundle``) for a cold-batch diff.
 
 Usable as ``python -m repro.cli`` or via the ``gpssn`` console script.
 
@@ -431,6 +438,61 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--queries", type=int, default=3)
     fig.add_argument("--seed", type=int, default=7)
 
+    mut = sub.add_parser(
+        "mutate",
+        help="synthesize a deterministic JSONL mutation stream for a "
+        "bundle (the input to gpssn replay and POST /update)",
+    )
+    mut.add_argument("--input", required=True, help="bundle path (.json)")
+    mut.add_argument(
+        "--count", type=int, default=100, help="number of mutations"
+    )
+    mut.add_argument("--seed", type=int, default=0)
+    mut.add_argument(
+        "--output", required=True, help="mutation JSONL path"
+    )
+
+    rep = sub.add_parser(
+        "replay",
+        help="stream a mutation JSONL against standing queries with "
+        "incremental index maintenance (the offline twin of the "
+        "daemon's POST /subscribe + /update plane)",
+    )
+    rep.add_argument("--input", required=True, help="bundle path (.json)")
+    rep.add_argument(
+        "--queries", required=True,
+        help="JSONL standing-query file (batch protocol schema)",
+    )
+    rep.add_argument(
+        "--mutations", required=True, help="mutation JSONL (gpssn mutate)"
+    )
+    rep.add_argument(
+        "--output", default=None,
+        help="write the final JSONL outcomes here (default: stdout)",
+    )
+    rep.add_argument(
+        "--batch-size", type=int, default=1, metavar="N",
+        help="mutations applied per re-answer point (1 = per-mutation "
+        "skip testing, the finest granularity)",
+    )
+    rep.add_argument(
+        "--oracle-every", type=int, default=0, metavar="N",
+        help="every N mutations, rebuild a processor from scratch on "
+        "the mutated network and require byte-identical outcomes "
+        "(0 disables the check)",
+    )
+    rep.add_argument(
+        "--save-bundle", metavar="PATH", default=None,
+        help="save the post-stream network as a bundle (for a cold "
+        "gpssn batch diff)",
+    )
+    rep.add_argument(
+        "--distance-engine", choices=list(DISTANCE_ENGINES), default="plain",
+    )
+    rep.add_argument("--max-groups", type=int, default=None,
+                     help="default refinement cap for lines without one")
+    rep.add_argument("--seed", type=int, default=7)
+
     return parser
 
 
@@ -805,6 +867,119 @@ def cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mutate(args: argparse.Namespace) -> int:
+    from .dynamic import synthesize_mutations
+
+    network = _load_network(args.input)
+    if args.count < 1:
+        raise CLIError(EXIT_INPUT, f"--count must be >= 1, got {args.count}")
+    try:
+        log = synthesize_mutations(network, args.count, seed=args.seed)
+    except InvalidParameterError as exc:
+        raise CLIError(EXIT_INPUT, str(exc))
+    log.dump(args.output)
+    ops = sorted({m.op for m in log})
+    print(
+        f"wrote {len(log)} mutations to {args.output} "
+        f"(seed {args.seed}, ops: {', '.join(ops)})"
+    )
+    return EXIT_OK
+
+
+def _load_mutations(path: str):
+    from .dynamic import MutationLog
+
+    try:
+        return MutationLog.load(path)
+    except OSError as exc:
+        raise CLIError(EXIT_INPUT, f"cannot read mutations {path}: {exc}")
+    except InvalidParameterError as exc:
+        raise CLIError(EXIT_INPUT, f"{path}: {exc}")
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Stream mutations against standing queries, incrementally.
+
+    With ``--oracle-every N`` the replay is self-checking: at every
+    N-mutation boundary (and once at the end) a processor is rebuilt
+    from scratch on the mutated network, the standing queries are
+    re-answered cold, and the two outcome streams must be
+    byte-identical — the dynamic layer's correctness contract.
+    """
+    from .dynamic import ContinuousQueryRegistry, DynamicIndexMaintainer
+
+    if args.batch_size < 1:
+        raise CLIError(
+            EXIT_INPUT, f"--batch-size must be >= 1, got {args.batch_size}"
+        )
+    if args.oracle_every < 0:
+        raise CLIError(
+            EXIT_INPUT,
+            f"--oracle-every must be >= 0, got {args.oracle_every}",
+        )
+    network = _load_network(args.input)
+    entries = _load_batch_entries(args.queries, args.max_groups)
+    log = _load_mutations(args.mutations)
+
+    build_args = {"seed": args.seed, "distance_engine": args.distance_engine}
+    processor = GPSSNQueryProcessor(network, **build_args)
+    registry = ContinuousQueryRegistry(DynamicIndexMaintainer(processor))
+    registry.subscribe(entries)
+
+    def oracle_check(applied: int) -> None:
+        fresh = GPSSNQueryProcessor(network, **build_args)
+        cold = ContinuousQueryRegistry(DynamicIndexMaintainer(fresh))
+        cold.subscribe(entries)
+        incremental, rebuilt = registry.outcome_lines(), cold.outcome_lines()
+        if incremental != rebuilt:
+            for inc, ora in zip(incremental, rebuilt):
+                if inc != ora:
+                    print(f"  incremental: {inc}", file=sys.stderr)
+                    print(f"  rebuilt:     {ora}", file=sys.stderr)
+            raise CLIError(
+                1,
+                f"oracle mismatch after {applied} mutations: incremental "
+                "outcomes differ from a from-scratch rebuild",
+            )
+
+    mutations = list(log)
+    applied = 0
+    skipped = dirty = 0
+    while applied < len(mutations):
+        batch = mutations[applied:applied + args.batch_size]
+        report = registry.apply_batch(batch)
+        skipped += report["skipped"]
+        dirty += report["dirty"]
+        applied += len(batch)
+        if args.oracle_every and (
+            applied % args.oracle_every == 0 or applied == len(mutations)
+        ):
+            oracle_check(applied)
+
+    lines = registry.outcome_lines()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+    else:
+        for line in lines:
+            print(line)
+    if args.save_bundle:
+        save_network(args.save_bundle, network)
+    outcomes = registry.outcomes()
+    failed = sum(not o.ok for o in outcomes)
+    stats = registry.describe()
+    summary = (
+        f"replay: {applied} mutations over {len(outcomes)} standing "
+        f"queries, {skipped} skips, {dirty} re-answers triggered, "
+        f"{stats['maintainer']['compactions']} compactions, "
+        f"{failed} failed"
+        + (f"; oracle checks every {args.oracle_every} ops passed"
+           if args.oracle_every else "")
+    )
+    print(summary, file=sys.stdout if args.output else sys.stderr)
+    return EXIT_BATCH if failed else EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -819,6 +994,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": cmd_figure,
         "calibrate": cmd_calibrate,
         "tune": cmd_tune,
+        "mutate": cmd_mutate,
+        "replay": cmd_replay,
     }
     try:
         return handlers[args.command](args)

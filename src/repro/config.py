@@ -43,9 +43,9 @@ PIVOT_VALUES: Tuple[int, ...] = (2, 3, 5, 7, 10)
 DATA_SPACE_SIZE: float = 100.0
 
 #: Selectable ``dist_RN`` engines (see :mod:`repro.roadnet.engines`):
-#: the plain dict-walking Dijkstra, the CSR array kernel, and the
-#: contraction hierarchy.
-DISTANCE_ENGINES: Tuple[str, ...] = ("plain", "csr", "ch")
+#: the plain dict-walking Dijkstra, the CSR array kernel, the
+#: contraction hierarchy, and its lazily invalidated dynamic variant.
+DISTANCE_ENGINES: Tuple[str, ...] = ("plain", "csr", "ch", "lazy-ch")
 
 #: Default LRU capacity (source maps) of a standalone
 #: :class:`~repro.roadnet.shortest_path.DistanceOracle`.

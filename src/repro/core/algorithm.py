@@ -191,6 +191,19 @@ class GPSSNQueryProcessor:
         self.social_index = fresh.social_index
         self._built_version = self.network.version
 
+    def note_incremental_maintenance(self) -> None:
+        """Accept the current network version after incremental upkeep.
+
+        The dynamic maintenance layer
+        (:class:`repro.dynamic.maintenance.DynamicIndexMaintainer`)
+        updates the pivot maps and both indexes in place instead of
+        rebuilding; this re-arms :meth:`answer` at the new version.
+        Calling it without having actually maintained the indexes
+        silently serves stale structures — it is the maintainer's hook,
+        not an escape hatch.
+        """
+        self._built_version = self.network.version
+
     def _check_fresh(self) -> None:
         if self.network.version != self._built_version:
             raise IndexStateError(
@@ -414,7 +427,9 @@ class GPSSNQueryProcessor:
                         )
                         for ap in r_cand
                     }
-                seeds = sorted(seed_dist, key=seed_dist.get)
+                seeds = sorted(
+                    seed_dist, key=lambda pid: (seed_dist[pid], pid)
+                )
 
                 best_value = math.inf
                 best_pair = None
@@ -1039,7 +1054,9 @@ class GPSSNQueryProcessor:
                         )
                     continue
                 seed_dist[ap.poi_id] = d
-            seeds = sorted(seed_dist, key=seed_dist.get)
+            # (distance, id) key: distance ties must not break on traversal
+            # order, which depends on index structure and mutation history.
+            seeds = sorted(seed_dist, key=lambda pid: (seed_dist[pid], pid))
             if ex is not None:
                 ex.survive("refine.seeds", len(seeds))
 

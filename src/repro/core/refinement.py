@@ -151,7 +151,11 @@ def enumerate_connected_groups(
             new_group = group + (candidate,)
             new_banned = local_banned | {candidate}
             new_frontier = [c for c in frontier[idx + 1:] if c not in new_banned]
-            for nbr in social.friends(candidate):
+            # Sorted neighbour order keeps enumeration content-deterministic:
+            # set iteration order depends on insertion/deletion history, which
+            # differs between a freshly loaded network and one mutated in
+            # place, and a `limit` cap makes the yielded set order-sensitive.
+            for nbr in sorted(social.friends(candidate)):
                 if (
                     nbr not in new_banned
                     and nbr not in new_group
@@ -629,7 +633,7 @@ def sample_connected_groups(
         group = [query_user]
         member_set = {query_user}
         frontier = [
-            nbr for nbr in social.friends(query_user) if permitted(nbr)
+            nbr for nbr in sorted(social.friends(query_user)) if permitted(nbr)
         ]
         while len(group) < tau and frontier:
             idx = int(rng.integers(len(frontier)))
@@ -643,7 +647,7 @@ def sample_connected_groups(
                 continue
             group.append(candidate)
             member_set.add(candidate)
-            for nbr in social.friends(candidate):
+            for nbr in sorted(social.friends(candidate)):
                 if nbr not in member_set and permitted(nbr):
                     frontier.append(nbr)
         if len(group) == tau:

@@ -174,7 +174,9 @@ class ScanProcessor:
             )
             for pid in seeds
         }
-        ordered_seeds = sorted(seed_dist, key=seed_dist.get)
+        ordered_seeds = sorted(
+            seed_dist, key=lambda pid: (seed_dist[pid], pid)
+        )
 
         best_value = math.inf
         best_pair = None

@@ -1,0 +1,59 @@
+"""Dynamic spatial-social networks: typed mutations, incremental index
+maintenance, and continuous (standing) GP-SSN queries.
+
+The static pipeline builds every index once and refuses to answer after
+the network version moves. This package closes the loop for drifting
+networks:
+
+* :mod:`~repro.dynamic.ops` — the five typed mutations (``move_user``,
+  ``add_friend``, ``remove_friend``, ``add_poi``, ``remove_poi``), their
+  JSONL codec, and a deterministic stream synthesizer.
+* :mod:`~repro.dynamic.maintenance` — applies mutations through
+  :meth:`repro.network.SpatialSocialNetwork.apply` while updating the
+  road/social indexes incrementally so the processor can keep answering
+  without a from-scratch rebuild. The invariant is admissibility: index
+  bounds may loosen (widen-on-update) but never tighten, so every paper
+  lemma keeps pruning soundly; a ``dynamic.bound_slack`` gauge tracks
+  the looseness and a ``compact()`` pass restores exact bounds.
+* :mod:`~repro.dynamic.continuous` — a registry of standing queries
+  with per-mutation dirty-region tests; mutations outside a query's
+  social neighbourhood and 2r-ball skip re-evaluation (funnel rules
+  ``cq.*``).
+* :mod:`~repro.dynamic.rules` — funnel rule metadata for the skip
+  tests, merged into the explain catalogue.
+
+Correctness is oracle-based: after any mutation prefix, the incremental
+path must produce byte-identical outcome lines to a processor rebuilt
+from scratch on the mutated network.
+"""
+
+from .continuous import ContinuousQueryRegistry, StandingQuery
+from .maintenance import DynamicIndexMaintainer
+from .ops import (
+    AddFriend,
+    AddPoi,
+    MoveUser,
+    MutationLog,
+    RemoveFriend,
+    RemovePoi,
+    mutation_from_doc,
+    mutation_to_doc,
+    parse_mutation_lines,
+    synthesize_mutations,
+)
+
+__all__ = [
+    "AddFriend",
+    "AddPoi",
+    "ContinuousQueryRegistry",
+    "DynamicIndexMaintainer",
+    "MoveUser",
+    "MutationLog",
+    "RemoveFriend",
+    "RemovePoi",
+    "StandingQuery",
+    "mutation_from_doc",
+    "mutation_to_doc",
+    "parse_mutation_lines",
+    "synthesize_mutations",
+]

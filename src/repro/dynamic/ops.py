@@ -1,0 +1,271 @@
+"""Typed network mutations and the JSONL mutation log.
+
+Five operations cover the churn a planning service sees: users move
+house, friendships form and dissolve, POIs open and close. Each op is a
+frozen dataclass with a stable ``op`` tag; the JSONL codec mirrors the
+batch-query protocol (one JSON object per line, canonical key order) so
+mutation streams pipe through the same tooling as query streams.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Iterable, List, Sequence, Type, Union
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..network import SpatialSocialNetwork
+
+
+@dataclass(frozen=True)
+class MoveUser:
+    """Relocate ``user``'s home to ``(u, v, offset)``."""
+
+    op: ClassVar[str] = "move_user"
+    user: int
+    u: int
+    v: int
+    offset: float
+
+
+@dataclass(frozen=True)
+class AddFriend:
+    """Add the undirected friendship edge ``(a, b)``."""
+
+    op: ClassVar[str] = "add_friend"
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class RemoveFriend:
+    """Remove the undirected friendship edge ``(a, b)``."""
+
+    op: ClassVar[str] = "remove_friend"
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class AddPoi:
+    """Open POI ``poi`` at ``(u, v, offset)`` with ``keywords``."""
+
+    op: ClassVar[str] = "add_poi"
+    poi: int
+    u: int
+    v: int
+    offset: float
+    keywords: Sequence[int]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "keywords", tuple(sorted(int(k) for k in self.keywords))
+        )
+
+
+@dataclass(frozen=True)
+class RemovePoi:
+    """Close POI ``poi``."""
+
+    op: ClassVar[str] = "remove_poi"
+    poi: int
+
+
+Mutation = Union[MoveUser, AddFriend, RemoveFriend, AddPoi, RemovePoi]
+
+_OP_TYPES: Dict[str, Type[Mutation]] = {
+    cls.op: cls for cls in (MoveUser, AddFriend, RemoveFriend, AddPoi, RemovePoi)
+}
+
+
+def mutation_to_doc(mutation: Mutation) -> Dict[str, object]:
+    """Serialize a mutation to a plain JSON-ready dict."""
+    doc: Dict[str, object] = {"op": mutation.op}
+    for f in fields(mutation):
+        value = getattr(mutation, f.name)
+        doc[f.name] = list(value) if isinstance(value, tuple) else value
+    return doc
+
+
+def mutation_from_doc(doc: Dict[str, object]) -> Mutation:
+    """Parse one mutation document; raises :class:`InvalidParameterError`."""
+    if not isinstance(doc, dict):
+        raise InvalidParameterError("mutation line must be a JSON object")
+    op = doc.get("op")
+    cls = _OP_TYPES.get(op)  # type: ignore[arg-type]
+    if cls is None:
+        raise InvalidParameterError(
+            f"unknown mutation op {op!r}; expected one of "
+            f"{sorted(_OP_TYPES)}"
+        )
+    names = {f.name for f in fields(cls)}
+    extra = set(doc) - names - {"op"}
+    if extra:
+        raise InvalidParameterError(
+            f"unexpected mutation keys {sorted(extra)} for op {op!r}"
+        )
+    missing = names - set(doc)
+    if missing:
+        raise InvalidParameterError(
+            f"missing mutation keys {sorted(missing)} for op {op!r}"
+        )
+    try:
+        return cls(**{name: doc[name] for name in names})
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"bad mutation for op {op!r}: {exc}") from exc
+
+
+def mutation_line(mutation: Mutation) -> str:
+    return json.dumps(mutation_to_doc(mutation), sort_keys=True)
+
+
+def parse_mutation_lines(lines: Iterable[str]) -> List[Mutation]:
+    """Parse a JSONL mutation stream; blank lines are skipped.
+
+    Errors carry 1-based line numbers, mirroring the batch protocol.
+    """
+    out: List[Mutation] = []
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidParameterError(
+                f"line {lineno}: invalid JSON: {exc}"
+            ) from exc
+        try:
+            out.append(mutation_from_doc(doc))
+        except InvalidParameterError as exc:
+            raise InvalidParameterError(f"line {lineno}: {exc}") from None
+    return out
+
+
+class MutationLog:
+    """An ordered, replayable sequence of mutations."""
+
+    def __init__(self, mutations: Iterable[Mutation] = ()) -> None:
+        self._mutations: List[Mutation] = list(mutations)
+
+    def append(self, mutation: Mutation) -> None:
+        self._mutations.append(mutation)
+
+    def __len__(self) -> int:
+        return len(self._mutations)
+
+    def __iter__(self):
+        return iter(self._mutations)
+
+    def __getitem__(self, index):
+        return self._mutations[index]
+
+    def to_jsonl(self) -> str:
+        return "".join(mutation_line(m) + "\n" for m in self._mutations)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "MutationLog":
+        return cls(parse_mutation_lines(text.splitlines()))
+
+    @classmethod
+    def load(cls, path) -> "MutationLog":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(parse_mutation_lines(handle))
+
+    def dump(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    def __repr__(self) -> str:
+        return f"MutationLog(n={len(self._mutations)})"
+
+
+def synthesize_mutations(
+    network: SpatialSocialNetwork,
+    count: int,
+    seed: int = 0,
+    min_pois: int = 2,
+) -> MutationLog:
+    """Generate a deterministic, always-applicable mutation stream.
+
+    The generator tracks the evolving friendship/POI state so every op
+    in the stream is valid when applied in order: no duplicate or
+    missing friendships, no POI-id collisions, and never fewer than
+    ``min_pois`` POIs (an empty R*-tree has no MBR to freeze). Fresh POI
+    ids start above the current maximum and never recycle removed ids.
+    """
+    rng = np.random.default_rng(seed)
+    user_ids = sorted(network.social.user_ids())
+    edges = sorted(network.road.edges())
+    if not user_ids or not edges:
+        raise InvalidParameterError(
+            "mutation synthesis needs at least one user and one road edge"
+        )
+    friends = {
+        (min(a, b), max(a, b))
+        for a in user_ids
+        for b in network.social.friends(a)
+        if a < b
+    }
+    pois = set(network.poi_ids())
+    next_poi = (max(pois) + 1) if pois else 0
+    num_keywords = network.num_keywords
+
+    def random_position():
+        u, v, length = edges[int(rng.integers(len(edges)))]
+        return u, v, float(rng.uniform(0.0, length))
+
+    log = MutationLog()
+    ops = ("move_user", "add_friend", "remove_friend", "add_poi", "remove_poi")
+    weights = np.array([0.3, 0.175, 0.125, 0.225, 0.175])
+    weights = weights / weights.sum()
+    while len(log) < count:
+        op = ops[int(rng.choice(len(ops), p=weights))]
+        if op == "move_user":
+            uid = user_ids[int(rng.integers(len(user_ids)))]
+            u, v, offset = random_position()
+            log.append(MoveUser(user=uid, u=u, v=v, offset=offset))
+        elif op == "add_friend":
+            placed = False
+            for _ in range(16):
+                a, b = (
+                    user_ids[int(rng.integers(len(user_ids)))],
+                    user_ids[int(rng.integers(len(user_ids)))],
+                )
+                key = (min(a, b), max(a, b))
+                if a != b and key not in friends:
+                    friends.add(key)
+                    log.append(AddFriend(a=key[0], b=key[1]))
+                    placed = True
+                    break
+            if not placed:
+                continue  # near-complete graph: try another op
+        elif op == "remove_friend":
+            if not friends:
+                continue
+            pool = sorted(friends)
+            a, b = pool[int(rng.integers(len(pool)))]
+            friends.discard((a, b))
+            log.append(RemoveFriend(a=a, b=b))
+        elif op == "add_poi":
+            u, v, offset = random_position()
+            n_kw = int(rng.integers(1, max(2, min(5, num_keywords + 1))))
+            keywords = sorted(
+                int(k)
+                for k in rng.choice(num_keywords, size=n_kw, replace=False)
+            )
+            pois.add(next_poi)
+            log.append(
+                AddPoi(poi=next_poi, u=u, v=v, offset=offset, keywords=keywords)
+            )
+            next_poi += 1
+        else:  # remove_poi
+            if len(pois) <= min_pois:
+                continue
+            pool = sorted(pois)
+            pid = pool[int(rng.integers(len(pool)))]
+            pois.discard(pid)
+            log.append(RemovePoi(poi=pid))
+    return log

@@ -1,0 +1,48 @@
+"""Funnel rule metadata for the continuous-query skip tests.
+
+Each standing query visited per mutation either survives (gets marked
+dirty and re-answered) or is pruned by one of these rules — the
+dirty-region tests of :class:`repro.dynamic.continuous.
+ContinuousQueryRegistry`. The entries follow the catalogue format of
+:data:`repro.core.pruning.OBJECT_RULES` /
+:data:`repro.core.index_pruning.INDEX_RULES` and are merged into
+:data:`repro.obs.explain.RULES`.
+
+All three rules are *parity-exact*, not merely admissible: a skipped
+query's cached answer is byte-identical to what a re-evaluation would
+return, because the mutation provably cannot change the candidate sets
+or the value of any top-k pair (see the docstrings in
+:mod:`repro.dynamic.continuous` for the arguments).
+"""
+
+CONTINUOUS_RULES = {
+    "cq.social_hops": {
+        "lemma": "Def. 5 (tau-hop constraint)",
+        "figure": "-",
+        "margin_unit": "hops beyond tau - 1",
+        "description": (
+            "friendship flip or user move outside the issuer's "
+            "(tau-1)-hop neighbourhood cannot change the candidate "
+            "group set"
+        ),
+    },
+    "cq.spatial_ball": {
+        "lemma": "Lemma 5 / Eq. 6 (delta bound)",
+        "figure": "-",
+        "margin_unit": "dist_RN(u_q, o) - delta",
+        "description": (
+            "new POI strictly farther from the issuer than the current "
+            "best max-distance cannot enter any improving (S, R) pair"
+        ),
+    },
+    "cq.poi_monotone": {
+        "lemma": "Lemma 5 (monotonicity of maxdist)",
+        "figure": "-",
+        "margin_unit": "dist_RN(u_q, o) - delta",
+        "description": (
+            "removed POI outside the answer region and no nearer than "
+            "the current best max-distance cannot have supported the "
+            "answer"
+        ),
+    },
+}

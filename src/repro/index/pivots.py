@@ -224,6 +224,48 @@ class SocialPivotIndex:
             for dist_map in self._maps
         ]
 
+    # -- incremental maintenance -------------------------------------------------
+    #
+    # Unlike the widen-only social-index aggregates, these maps must stay
+    # *exact*: ``pivot_lower_bound`` over a stale map can exceed the true
+    # hop distance (e.g. after add_friend shrinks distances), which would
+    # over-prune — the inadmissible direction. BFS hop distances admit a
+    # cheap exactness test per pivot, so most edge flips refresh nothing.
+
+    def plan_edge_change(self, a: int, b: int, removing: bool) -> List[int]:
+        """Pivot map indices invalidated by flipping friendship ``(a, b)``.
+
+        Must be called on the *pre-mutation* graph (the test reads the
+        current maps). For unweighted BFS distances from pivot ``p``:
+
+        * adding ``(a, b)`` can only create shorter paths when the
+          endpoint levels differ by more than one hop (or exactly one of
+          them is unreachable);
+        * removing ``(a, b)`` can only destroy shortest paths when the
+          edge spans adjacent levels (``|d_p(a) - d_p(b)| == 1``) —
+          same-level edges are never on a BFS shortest path.
+        """
+        stale: List[int] = []
+        for k, dist_map in enumerate(self._maps):
+            da = dist_map.get(a)
+            db = dist_map.get(b)
+            if removing:
+                if da is None or db is None:
+                    continue
+                if abs(da - db) == 1:
+                    stale.append(k)
+            else:
+                if da is None and db is None:
+                    continue
+                if da is None or db is None or abs(da - db) > 1:
+                    stale.append(k)
+        return stale
+
+    def recompute(self, indices: Sequence[int]) -> None:
+        """Re-run the BFS for the given pivot map indices (post-mutation)."""
+        for k in indices:
+            self._maps[k] = self.social.hop_distances_from(self.pivots[k])
+
     def lower_bound(self, dists_a: Sequence[float], dists_b: Sequence[float]) -> float:
         return pivot_lower_bound(dists_a, dists_b)
 

@@ -26,7 +26,8 @@ construction scaffold, and the traversal operates on the immutable
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence
+from bisect import insort
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import IndexStateError, InvalidParameterError
 from ..geometry import MBR
@@ -144,6 +145,10 @@ class RoadIndex:
 
         self._augmented: Dict[int, AugmentedPOI] = {}
         self._region_cache: Dict[tuple, List[int]] = {}
+        #: live R*-tree retained for incremental insert/delete; ``None``
+        #: when the index was attached from a snapshot (immutable).
+        self._tree: Optional[RStarTree] = None
+        self._dirty = False
         self.root = self._build(max_entries)
         self.height = self._measure_height(self.root)
         self.num_pages = self._assign_page_ids()
@@ -183,6 +188,7 @@ class RoadIndex:
                 MBR.from_point((poi.location.x, poi.location.y)), poi.poi_id
             )
         tree.check_invariants()
+        self._tree = tree
         return self._freeze(tree.root)
 
     def _freeze(self, node: RStarNode) -> RoadIndexNode:
@@ -371,10 +377,154 @@ class RoadIndex:
                 num_pois=sum(c.num_pois for c in children),
             )
 
+        index._tree = None
+        index._dirty = False
         index.root = rebuild(snapshot["tree"])
         index.height = index._measure_height(index.root)
         index.num_pages = index._assign_page_ids()
         return index
+
+    # -- incremental maintenance (POI churn) -------------------------------------
+    #
+    # The R*-tree insert/delete paths are exact, and the augmented POI
+    # material is maintained *exactly* here (region membership, sup/sub
+    # keyword unions, pivot distances), so the road index carries no
+    # slack: one truncated Dijkstra per inserted/removed POI updates the
+    # symmetric neighbourhood, and the frozen traversal mirror is
+    # re-derived lazily before the next query (`refreeze_if_dirty`).
+    # Widen-on-update slack accounting lives in the social index, per
+    # the dynamic-layer design.
+
+    def _require_tree(self) -> RStarTree:
+        if self._tree is None:
+            raise IndexStateError(
+                "road index was attached from a snapshot and is immutable; "
+                "rebuild from the live network to apply mutations"
+            )
+        return self._tree
+
+    def insert_poi(self, poi_id: int) -> None:
+        """Index a POI already added to the network (exact maintenance).
+
+        One truncated Dijkstra rooted at the new POI yields the
+        symmetric ``2*r_max`` neighbourhood: the new entry's own region
+        and, per neighbour, the exact region/sup/sub deltas (road
+        distances are symmetric, so ``d(p, q) = d(q, p)``).
+        """
+        tree = self._require_tree()
+        network = self.network
+        poi = network.poi(poi_id)
+        if poi_id in self._augmented:
+            raise IndexStateError(f"POI {poi_id} already in road index")
+        region_dists = network.poi_distances_within(poi_id, 2.0 * self.r_max)
+        region = sorted(region_dists)
+        inner = [pid for pid, d in region_dists.items() if d <= self.r_min]
+        self._augmented[poi_id] = AugmentedPOI(
+            poi=poi,
+            sup_keywords=union_keywords(network.poi(pid) for pid in region),
+            sub_keywords=union_keywords(network.poi(pid) for pid in inner),
+            pivot_dists=self.pivots.distances(poi.position),
+            num_bits=self.num_bits,
+            region_2rmax=region,
+        )
+        for qid, d in region_dists.items():
+            if qid == poi_id or qid not in self._augmented:
+                continue
+            nbr = self._augmented[qid]
+            insort(nbr.region_2rmax, poi_id)
+            # Unions only grow on insert: both deltas are exact.
+            nbr.sup_keywords = nbr.sup_keywords | poi.keywords
+            nbr.sup_vector = KeywordBitVector.from_keywords(
+                nbr.sup_keywords, self.num_bits
+            )
+            if d <= self.r_min:
+                nbr.sub_keywords = nbr.sub_keywords | poi.keywords
+                nbr.sub_vector = KeywordBitVector.from_keywords(
+                    nbr.sub_keywords, self.num_bits
+                )
+        tree.insert(
+            MBR.from_point((poi.location.x, poi.location.y)), poi_id
+        )
+        self._region_cache.clear()
+        self._dirty = True
+
+    def delete_poi(self, poi_id: int, region_dists: Dict[int, float]) -> None:
+        """Unindex a removed POI (exact maintenance).
+
+        ``region_dists`` is the removed POI's ``2*r_max`` neighbourhood
+        map, computed *before* :meth:`SpatialSocialNetwork.remove_poi`
+        (the distances cannot be recovered afterwards). Neighbour ``sub``
+        sets are recomputed exactly — a stale superset would raise the
+        Eq. 18 matching-score lower bound above its true value and
+        over-tighten delta, which is the one direction admissibility
+        forbids.
+        """
+        tree = self._require_tree()
+        network = self.network
+        try:
+            removed = self._augmented.pop(poi_id)
+        except KeyError:
+            raise IndexStateError(f"POI {poi_id} not in road index") from None
+        if not self._augmented:
+            self._augmented[poi_id] = removed
+            raise InvalidParameterError("cannot index zero POIs")
+        if not tree.delete(
+            MBR.from_point(
+                (removed.poi.location.x, removed.poi.location.y)
+            ),
+            poi_id,
+        ):
+            raise IndexStateError(
+                f"POI {poi_id} missing from the R*-tree scaffold"
+            )
+        for qid, d in region_dists.items():
+            if qid == poi_id or qid not in self._augmented:
+                continue
+            nbr = self._augmented[qid]
+            if poi_id in nbr.region_2rmax:
+                nbr.region_2rmax.remove(poi_id)
+            nbr.sup_keywords = union_keywords(
+                network.poi(pid) for pid in nbr.region_2rmax
+            )
+            nbr.sup_vector = KeywordBitVector.from_keywords(
+                nbr.sup_keywords, self.num_bits
+            )
+            if d <= self.r_min:
+                nbr.sub_keywords = union_keywords(
+                    network.poi(pid)
+                    for pid in nbr.region_2rmax
+                    if network.poi_poi_distance(qid, pid) <= self.r_min
+                )
+                nbr.sub_vector = KeywordBitVector.from_keywords(
+                    nbr.sub_keywords, self.num_bits
+                )
+        self._region_cache.clear()
+        self._dirty = True
+
+    def refresh_pivot_dists(self, poi_id: int) -> None:
+        """Recompute one POI's road-pivot distances (e.g. after re-anchor)."""
+        ap = self.augmented(poi_id)
+        ap.pivot_dists = self.pivots.distances(ap.poi.position)
+        self._dirty = True
+
+    def refreeze_if_dirty(self) -> bool:
+        """Re-derive the frozen traversal mirror after mutations.
+
+        The live R*-tree absorbs insert/delete immediately, but queries
+        traverse the immutable :class:`RoadIndexNode` mirror; this
+        regenerates it (node MBRs, keyword aggregates, pivot-bound
+        intervals — all exact) and re-assigns page ids. Returns whether
+        a refreeze happened.
+        """
+        if not self._dirty:
+            return False
+        tree = self._require_tree()
+        self.root = self._freeze(tree.root)
+        self.height = self._measure_height(self.root)
+        self.num_pages = self._assign_page_ids()
+        self._region_cache.clear()
+        self._dirty = False
+        return True
 
     # -- access -----------------------------------------------------------------
 
@@ -414,7 +564,7 @@ class RoadIndex:
                 if network.poi_poi_distance(poi_id, pid) <= radius
             ]
         else:
-            result = self.network.pois_within(poi_id, radius)
+            result = sorted(self.network.pois_within(poi_id, radius))
         self._region_cache[key] = result
         return result
 

@@ -21,9 +21,9 @@ numbered for the I/O simulation.
 from __future__ import annotations
 
 import math
-from typing import Iterator, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import IndexStateError, InvalidParameterError
 from ..geometry import MBR
 from ..network import SpatialSocialNetwork
 from ..socialnet.graph import User
@@ -135,6 +135,10 @@ class SocialIndex:
         self.root = self._build(sorted(self._augmented))
         self.height = self._measure_height(self.root)
         self.num_pages = self._assign_page_ids()
+        #: bound entries made potentially loose by widen-on-update (the
+        #: ``dynamic.bound_slack`` gauge); reset by :meth:`compact`.
+        self.bound_slack = 0
+        self._index_paths()
 
     # -- construction ----------------------------------------------------------
 
@@ -280,7 +284,249 @@ class SocialIndex:
         index.root = rebuild(snapshot["tree"])
         index.height = index._measure_height(index.root)
         index.num_pages = index._assign_page_ids()
+        index.bound_slack = 0
+        index._index_paths()
         return index
+
+    # -- incremental maintenance (widen-on-update, Section 4.1 bounds) -----------
+    #
+    # Tree *membership* never changes under the dynamic ops (users are
+    # neither added nor removed), so the partition structure stays put
+    # and only the per-node aggregates drift. The maintenance contract
+    # is admissibility: every Eq. 9-14 bound must keep *containing* its
+    # members' true values. Widening preserves containment trivially;
+    # tightening is deferred to :meth:`compact` because the true new
+    # extremum of a node is unknown without rescanning its members.
+    # The price of deferral is slack — bounds looser than necessary
+    # prune less (never wrongly) — and `bound_slack` counts the bound
+    # entries whose supporting extremum may have retreated.
+
+    def _index_paths(self) -> None:
+        """Build leaf-of-user and child->parent maps for bottom-up widening."""
+        self._leaf_of: Dict[int, SocialIndexNode] = {}
+        self._parent: Dict[int, SocialIndexNode] = {}
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for au in node.users:
+                    self._leaf_of[au.user_id] = node
+            else:
+                for child in node.children:
+                    self._parent[id(child)] = node
+                stack.extend(node.children)
+
+    @staticmethod
+    def _widen_interval(
+        lbs: List[float],
+        ubs: List[float],
+        values: Sequence[float],
+        old_values: Optional[Sequence[float]],
+    ) -> int:
+        """Widen one node's [lb, ub] pivot intervals to cover ``values``.
+
+        Returns the number of bound entries left potentially slack: the
+        member's old value sat exactly on a bound (it may have been the
+        supporting extremum) and its new value retreated inward, so the
+        bound can no longer be certified tight without a rescan.
+        """
+        slack = 0
+        for k, val in enumerate(values):
+            old = None if old_values is None else old_values[k]
+            if val < lbs[k]:
+                lbs[k] = val
+            elif old is not None and old == lbs[k] and val > lbs[k]:
+                slack += 1
+            if val > ubs[k]:
+                ubs[k] = val
+            elif old is not None and old == ubs[k] and val < ubs[k]:
+                slack += 1
+        return slack
+
+    def widen_user(
+        self,
+        user_id: int,
+        old_social: Optional[Sequence[float]] = None,
+        old_road: Optional[Sequence[float]] = None,
+        old_interests: Optional[Sequence[float]] = None,
+    ) -> int:
+        """Re-cover ``user_id``'s current values on its leaf-to-root path.
+
+        Call after mutating the user's :class:`AugmentedUser` fields
+        (pivot distances, interest vector). Bounds only widen; the
+        return value is the slack added (also accumulated on
+        :attr:`bound_slack`).
+        """
+        au = self._augmented[user_id]
+        leaf = self._leaf_of.get(user_id)
+        if leaf is None:
+            raise IndexStateError(f"user {user_id} not in social index")
+        point = tuple(float(v) for v in au.user.interests)
+        added = 0
+        node: Optional[SocialIndexNode] = leaf
+        while node is not None:
+            if not node.interest_mbr.contains_point(point):
+                node.interest_mbr = node.interest_mbr.union(
+                    MBR.from_point(point)
+                )
+            elif old_interests is not None:
+                added += sum(
+                    1
+                    for lo, hi, old, new in zip(
+                        node.interest_mbr.low,
+                        node.interest_mbr.high,
+                        old_interests,
+                        point,
+                    )
+                    if (old == lo and new > lo) or (old == hi and new < hi)
+                )
+            added += self._widen_interval(
+                node.lb_social_pivot,
+                node.ub_social_pivot,
+                au.social_pivot_dists,
+                old_social,
+            )
+            added += self._widen_interval(
+                node.lb_road_pivot,
+                node.ub_road_pivot,
+                au.road_pivot_dists,
+                old_road,
+            )
+            node = self._parent.get(id(node))
+        self.bound_slack += added
+        return added
+
+    def check_containment(self) -> None:
+        """Assert the admissibility invariant (tests and compaction).
+
+        Every node's intervals must contain all its members' values and
+        its interest MBR must contain all members' interest points.
+        """
+        def walk(node: SocialIndexNode) -> List[AugmentedUser]:
+            if node.is_leaf:
+                members = list(node.users)
+            else:
+                members = []
+                for child in node.children:
+                    members.extend(walk(child))
+            for au in members:
+                point = tuple(float(v) for v in au.user.interests)
+                if not node.interest_mbr.contains_point(point):
+                    raise IndexStateError(
+                        f"interest MBR lost user {au.user_id}"
+                    )
+                for k, val in enumerate(au.social_pivot_dists):
+                    if not (
+                        node.lb_social_pivot[k] <= val <= node.ub_social_pivot[k]
+                    ):
+                        raise IndexStateError(
+                            f"social pivot bound {k} lost user {au.user_id}"
+                        )
+                for k, val in enumerate(au.road_pivot_dists):
+                    if not (
+                        node.lb_road_pivot[k] <= val <= node.ub_road_pivot[k]
+                    ):
+                        raise IndexStateError(
+                            f"road pivot bound {k} lost user {au.user_id}"
+                        )
+            return members
+
+        walk(self.root)
+
+    def compact(self) -> int:
+        """Recompute every aggregate exactly and reset the slack gauge.
+
+        A bottom-up in-place rebuild of the Eq. 9-14 bounds from the
+        members' current values — the structure (partition tree, page
+        ids) is untouched. Returns the number of bound entries that
+        actually tightened.
+        """
+        l = self.social_pivots.num_pivots
+        h = self.road_pivots.num_pivots
+        d = self.network.num_keywords
+        tightened = 0
+
+        def count_changes(node, lbs, ubs, lb_r, ub_r, mbr) -> int:
+            changed = sum(
+                1
+                for old, new in zip(
+                    node.lb_social_pivot + node.ub_social_pivot
+                    + node.lb_road_pivot + node.ub_road_pivot,
+                    lbs + ubs + lb_r + ub_r,
+                )
+                if old != new
+            )
+            changed += sum(
+                1
+                for old, new in zip(
+                    node.interest_mbr.low + node.interest_mbr.high,
+                    mbr.low + mbr.high,
+                )
+                if old != new
+            )
+            return changed
+
+        def recompute(node: SocialIndexNode) -> None:
+            nonlocal tightened
+            if node.is_leaf:
+                members = node.users
+                lbs = [
+                    min(m.social_pivot_dists[k] for m in members)
+                    for k in range(l)
+                ]
+                ubs = [
+                    max(m.social_pivot_dists[k] for m in members)
+                    for k in range(l)
+                ]
+                lb_r = [
+                    min(m.road_pivot_dists[k] for m in members)
+                    for k in range(h)
+                ]
+                ub_r = [
+                    max(m.road_pivot_dists[k] for m in members)
+                    for k in range(h)
+                ]
+                mbr = MBR(
+                    [
+                        min(float(m.user.interests[f]) for m in members)
+                        for f in range(d)
+                    ],
+                    [
+                        max(float(m.user.interests[f]) for m in members)
+                        for f in range(d)
+                    ],
+                )
+            else:
+                for child in node.children:
+                    recompute(child)
+                children = node.children
+                lbs = [
+                    min(c.lb_social_pivot[k] for c in children)
+                    for k in range(l)
+                ]
+                ubs = [
+                    max(c.ub_social_pivot[k] for c in children)
+                    for k in range(l)
+                ]
+                lb_r = [
+                    min(c.lb_road_pivot[k] for c in children)
+                    for k in range(h)
+                ]
+                ub_r = [
+                    max(c.ub_road_pivot[k] for c in children)
+                    for k in range(h)
+                ]
+                mbr = MBR.union_of(c.interest_mbr for c in children)
+            tightened += count_changes(node, lbs, ubs, lb_r, ub_r, mbr)
+            node.lb_social_pivot = lbs
+            node.ub_social_pivot = ubs
+            node.lb_road_pivot = lb_r
+            node.ub_road_pivot = ub_r
+            node.interest_mbr = mbr
+
+        recompute(self.root)
+        self.bound_slack = 0
+        return tightened
 
     # -- access -----------------------------------------------------------------
 

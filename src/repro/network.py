@@ -134,6 +134,67 @@ class SpatialSocialNetwork:
         self.distances.clear()
         return poi
 
+    def move_user(self, user_id: int, home: "NetworkPosition") -> User:
+        """Relocate a user's home; returns the previous record.
+
+        Interests and friendships are preserved. The shared distance
+        oracle is cleared because the user's cached ``("user", id)``
+        Dijkstra map is rooted at the old home.
+        """
+        current = self.social.user(user_id)
+        self.road.validate_position(home)
+        moved = User(user_id=user_id, interests=current.interests, home=home)
+        previous = self.social.replace_user(moved)
+        self.distances.clear()
+        return previous
+
+    def add_friendship(self, a: int, b: int) -> None:
+        """Add a friendship edge (hop distances shift; road caches stay)."""
+        self.social.add_friendship(a, b)
+
+    def remove_friendship(self, a: int, b: int) -> None:
+        """Remove a friendship edge."""
+        self.social.remove_friendship(a, b)
+
+    def apply(self, mutation) -> None:
+        """Apply one typed mutation (see :mod:`repro.dynamic.ops`).
+
+        Dispatches on ``mutation.op`` so the dynamic layer's dataclasses
+        stay import-free here; raises for unknown operations. Index
+        maintenance is *not* performed — that is the job of
+        :class:`repro.dynamic.maintenance.DynamicIndexMaintainer`, which
+        wraps this call with incremental index updates.
+        """
+        from .roadnet.graph import NetworkPosition
+
+        op = getattr(mutation, "op", None)
+        if op == "move_user":
+            self.move_user(
+                mutation.user,
+                NetworkPosition(mutation.u, mutation.v, mutation.offset),
+            )
+        elif op == "add_friend":
+            self.add_friendship(mutation.a, mutation.b)
+        elif op == "remove_friend":
+            self.remove_friendship(mutation.a, mutation.b)
+        elif op == "add_poi":
+            from .roadnet.poi import POI
+
+            position = NetworkPosition(mutation.u, mutation.v, mutation.offset)
+            self.road.validate_position(position)
+            self.add_poi(
+                POI(
+                    poi_id=mutation.poi,
+                    location=self.road.position_coords(position),
+                    position=position,
+                    keywords=frozenset(mutation.keywords),
+                )
+            )
+        elif op == "remove_poi":
+            self.remove_poi(mutation.poi)
+        else:
+            raise GraphConstructionError(f"unknown mutation op {op!r}")
+
     def add_user(self, user: "User", friends: Iterable[int] = ()) -> None:
         """Add a user (validated) and wire the given friendships."""
         self.road.validate_position(user.home)

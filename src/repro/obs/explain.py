@@ -34,10 +34,12 @@ def _load_rules() -> Dict[str, Dict[str, str]]:
     if _RULES_CACHE is None:
         from ..core.index_pruning import INDEX_RULES
         from ..core.pruning import OBJECT_RULES
+        from ..dynamic.rules import CONTINUOUS_RULES
 
         merged: Dict[str, Dict[str, str]] = {}
         merged.update(INDEX_RULES)
         merged.update(OBJECT_RULES)
+        merged.update(CONTINUOUS_RULES)
         _RULES_CACHE = merged
     return _RULES_CACHE
 

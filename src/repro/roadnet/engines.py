@@ -293,14 +293,118 @@ class CHEngine(CSREngine):
         return engine
 
 
+class LazyCHEngine(CHEngine):
+    """Contraction hierarchy with *lazy* invalidation for dynamic networks.
+
+    The eager ``ch`` engine drops its hierarchy the moment the road
+    version moves, so one edge-length update forces a full re-contraction
+    before the next point-to-point query. This variant keeps the stale
+    hierarchy parked and stays exact by routing affected queries through
+    the CSR Dijkstra kernel instead:
+
+    * mutation sites report touched vertices via :meth:`mark_dirty`;
+    * while stale, every point-to-point query is treated as affected
+      (an exact per-source reachability test would cost as much as the
+      fallback itself) and answered by the CSR kernel on the *current*
+      graph — exact, just slower than a hierarchy hit;
+    * a full rebuild is scheduled once the staleness bound is crossed —
+      either ``rebuild_after`` fallback queries have paid the Dijkstra
+      tax or the dirty-vertex set has grown past it — amortizing the
+      re-contraction over a batch of mutations instead of paying it per
+      mutation.
+
+    Bounded SSSP sweeps already run on the CSR kernel in every CH
+    engine, so they stay exact with no special handling.
+    """
+
+    name = "lazy-ch"
+
+    #: Default staleness bound (fallback queries or dirty vertices).
+    DEFAULT_REBUILD_AFTER = 64
+
+    def __init__(
+        self, road: RoadNetwork, rebuild_after: int = DEFAULT_REBUILD_AFTER
+    ) -> None:
+        super().__init__(road)
+        if rebuild_after < 1:
+            raise InvalidParameterError("rebuild_after must be >= 1")
+        self.rebuild_after = rebuild_after
+        self.dirty_vertices: set = set()
+        self.fallback_queries = 0
+        self.lazy_rebuilds = 0
+        self._ch_version: Optional[int] = None
+
+    def _invalidate_derived(self) -> None:
+        # Deliberately keep the stale hierarchy parked: while
+        # `_ch_version` trails the road version, point_to_point serves
+        # exact answers through the CSR kernel and the re-contraction is
+        # deferred to the staleness bound.
+        pass
+
+    def adopt(self, graph: CSRGraph, ch: ContractionHierarchy) -> None:
+        super().adopt(graph, ch)
+        self._ch_version = self.road.version
+
+    @classmethod
+    def from_snapshot(cls, road: RoadNetwork, data: dict) -> "LazyCHEngine":
+        engine = super().from_snapshot(road, data)
+        engine._ch_version = road.version
+        return engine
+
+    def mark_dirty(self, *vertices: int) -> None:
+        """Record road vertices touched by a mutation (edge endpoints)."""
+        self.dirty_vertices.update(int(v) for v in vertices)
+
+    @property
+    def stale(self) -> bool:
+        """True when a hierarchy exists but trails the road version."""
+        return self._ch is not None and self._ch_version != self.road.version
+
+    def hierarchy(self) -> ContractionHierarchy:
+        graph = self.graph()
+        if self._ch is None or self._ch_version != self.road.version:
+            self._ch = ContractionHierarchy.build(graph)
+            self._ch_version = self.road.version
+            self.dirty_vertices.clear()
+            self.fallback_queries = 0
+        return self._ch
+
+    def point_to_point(
+        self, pos_a: NetworkPosition, pos_b: NetworkPosition
+    ) -> float:
+        if self.stale:
+            if (
+                self.fallback_queries >= self.rebuild_after
+                or len(self.dirty_vertices) >= self.rebuild_after
+            ):
+                self.lazy_rebuilds += 1
+                # fall through: hierarchy() re-contracts at this version
+            else:
+                self.fallback_queries += 1
+                return CSREngine.point_to_point(self, pos_a, pos_b)
+        return super().point_to_point(pos_a, pos_b)
+
+    def stats(self) -> Dict[str, float]:
+        out = super().stats()
+        out.update(
+            dirty_vertices=float(len(self.dirty_vertices)),
+            fallback_queries=float(self.fallback_queries),
+            lazy_rebuilds=float(self.lazy_rebuilds),
+            stale=float(self.stale),
+        )
+        return out
+
+
 def make_engine(name: str, road: RoadNetwork) -> DistanceEngine:
-    """Construct a distance engine by name (``plain`` | ``csr`` | ``ch``)."""
+    """Construct a distance engine by name (see :data:`ENGINE_NAMES`)."""
     if name == "plain":
         return PlainEngine(road)
     if name == "csr":
         return CSREngine(road)
     if name == "ch":
         return CHEngine(road)
+    if name == "lazy-ch":
+        return LazyCHEngine(road)
     raise InvalidParameterError(
         f"unknown distance engine {name!r}; expected one of {ENGINE_NAMES}"
     )

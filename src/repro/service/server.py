@@ -168,6 +168,10 @@ class ServiceOverloadedError(Exception):
     """Admission control refused the request (the 429 arm)."""
 
 
+class DynamicUnavailableError(Exception):
+    """Dynamic endpoints need a live network (not a frozen arena)."""
+
+
 class ProfilerBusyError(Exception):
     """Another ``/debug/profile`` run is in progress (the 409 arm)."""
 
@@ -272,6 +276,14 @@ class GPSSNService:
         self.started_monotonic = time.monotonic()
         self.started_wall = time.time()
         self._explain = _LockedExplain() if cfg.explain else None
+
+        # The dynamic plane (POST /update, /subscribe) mutates this live
+        # network through its own serial processor; worker states rebuild
+        # private copies from the snapshot, so the static /query plane
+        # keeps serving the capture-time network unchanged.
+        self.network = network
+        self._dynamic_lock = threading.Lock()
+        self._dynamic = None
 
         if snapshot is not None:
             self.snapshot = snapshot
@@ -682,6 +694,83 @@ class GPSSNService:
                     self._access_fp.write(line + "\n")
                     self._access_fp.flush()
 
+    # -- dynamic plane (standing queries over a mutating network) -----------
+
+    def _dynamic_registry(self):
+        """The lazily built continuous-query engine (caller holds the lock).
+
+        Built over the *live* network with the snapshot's processor
+        recipe and the service registry as its metrics sink, so
+        ``dynamic.*`` counters and the ``dynamic.bound_slack`` gauge
+        surface on ``/metrics`` alongside the static plane's.
+        """
+        if self._dynamic is None:
+            if self.network is None:
+                raise DynamicUnavailableError(
+                    "dynamic endpoints need a live network; this daemon "
+                    "serves a frozen snapshot arena"
+                )
+            from ..core.algorithm import GPSSNQueryProcessor
+            from ..dynamic import (
+                ContinuousQueryRegistry,
+                DynamicIndexMaintainer,
+            )
+
+            recorder = Recorder(metrics=self.registry, explain=self._explain)
+            processor = GPSSNQueryProcessor(
+                self.network, recorder=recorder, **self.snapshot.build_args
+            )
+            self._dynamic = ContinuousQueryRegistry(
+                DynamicIndexMaintainer(processor), limits=self.limits
+            )
+        return self._dynamic
+
+    def subscribe(
+        self, entries: Sequence[Tuple]
+    ) -> Tuple[List[str], Dict[str, int]]:
+        """Register standing queries; returns their initial outcome lines.
+
+        The dynamic plane is serial by design — one lock serializes
+        subscription, mutation application, and re-answering, which is
+        what makes its output stream deterministic and byte-diffable
+        against a cold batch run.
+        """
+        with self._dynamic_lock:
+            registry = self._dynamic_registry()
+            added = registry.subscribe(entries)
+            lines = outcome_lines([sq.outcome for sq in added])
+            report = {
+                "subscribed": len(added),
+                "total": len(registry.queries),
+                "failed": sum(1 for sq in added if not sq.outcome.ok),
+            }
+        self.registry.inc("dynamic.subscriptions", float(len(added)))
+        return lines, report
+
+    def update(self, mutations: Sequence) -> Tuple[List[str], Dict[str, int]]:
+        """Apply a mutation batch; returns every standing query's outcome.
+
+        Lines come back in subscription order with subscription indices,
+        so concatenating them reproduces exactly what a cold
+        ``gpssn batch`` run over the subscribed query file against the
+        mutated bundle would print.
+        """
+        with self._dynamic_lock:
+            registry = self._dynamic_registry()
+            report = dict(registry.apply_batch(mutations))
+            lines = registry.outcome_lines()
+            report["failed"] = sum(
+                1 for sq in registry.queries if not sq.outcome.ok
+            )
+        return lines, report
+
+    def dynamic_view(self) -> Optional[Dict[str, object]]:
+        """The dynamic plane's status block (None until first use)."""
+        with self._dynamic_lock:
+            if self._dynamic is None:
+                return None
+            return self._dynamic.describe()
+
     # -- observability outputs ----------------------------------------------
 
     def metrics_text(self) -> str:
@@ -723,6 +812,7 @@ class GPSSNService:
             "explain": (
                 self._explain.as_dict() if self._explain is not None else {}
             ),
+            "dynamic": self.dynamic_view(),
         }
 
 
@@ -939,6 +1029,75 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(200, body, "application/json", request_id)
         return 200, ""
 
+    def _handle_dynamic(
+        self, path: str, body: str, request_id: str
+    ) -> Tuple[int, str, int]:
+        """``POST /subscribe`` (query JSONL) and ``POST /update``
+        (mutation JSONL): the standing-query plane.
+
+        Both respond with outcome JSONL — the initial answers of the
+        newly subscribed queries, or the post-mutation answers of *all*
+        standing queries in subscription order. Returns
+        ``(status, error, item_count)`` for the access log.
+        """
+        service = self.service
+        if path == "/subscribe":
+            try:
+                entries = parse_query_lines(
+                    body.splitlines(), service.config.default_max_groups
+                )
+            except ProtocolError as exc:
+                error = exc.located("body")
+                self._respond_json_error(400, error, request_id)
+                return 400, error, 0
+            items = len(entries)
+        else:
+            from ..dynamic.ops import parse_mutation_lines
+
+            try:
+                mutations = parse_mutation_lines(body.splitlines())
+            except InvalidParameterError as exc:
+                error = f"body: {exc}"
+                self._respond_json_error(400, error, request_id)
+                return 400, error, 0
+            items = len(mutations)
+        try:
+            service.admit()
+        except ServiceOverloadedError as exc:
+            error = str(exc)
+            self._respond_json_error(
+                429, error, request_id,
+                extra_headers=(("Retry-After", "1"),),
+            )
+            return 429, error, items
+        try:
+            if path == "/subscribe":
+                lines, report = service.subscribe(entries)
+                headers = [
+                    ("X-Subscribed-Count", str(report["subscribed"])),
+                    ("X-Standing-Count", str(report["total"])),
+                ]
+            else:
+                lines, report = service.update(mutations)
+                headers = [
+                    ("X-Applied-Count", str(report["applied"])),
+                    ("X-Skipped-Count", str(report["skipped"])),
+                    ("X-Dirty-Count", str(report["dirty"])),
+                ]
+        except DynamicUnavailableError as exc:
+            error = str(exc)
+            self._respond_json_error(409, error, request_id)
+            return 409, error, items
+        finally:
+            service.release()
+        if report["failed"]:
+            headers.append(("X-Failed-Count", str(report["failed"])))
+        payload = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+        self._respond(
+            200, payload, "application/jsonl", request_id, headers
+        )
+        return 200, "", items
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         request_id = self._request_id()
         started = time.perf_counter()
@@ -950,7 +1109,7 @@ class _Handler(BaseHTTPRequestHandler):
         num_queries = 0
         query_ids: List[str] = []
         try:
-            if path != "/query":
+            if path not in ("/query", "/subscribe", "/update"):
                 status, error = 404, f"no route for {path}"
                 self._respond_json_error(404, error, request_id)
                 return
@@ -970,6 +1129,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond_json_error(413, error, request_id)
                 return
             body = self.rfile.read(length).decode("utf-8", errors="replace")
+            if path in ("/subscribe", "/update"):
+                status, error, num_queries = self._handle_dynamic(
+                    path, body, request_id
+                )
+                return
             try:
                 entries = parse_query_lines(
                     body.splitlines(),

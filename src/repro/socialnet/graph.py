@@ -85,6 +85,32 @@ class SocialNetwork:
         self._num_edges += 1
         self.version += 1
 
+    def remove_friendship(self, a: int, b: int) -> None:
+        """Remove the undirected friendship edge between ``a`` and ``b``."""
+        for uid in (a, b):
+            if uid not in self._users:
+                raise UnknownEntityError(f"unknown user {uid}")
+        if b not in self._adj[a]:
+            raise GraphConstructionError(f"no friendship ({a}, {b})")
+        self._adj[a].discard(b)
+        self._adj[b].discard(a)
+        self._num_edges -= 1
+        self.version += 1
+
+    def replace_user(self, user: User) -> User:
+        """Swap in a new :class:`User` record under an existing id.
+
+        Friendships are untouched; returns the previous record. This is
+        the primitive behind ``move_user`` — :class:`User` is frozen, so
+        a relocation is modelled as a replacement.
+        """
+        if user.user_id not in self._users:
+            raise UnknownEntityError(f"unknown user {user.user_id}")
+        previous = self._users[user.user_id]
+        self._users[user.user_id] = user
+        self.version += 1
+        return previous
+
     # -- accessors ---------------------------------------------------------
 
     @property

@@ -1,0 +1,219 @@
+"""Integration tests for the dynamic plane: server endpoints + CLI replay.
+
+``POST /subscribe`` registers standing queries, ``POST /update`` streams
+mutations through incremental index maintenance and returns the standing
+answers; the response bytes must match a registry rebuilt from scratch
+on the daemon's live (mutated) network. ``gpssn replay`` is the offline
+twin: its final outcomes must byte-diff clean against a cold
+``gpssn batch`` over the ``--save-bundle`` output — the same contract
+the dynamic-smoke CI job enforces against a real daemon process.
+"""
+
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import EXIT_BATCH, EXIT_INPUT, main
+from repro.dynamic import synthesize_mutations
+from repro.experiments.harness import ExperimentScale, build_dataset
+from repro.io.snapshot import freeze
+from repro.service.executor import NetworkSnapshot
+from repro.service.server import ServerConfig, create_server
+
+SEED = 7
+QUERY_BODY = (
+    '{"user": 3, "tau": 3}\n'
+    '{"user": 8}\n'
+    '{"user": 14, "tau": 3, "gamma": 0.3}\n'
+)
+
+
+@pytest.fixture(scope="module")
+def network():
+    scale = ExperimentScale(road_vertices=60, num_pois=20, num_users=40)
+    return build_dataset("UNI", scale, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def server(network):
+    config = ServerConfig(port=0, workers=1, backend="serial")
+    server = create_server(network, config, build_args={"seed": SEED})
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def base_url(server):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+def _post(base_url, path, body):
+    request = urllib.request.Request(
+        base_url + path, data=body.encode("utf-8"), method="POST"
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestDynamicEndpoints:
+    def test_subscribe_update_and_cold_parity(self, server, base_url,
+                                              network):
+        status, headers, body = _post(base_url, "/subscribe", QUERY_BODY)
+        assert status == 200
+        assert headers["X-Subscribed-Count"] == "3"
+        assert headers["X-Standing-Count"] == "3"
+        lines = body.decode("utf-8").splitlines()
+        assert len(lines) == 3
+
+        mutations = synthesize_mutations(network, 40, seed=SEED + 1)
+        status, headers, body = _post(
+            base_url, "/update", mutations.to_jsonl()
+        )
+        assert status == 200
+        assert headers["X-Applied-Count"] == "40"
+        skipped = int(headers["X-Skipped-Count"])
+        dirty = int(headers["X-Dirty-Count"])
+        assert skipped + dirty > 0
+        update_lines = body.decode("utf-8").splitlines()
+        assert len(update_lines) == 3
+
+        # The daemon's incremental answers must be byte-identical to a
+        # registry rebuilt from scratch on its live (mutated) network.
+        from repro.core.algorithm import GPSSNQueryProcessor
+        from repro.dynamic import (
+            ContinuousQueryRegistry,
+            DynamicIndexMaintainer,
+        )
+        from repro.service import parse_query_lines
+
+        cold = ContinuousQueryRegistry(DynamicIndexMaintainer(
+            GPSSNQueryProcessor(server.service.network, seed=SEED)
+        ))
+        cold.subscribe(parse_query_lines(QUERY_BODY.splitlines()))
+        assert update_lines == cold.outcome_lines()
+
+        # The dynamic plane surfaced on the shared metrics registry.
+        assert server.service.registry.counter("dynamic.subscriptions") > 0
+        dynamic = server.service.status_view()["dynamic"]
+        assert dynamic["queries"] == 3
+        assert dynamic["maintainer"]["ops_applied"] == 40
+
+    def test_second_subscribe_appends(self, server, base_url):
+        status, headers, body = _post(
+            base_url, "/subscribe", '{"user": 5, "tau": 3}\n'
+        )
+        assert status == 200
+        assert headers["X-Subscribed-Count"] == "1"
+        assert headers["X-Standing-Count"] == "4"
+        # Outcome indexes continue the subscription order.
+        assert '"index": 3' in body.decode("utf-8")
+
+    def test_bad_mutation_body_is_400(self, base_url):
+        request = urllib.request.Request(
+            base_url + "/update",
+            data=b'{"op": "teleport", "user": 1}\n',
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request)
+        assert err.value.code == 400
+
+    def test_frozen_daemon_rejects_dynamic(self, network, tmp_path):
+        path = tmp_path / "net.gpssn"
+        freeze(network, path, build_args={"seed": SEED})
+        snapshot = NetworkSnapshot.from_frozen(path)
+        config = ServerConfig(port=0, workers=1, backend="serial")
+        server = create_server(None, config, snapshot=snapshot)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            request = urllib.request.Request(
+                f"http://{host}:{port}/subscribe",
+                data=QUERY_BODY.encode("utf-8"),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request)
+            assert err.value.code == 409
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestReplayCLI:
+    @pytest.fixture(scope="class")
+    def paths(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("replay")
+        bundle = root / "net.json"
+        assert main([
+            "generate", "--dataset", "UNI", "--users", "40", "--pois",
+            "20", "--road-vertices", "60", "--seed", str(SEED),
+            "--output", str(bundle),
+        ]) == 0
+        queries = root / "queries.jsonl"
+        queries.write_text(QUERY_BODY)
+        mutations = root / "stream.jsonl"
+        assert main([
+            "mutate", "--input", str(bundle), "--count", "30",
+            "--seed", "13", "--output", str(mutations),
+        ]) == 0
+        return root, bundle, queries, mutations
+
+    def test_replay_matches_cold_batch(self, paths, capsys):
+        root, bundle, queries, mutations = paths
+        out = root / "replay.jsonl"
+        mutated = root / "mutated.json"
+        code = main([
+            "replay", "--input", str(bundle), "--queries", str(queries),
+            "--mutations", str(mutations), "--output", str(out),
+            "--oracle-every", "10", "--save-bundle", str(mutated),
+        ])
+        assert code == 0
+        summary = capsys.readouterr().out
+        assert "oracle checks every 10 ops passed" in summary
+
+        cold = root / "cold.jsonl"
+        assert main([
+            "batch", "--input", str(mutated), "--queries", str(queries),
+            "--output", str(cold), "--workers", "0",
+        ]) == 0
+        assert out.read_text() == cold.read_text()
+
+    def test_failed_standing_query_exits_batch(self, paths, capsys):
+        """An unknown issuer must not crash the stream mid-replay.
+
+        Failed standing queries are re-answered (never skip-tested —
+        their issuer may not exist in the graph), so the replay runs the
+        whole stream and reports the failure through the batch exit code.
+        """
+        root, bundle, _, mutations = paths
+        badq = root / "badq.jsonl"
+        badq.write_text('{"user": 999999}\n{"user": 3, "tau": 3}\n')
+        code = main([
+            "replay", "--input", str(bundle), "--queries", str(badq),
+            "--mutations", str(mutations),
+            "--output", str(root / "badq-out.jsonl"),
+        ])
+        assert code == EXIT_BATCH
+        lines = (root / "badq-out.jsonl").read_text().splitlines()
+        assert '"status": "error"' in lines[0]
+        assert '"status": "ok"' in lines[1]
+        capsys.readouterr()
+
+    def test_unreadable_mutations_exit_input(self, paths, capsys):
+        root, bundle, queries, _ = paths
+        code = main([
+            "replay", "--input", str(bundle), "--queries", str(queries),
+            "--mutations", str(root / "missing.jsonl"),
+        ])
+        assert code == EXIT_INPUT
+        capsys.readouterr()

@@ -1,0 +1,129 @@
+"""Unit tests for typed mutations, the JSONL codec, and the synthesizer."""
+
+import pytest
+
+from repro import uni_dataset
+from repro.dynamic.ops import (
+    AddFriend,
+    AddPoi,
+    MoveUser,
+    MutationLog,
+    RemoveFriend,
+    RemovePoi,
+    mutation_from_doc,
+    mutation_line,
+    mutation_to_doc,
+    parse_mutation_lines,
+    synthesize_mutations,
+)
+from repro.exceptions import InvalidParameterError
+
+
+def tiny_network(seed=3):
+    return uni_dataset(
+        num_road_vertices=50, num_pois=10, num_users=16, seed=seed
+    )
+
+
+SAMPLES = [
+    MoveUser(user=3, u=1, v=2, offset=0.5),
+    AddFriend(a=1, b=4),
+    RemoveFriend(a=2, b=9),
+    AddPoi(poi=40, u=0, v=3, offset=1.25, keywords=[2, 0]),
+    RemovePoi(poi=7),
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("mutation", SAMPLES, ids=lambda m: m.op)
+    def test_line_roundtrip(self, mutation):
+        assert parse_mutation_lines([mutation_line(mutation)]) == [mutation]
+
+    def test_doc_carries_op_tag(self):
+        doc = mutation_to_doc(SAMPLES[0])
+        assert doc["op"] == "move_user"
+        assert mutation_from_doc(doc) == SAMPLES[0]
+
+    def test_add_poi_keywords_canonicalized(self):
+        a = AddPoi(poi=1, u=0, v=1, offset=0.0, keywords=[3, 1, 2])
+        b = AddPoi(poi=1, u=0, v=1, offset=0.0, keywords=(2, 3, 1))
+        assert a == b
+        assert a.keywords == (1, 2, 3)
+        assert mutation_line(a) == mutation_line(b)
+
+    def test_log_jsonl_roundtrip(self):
+        log = MutationLog(SAMPLES)
+        assert list(MutationLog.from_jsonl(log.to_jsonl())) == SAMPLES
+
+    def test_log_dump_load_roundtrip(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        MutationLog(SAMPLES).dump(path)
+        assert list(MutationLog.load(path)) == SAMPLES
+
+    def test_blank_lines_skipped(self):
+        text = "\n" + mutation_line(SAMPLES[1]) + "\n\n"
+        assert parse_mutation_lines(text.splitlines()) == [SAMPLES[1]]
+
+
+class TestValidation:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown mutation op"):
+            mutation_from_doc({"op": "teleport_user", "user": 1})
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(InvalidParameterError, match="missing mutation"):
+            mutation_from_doc({"op": "add_friend", "a": 1})
+
+    def test_extra_key_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unexpected mutation"):
+            mutation_from_doc({"op": "remove_poi", "poi": 1, "speed": 2})
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(InvalidParameterError, match="JSON object"):
+            parse_mutation_lines(['[1, 2, 3]'])
+
+    def test_invalid_json_carries_line_number(self):
+        good = mutation_line(SAMPLES[0])
+        with pytest.raises(InvalidParameterError, match="line 2"):
+            parse_mutation_lines([good, "{not json"])
+
+
+class TestSynthesize:
+    def test_deterministic_for_seed(self):
+        network = tiny_network()
+        a = synthesize_mutations(network, 40, seed=11)
+        b = synthesize_mutations(network, 40, seed=11)
+        assert a.to_jsonl() == b.to_jsonl()
+        assert len(a) == 40
+
+    def test_seeds_differ(self):
+        network = tiny_network()
+        a = synthesize_mutations(network, 40, seed=11)
+        b = synthesize_mutations(network, 40, seed=12)
+        assert a.to_jsonl() != b.to_jsonl()
+
+    def test_stream_always_applicable(self):
+        """Every op in the stream is valid when applied in order."""
+        network = tiny_network()
+        log = synthesize_mutations(network, 120, seed=5, min_pois=3)
+        for mutation in log:
+            network.apply(mutation)  # raises on any invalid op
+        assert network.num_pois >= 3
+
+    def test_poi_floor_respected_throughout(self):
+        network = tiny_network()
+        pois = set(network.poi_ids())
+        for m in synthesize_mutations(network, 120, seed=5, min_pois=3):
+            if m.op == "add_poi":
+                assert m.poi not in pois
+                pois.add(m.poi)
+            elif m.op == "remove_poi":
+                pois.discard(m.poi)
+            assert len(pois) >= 3
+
+    def test_covers_every_op(self):
+        ops = {m.op for m in synthesize_mutations(tiny_network(), 80, seed=2)}
+        assert ops == {
+            "move_user", "add_friend", "remove_friend", "add_poi",
+            "remove_poi",
+        }

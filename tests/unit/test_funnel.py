@@ -164,6 +164,7 @@ class TestRuleRegistry:
         "obj.social_interest", "obj.social_hops",
         "refine.social_hops", "refine.corollary2", "refine.seed_matching",
         "pair.distance", "group.interest",
+        "cq.social_hops", "cq.spatial_ball", "cq.poi_monotone",
     }
 
     def test_every_expected_rule_registered(self):
